@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: partial feature caching on the GPU, the mitigation the
+ * paper suggests (Section 4.3, citing Dong et al. KDD'21) between
+ * per-batch transfers and full pre-loading.
+ *
+ * Replays one epoch of GraphSAGE neighbor-sampled gathers through a
+ * degree-ordered FeatureCache at several capacities and reports the
+ * modeled data-movement time and hit rate.
+ */
+
+#include "bench_common.h"
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/dglx/feature_cache.h"
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/models/pipeline.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.25;
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Ablation: partial GPU feature caching", opts);
+
+    profiling::Table table({"Dataset", "Cache", "Hit rate",
+                            "Movement (modeled)", "vs no-cache"});
+    for (const auto &name : opts.datasets) {
+        graph::Dataset ds =
+            graph::loadDataset(name, opts.scale, opts.seed);
+        dglx::LoadedData dgl = dglx::DataLoader::load(ds);
+
+        // One epoch of sampled input-node sets (fixed across
+        // configurations for a fair replay).
+        core::Rng rng(opts.seed);
+        dglx::NeighborSampler sampler(*dgl.graph, {25, 10},
+                                      rng.fork());
+        std::vector<std::vector<NodeId>> gathers;
+        for (auto &seeds :
+             models::makeBatches(dgl.trainIdx, 512, rng))
+            gathers.push_back(
+                sampler.sample(seeds).inputNodes());
+
+        const uint64_t feat_bytes = dgl.features.bytes();
+        double baseline = -1.0;
+        for (double frac : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+            device::Session session;
+            double hit_rate = 0.0;
+            if (frac == 0.0) {
+                for (const auto &nodes : gathers)
+                    session.transfer(nodes.size() *
+                                     dgl.features.cols() * 4);
+            } else {
+                dglx::FeatureCache cache(
+                    dgl.graph->inDegrees(), dgl.features.cols(),
+                    static_cast<uint64_t>(frac * feat_bytes),
+                    session);
+                for (const auto &nodes : gathers)
+                    cache.gather(nodes);
+                hit_rate = cache.totals().hitRate();
+            }
+            const auto snap = session.snapshot();
+            const double movement =
+                snap.modeled.xferSeconds + snap.modeled.gpuSeconds;
+            if (baseline < 0)
+                baseline = movement;
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.0f%%",
+                          frac * 100);
+            table.addRow(
+                {name, label,
+                 profiling::fmtFixed(hit_rate * 100, 1) + "%",
+                 profiling::fmtSeconds(movement),
+                 profiling::fmtFixed(baseline / movement, 2) +
+                     "x"});
+        }
+    }
+    table.print();
+    std::printf(
+        "\nExpected shape: movement shrinks monotonically with "
+        "cache capacity; even a 25%% cache captures most traffic "
+        "on skewed graphs (degree-ordered hits).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: the three GraphSAINT sampling strategies (node, edge,
+ * random-walk).  The paper evaluates only the random-walk sampler,
+ * citing [Zeng et al. 2020] that node/edge sampling are inferior;
+ * this bench reproduces the comparison that justifies that choice:
+ * per-batch sampling cost and the density of the induced subgraphs.
+ */
+
+#include "bench_common.h"
+#include "gnnbench/core/timer.h"
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/dglx/sampler.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.5;
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Ablation: GraphSAINT sampler variants (DGL)",
+                  opts);
+
+    constexpr int kBatches = 10;
+    profiling::Table table({"Dataset", "Sampler", "Time/batch",
+                            "Nodes", "Edges", "Edges/node"});
+    for (const auto &name : opts.datasets) {
+        graph::Dataset ds =
+            graph::loadDataset(name, opts.scale, opts.seed);
+        dglx::LoadedData dgl = dglx::DataLoader::load(ds);
+        const NodeId n = ds.numNodes();
+        const int32_t roots = std::min<int32_t>(3000, n / 4);
+        // Budgets sized so all three variants target comparable
+        // subgraph node counts (roots * (walk+1)).
+        const NodeId node_budget = roots * 3;
+        const EdgeId edge_budget = roots * 3 / 2;
+
+        auto run = [&](const char *label, auto &&sample_fn) {
+            core::Timer t;
+            double nodes = 0, edges = 0;
+            for (int b = 0; b < kBatches; ++b) {
+                auto smp = sample_fn();
+                nodes += static_cast<double>(smp.nodes.size());
+                edges += static_cast<double>(smp.adj.numEdges());
+            }
+            const double per_batch = t.elapsed() / kBatches;
+            nodes /= kBatches;
+            edges /= kBatches;
+            table.addRow(
+                {name, label, profiling::fmtSeconds(per_batch),
+                 profiling::fmtCount(static_cast<int64_t>(nodes)),
+                 profiling::fmtCount(static_cast<int64_t>(edges)),
+                 profiling::fmtFixed(edges / nodes, 2)});
+        };
+
+        dglx::SaintNodeSampler node_s(*dgl.graph, node_budget,
+                                      core::Rng(opts.seed));
+        run("node", [&] { return node_s.sample(); });
+        dglx::SaintEdgeSampler edge_s(*dgl.graph, edge_budget,
+                                      core::Rng(opts.seed));
+        run("edge", [&] { return edge_s.sample(); });
+        dglx::SaintRwSampler rw_s(*dgl.graph, roots, 2,
+                                  core::Rng(opts.seed));
+        run("random-walk", [&] { return rw_s.sample(); });
+    }
+    table.print();
+    std::printf(
+        "\nExpected shape: the random-walk sampler is the cheapest "
+        "per batch; node sampling buys density only by concentrating "
+        "on hubs (degree-proportional bias), edge sampling sits "
+        "between.  GraphSAINT's published preference for random "
+        "walks rests on their connectivity (walks are connected by "
+        "construction) plus this cost advantage.\n");
+    return 0;
+}

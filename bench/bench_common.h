@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared command-line handling for the figure benchmarks.
+ *
+ * Every bench accepts:
+ *   --datasets a,b,c   subset of Table 1 datasets (default: all six)
+ *   --scale f          multiplier on each dataset's default scale
+ *   --epochs n         training epochs for the end-to-end benches
+ *   --seed s           RNG seed
+ */
+
+#ifndef GNNBENCH_BENCH_COMMON_H
+#define GNNBENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gnnbench/graph/datasets.h"
+#include "gnnbench/profiling/report.h"
+
+namespace gnnbench {
+namespace bench {
+
+struct Options
+{
+    std::vector<std::string> datasets = graph::datasetNames();
+    double scale = 1.0;
+    int epochs = 10;
+    uint64_t seed = 42;
+    /** When non-empty, tables are also written to
+     *  "<csvPrefix><table>.csv" for machine consumption. */
+    std::string csvPrefix;
+};
+
+inline std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size()
+                                                      : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+inline Options
+parseOptions(int argc, char **argv, Options opts = Options{})
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            GNNBENCH_CHECK(i + 1 < argc, "missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--datasets") {
+            opts.datasets = splitCsv(next());
+        } else if (arg == "--scale") {
+            opts.scale = std::stod(next());
+        } else if (arg == "--epochs") {
+            opts.epochs = std::stoi(next());
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(next());
+        } else if (arg == "--csv") {
+            opts.csvPrefix = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--datasets a,b,c] [--scale f] "
+                        "[--epochs n] [--seed s] [--csv prefix]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            GNNBENCH_CHECK(false, "unknown argument ", arg);
+        }
+    }
+    return opts;
+}
+
+/** Print the standard bench banner with the applied scales. */
+inline void
+banner(const char *title, const Options &opts)
+{
+    std::printf("=== %s ===\n", title);
+    std::printf("datasets (scale = published-default x %.3g):\n",
+                opts.scale);
+    for (const auto &name : opts.datasets) {
+        const auto &info = graph::datasetInfo(name);
+        std::printf("  %-13s default %.5f -> applied %.5f\n",
+                    info.name.c_str(), info.defaultScale,
+                    info.defaultScale * opts.scale);
+    }
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace gnnbench
+
+#endif // GNNBENCH_BENCH_COMMON_H

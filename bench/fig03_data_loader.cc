@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3: runtime of the data loader, DGL vs PyG.
+ *
+ * Expected shape (paper Observation 1): PyG's loader is faster on
+ * every dataset because its Data object is a thin edge_index wrapper,
+ * while DGL eagerly materializes all adjacency formats.
+ */
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "gnnbench/core/timer.h"
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/pygx/dataloader.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.epochs = 0;  // unused
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Figure 3: runtime of data loader", opts);
+
+    constexpr int kRepeats = 7;
+    profiling::Table table(
+        {"Dataset", "DGL", "PyG", "DGL/PyG"});
+    for (const auto &name : opts.datasets) {
+        graph::Dataset ds =
+            graph::loadDataset(name, opts.scale, opts.seed);
+        // Median over repeats: the first iterations can be skewed by
+        // allocator warmup after dataset synthesis.
+        std::vector<double> dgl_times, pyg_times;
+        for (int r = 0; r < kRepeats; ++r) {
+            core::Timer t;
+            auto dgl = dglx::DataLoader::load(ds);
+            dgl_times.push_back(t.elapsed());
+            t.reset();
+            auto pyg = pygx::DataLoader::load(ds);
+            pyg_times.push_back(t.elapsed());
+        }
+        std::sort(dgl_times.begin(), dgl_times.end());
+        std::sort(pyg_times.begin(), pyg_times.end());
+        const double dgl_s = dgl_times[kRepeats / 2];
+        const double pyg_s = pyg_times[kRepeats / 2];
+        table.addRow({name, profiling::fmtSeconds(dgl_s),
+                      profiling::fmtSeconds(pyg_s),
+                      profiling::fmtFixed(dgl_s / pyg_s, 2) + "x"});
+    }
+    table.print();
+    std::printf("\nExpected shape: DGL/PyG > 1 on every dataset "
+                "(PyG's lazy Data object wins; Observation 1).\n");
+    return 0;
+}

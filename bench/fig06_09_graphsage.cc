@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figures 6-9: GraphSAGE runtime breakdown, total runtime, average
+ * power, and energy across DGL-CPU / PyG-CPU / DGL-CPUGPU /
+ * PyG-CPUGPU.
+ *
+ * Expected shape (Observations 4-5): sampling dominates (up to ~90%
+ * of total runtime); DGL is generally more efficient; power shows no
+ * clear framework winner, so energy tracks runtime.
+ */
+
+#include "model_fig_common.h"
+#include "gnnbench/models/graphsage.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.25;
+    defaults.epochs = 3;
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Figures 6-9: GraphSAGE (mini-batch)", opts);
+    std::printf("epochs = %d (paper: 10; raise with --epochs)\n\n",
+                opts.epochs);
+    bench::runModelFigure("GraphSAGE", opts,
+                          models::trainGraphSage);
+    std::printf(
+        "\nExpected shape: sampling dominates; DGL beats PyG "
+        "overall; energy follows total runtime (Obs. 4-5).\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figures 10-13: ClusterGCN runtime breakdown, total runtime,
+ * average power, and energy across the four standard configurations.
+ *
+ * Expected shape: the one-time METIS-style partitioning plus cluster
+ * aggregation keeps sampling the dominant phase; DGL wins overall.
+ */
+
+#include "model_fig_common.h"
+#include "gnnbench/models/clustergcn.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.25;
+    defaults.epochs = 3;
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Figures 10-13: ClusterGCN", opts);
+    std::printf("epochs = %d (paper: 10; raise with --epochs)\n\n",
+                opts.epochs);
+    bench::runModelFigure("ClusterGCN", opts,
+                          models::trainClusterGcn);
+    std::printf(
+        "\nExpected shape: sampling (partitioning + cluster "
+        "aggregation) dominates; DGL beats PyG (Obs. 4-5).\n");
+    return 0;
+}

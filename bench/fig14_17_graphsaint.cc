@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figures 14-17: GraphSAINT runtime breakdown, total runtime,
+ * average power, and energy across the four standard configurations.
+ *
+ * Expected shape: GraphSAINT is the cheapest of the three GNNs (its
+ * sampler and subgraphs are light); the framework gap is smaller
+ * than for GraphSAGE / ClusterGCN, and PyG-CPUGPU can beat
+ * DGL-CPUGPU on small/medium graphs (Observation 5).
+ */
+
+#include "model_fig_common.h"
+#include "gnnbench/models/graphsaint.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.25;
+    defaults.epochs = 3;
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Figures 14-17: GraphSAINT (random-walk sampler)",
+                  opts);
+    std::printf("epochs = %d (paper: 10; raise with --epochs)\n\n",
+                opts.epochs);
+    bench::runModelFigure("GraphSAINT", opts,
+                          models::trainGraphSaint);
+    std::printf(
+        "\nExpected shape: cheapest GNN of the three; smallest "
+        "framework gap; PyG-CPUGPU competitive on small graphs "
+        "(Obs. 5).\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figures 22-24: full-batch GraphSAGE — per-epoch training time,
+ * average power, and energy, on CPU and (modeled) GPU in both
+ * frameworks.
+ *
+ * Expected shape (Section 4.3): DGL-CPU much faster than PyG-CPU;
+ * DGL-GPU faster than PyG-GPU except on the smallest graph (PPI);
+ * power roughly framework-independent, so energy tracks time.
+ */
+
+#include "bench_common.h"
+#include "gnnbench/models/fullbatch.h"
+
+using namespace gnnbench;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.scale = 0.5;
+    defaults.epochs = 3;  // measured epochs per configuration
+    auto opts = bench::parseOptions(argc, argv, defaults);
+    bench::banner("Figures 22-24: full-batch GraphSAGE", opts);
+    std::printf("measured epochs per config = %d (paper averages "
+                "100 runs)\n\n",
+                opts.epochs);
+
+    profiling::Table table({"Dataset", "Config", "Time/epoch",
+                            "AvgPower", "Energy/epoch"});
+    for (const auto &name : opts.datasets) {
+        graph::Dataset ds =
+            graph::loadDataset(name, opts.scale, opts.seed);
+        for (auto fw :
+             {models::Framework::Dglx, models::Framework::Pygx}) {
+            for (auto mode :
+                 {models::RunMode::CPU, models::RunMode::GPU}) {
+                auto r = models::trainFullBatchSage(
+                    ds, fw, mode, opts.epochs, opts.seed);
+                table.addRow(
+                    {name, r.config,
+                     profiling::fmtSeconds(r.secondsPerEpoch),
+                     profiling::fmtFixed(r.avgWatts(), 1) + " W",
+                     profiling::fmtJoules(
+                         r.energyPerEpoch.joules())});
+            }
+        }
+    }
+    table.print();
+    std::printf(
+        "\nExpected shape: DGL-CPU << PyG-CPU; DGL-GPU faster than "
+        "PyG-GPU except on the smallest graph; power roughly equal "
+        "between frameworks (Section 4.3).\n");
+    return 0;
+}

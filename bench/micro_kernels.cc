@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the kernel-level claims:
+ *  - dglx fused g-SpMM vs pygx torch_sparse-style SpMM vs pygx
+ *    gather+scatter composition (the CPU-kernel gap of Obs. 2/3);
+ *  - dglx counting-sort format conversion vs pygx torch.sort-style
+ *    conversion (the CSC-conversion cost of Obs. 2);
+ *  - the dense GEMM both frameworks share.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gnnbench/dglx/kernels.h"
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/pygx/sampler.h"
+#include "gnnbench/pygx/scatter.h"
+
+using namespace gnnbench;
+
+namespace {
+
+struct Workload
+{
+    graph::CooGraph coo;
+    graph::CsrGraph csc;
+    core::Tensor x;
+
+    Workload(NodeId n, EdgeId m, int64_t f)
+    {
+        core::Rng rng(7);
+        coo = graph::symmetrize(graph::rmat(n, m, rng), false);
+        csc = graph::cooToCsc(coo);
+        x = core::Tensor::randn(n, f, rng);
+    }
+};
+
+Workload &
+workload()
+{
+    static Workload w(20000, 120000, 64);
+    return w;
+}
+
+void
+BM_DglxFusedSpmm(benchmark::State &state)
+{
+    auto &w = workload();
+    dglx::KernelCtx ctx;
+    for (auto _ : state) {
+        auto y = dglx::gspmm(w.csc, w.x, dglx::Reducer::Sum,
+                             nullptr, ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 4 *
+                            w.csc.numEdges() * w.x.cols());
+}
+BENCHMARK(BM_DglxFusedSpmm);
+
+void
+BM_PygxTorchSparseSpmm(benchmark::State &state)
+{
+    auto &w = workload();
+    pygx::KernelCtx ctx;
+    for (auto _ : state) {
+        auto y = pygx::spmm(w.csc, w.x, nullptr, ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 4 *
+                            w.csc.numEdges() * w.x.cols());
+}
+BENCHMARK(BM_PygxTorchSparseSpmm);
+
+void
+BM_PygxGatherScatter(benchmark::State &state)
+{
+    auto &w = workload();
+    pygx::KernelCtx ctx;
+    for (auto _ : state) {
+        auto msgs = pygx::gather(w.x, w.coo.src, ctx);
+        auto y = pygx::scatterSum(
+            msgs, w.coo.dst,
+            static_cast<NodeId>(w.x.rows()), ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 12 *
+                            w.csc.numEdges() * w.x.cols());
+}
+BENCHMARK(BM_PygxGatherScatter);
+
+void
+BM_DglxCountingSortCsc(benchmark::State &state)
+{
+    auto &w = workload();
+    for (auto _ : state) {
+        auto csc = graph::cooToCsc(w.coo);
+        benchmark::DoNotOptimize(csc.indices.data());
+    }
+}
+BENCHMARK(BM_DglxCountingSortCsc);
+
+void
+BM_PygxSortConversionCsc(benchmark::State &state)
+{
+    auto &w = workload();
+    for (auto _ : state) {
+        pygx::Data data(w.coo);
+        benchmark::DoNotOptimize(&data.csc());
+    }
+}
+BENCHMARK(BM_PygxSortConversionCsc);
+
+void
+BM_SharedDenseGemm(benchmark::State &state)
+{
+    core::Rng rng(9);
+    core::Tensor a = core::Tensor::randn(2048, 256, rng);
+    core::Tensor b = core::Tensor::randn(256, 256, rng);
+    for (auto _ : state) {
+        auto c = core::ops::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 2048 * 256 *
+                            256);
+}
+BENCHMARK(BM_SharedDenseGemm);
+
+void
+BM_DglxNeighborSampleBatch(benchmark::State &state)
+{
+    auto &w = workload();
+    dglx::Graph g(w.coo);
+    dglx::NeighborSampler sampler(g, {25, 10}, core::Rng(11));
+    std::vector<NodeId> seeds(512);
+    for (NodeId i = 0; i < 512; ++i)
+        seeds[i] = i;
+    for (auto _ : state) {
+        auto smp = sampler.sample(seeds);
+        benchmark::DoNotOptimize(smp.blocks[0].srcNodes.data());
+    }
+}
+BENCHMARK(BM_DglxNeighborSampleBatch);
+
+void
+BM_PygxNeighborSampleBatch(benchmark::State &state)
+{
+    auto &w = workload();
+    pygx::Data data(w.coo);
+    pygx::NeighborSampler sampler(data, {25, 10}, core::Rng(11),
+                                  nullptr);
+    std::vector<NodeId> seeds(512);
+    for (NodeId i = 0; i < 512; ++i)
+        seeds[i] = i;
+    for (auto _ : state) {
+        auto smp = sampler.sample(seeds);
+        benchmark::DoNotOptimize(smp.layers[0].srcNodes.data());
+    }
+}
+BENCHMARK(BM_PygxNeighborSampleBatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared harness for the end-to-end model figures (Figures 6-17):
+ * runs one model across the four paper configurations on every
+ * dataset and prints the four figure series — runtime breakdown,
+ * total runtime, average power, and energy.
+ */
+
+#ifndef GNNBENCH_BENCH_MODEL_FIG_COMMON_H
+#define GNNBENCH_BENCH_MODEL_FIG_COMMON_H
+
+#include <functional>
+
+#include "bench_common.h"
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace bench {
+
+using ModelFn = std::function<models::TrainResult(
+    const graph::Dataset &, const models::TrainConfig &)>;
+
+/** The four standard configurations of Figures 6-17. */
+inline std::vector<std::pair<models::Framework, models::RunMode>>
+standardConfigs()
+{
+    using models::Framework;
+    using models::RunMode;
+    return {{Framework::Dglx, RunMode::CPU},
+            {Framework::Pygx, RunMode::CPU},
+            {Framework::Dglx, RunMode::CPUGPU},
+            {Framework::Pygx, RunMode::CPUGPU}};
+}
+
+/** Run the model on every dataset x config and print the figures. */
+inline void
+runModelFigure(const char *model_name, const Options &opts,
+               const ModelFn &model)
+{
+    using profiling::Phase;
+    using profiling::fmtFixed;
+    using profiling::fmtJoules;
+    using profiling::fmtSeconds;
+
+    profiling::Table breakdown(
+        {"Dataset", "Config", "Loading", "Sampling", "Movement",
+         "Training", "Sampling%"});
+    profiling::Table totals({"Dataset", "Config", "Total"});
+    profiling::Table power({"Dataset", "Config", "AvgPower"});
+    profiling::Table energy({"Dataset", "Config", "Energy"});
+
+    for (const auto &name : opts.datasets) {
+        graph::Dataset ds =
+            graph::loadDataset(name, opts.scale, opts.seed);
+        for (auto [fw, mode] : standardConfigs()) {
+            models::TrainConfig cfg;
+            cfg.framework = fw;
+            cfg.mode = mode;
+            cfg.epochs = opts.epochs;
+            cfg.seed = opts.seed;
+            models::TrainResult r = model(ds, cfg);
+            const double total = r.totalSeconds();
+            const double samp_pct =
+                100.0 * r.phaseSeconds(Phase::Sampling) / total;
+            breakdown.addRow(
+                {name, r.config,
+                 fmtSeconds(r.phaseSeconds(Phase::DataLoading)),
+                 fmtSeconds(r.phaseSeconds(Phase::Sampling)),
+                 fmtSeconds(r.phaseSeconds(Phase::DataMovement)),
+                 fmtSeconds(r.phaseSeconds(Phase::Training)),
+                 fmtFixed(samp_pct, 1) + "%"});
+            totals.addRow({name, r.config, fmtSeconds(total)});
+            power.addRow({name, r.config,
+                          fmtFixed(r.avgWatts(), 1) + " W"});
+            energy.addRow(
+                {name, r.config, fmtJoules(r.energy.joules())});
+        }
+    }
+
+    if (!opts.csvPrefix.empty()) {
+        breakdown.writeCsv(opts.csvPrefix + "breakdown.csv");
+        totals.writeCsv(opts.csvPrefix + "total.csv");
+        power.writeCsv(opts.csvPrefix + "power.csv");
+        energy.writeCsv(opts.csvPrefix + "energy.csv");
+    }
+    std::printf("--- Runtime breakdown of %s ---\n", model_name);
+    breakdown.print();
+    std::printf("\n--- Total runtime of %s ---\n", model_name);
+    totals.print();
+    std::printf("\n--- Average power consumption of %s ---\n",
+                model_name);
+    power.print();
+    std::printf("\n--- Energy consumption of %s ---\n", model_name);
+    energy.print();
+}
+
+} // namespace bench
+} // namespace gnnbench
+
+#endif // GNNBENCH_BENCH_MODEL_FIG_COMMON_H

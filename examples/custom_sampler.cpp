@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Extending the library with a custom sampler: a two-phase
+ * "frontier" sampler (BFS ball around each seed with a per-hop node
+ * cap) built only from public APIs, compared against the stock
+ * GraphSAINT random-walk sampler on subgraph quality and cost.
+ *
+ * Demonstrates: the shared sampled-structure types, the reference
+ * induced-subgraph extractor, and how sampler output plugs into the
+ * dglx layers.
+ */
+
+#include <cstdio>
+
+#include "gnnbench/core/timer.h"
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/dglx/nn.h"
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/graph/datasets.h"
+
+using namespace gnnbench;
+
+namespace {
+
+/** BFS-ball sampler: grow a frontier from random seeds, cap growth
+ *  per hop, and return the induced subgraph. */
+class FrontierSampler
+{
+  public:
+    FrontierSampler(const dglx::Graph &g, NodeId num_seeds,
+                    int hops, NodeId per_hop_cap, core::Rng rng)
+        : g_(g), numSeeds_(num_seeds), hops_(hops),
+          perHopCap_(per_hop_cap), rng_(rng),
+          scratch_(g.numNodes(), -1)
+    {
+    }
+
+    sampling::InducedSample
+    sample()
+    {
+        std::vector<NodeId> nodes =
+            rng_.sampleWithoutReplacement(g_.numNodes(), numSeeds_);
+        std::vector<bool> seen(g_.numNodes(), false);
+        for (NodeId v : nodes)
+            seen[v] = true;
+        size_t frontier_begin = 0;
+        for (int hop = 0; hop < hops_; ++hop) {
+            const size_t frontier_end = nodes.size();
+            NodeId added = 0;
+            for (size_t i = frontier_begin;
+                 i < frontier_end && added < perHopCap_; ++i) {
+                const NodeId u = nodes[i];
+                for (auto it = g_.csr().rowBegin(u);
+                     it != g_.csr().rowEnd(u); ++it) {
+                    if (!seen[*it]) {
+                        seen[*it] = true;
+                        nodes.push_back(*it);
+                        if (++added >= perHopCap_)
+                            break;
+                    }
+                }
+            }
+            frontier_begin = frontier_end;
+        }
+        return dglx::ClusterSampler::extractInduced(
+            g_.csr(), std::move(nodes), scratch_);
+    }
+
+  private:
+    const dglx::Graph &g_;
+    NodeId numSeeds_;
+    int hops_;
+    NodeId perHopCap_;
+    core::Rng rng_;
+    std::vector<NodeId> scratch_;
+};
+
+} // namespace
+
+int
+main()
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.5);
+    dglx::LoadedData data = dglx::DataLoader::load(ds);
+    std::printf("graph: %d nodes, %lld edges\n\n", ds.numNodes(),
+                static_cast<long long>(ds.numEdges()));
+
+    FrontierSampler frontier(*data.graph, 500, 2, 1000,
+                             core::Rng(1));
+    dglx::SaintRwSampler saint(*data.graph, 500, 2, core::Rng(1));
+
+    auto report = [&](const char *name, auto &sampler) {
+        core::Timer t;
+        double nodes = 0, edges = 0;
+        constexpr int kBatches = 20;
+        for (int i = 0; i < kBatches; ++i) {
+            auto smp = sampler.sample();
+            smp.validate();
+            nodes += static_cast<double>(smp.nodes.size());
+            edges += static_cast<double>(smp.adj.numEdges());
+        }
+        std::printf("%-10s %6.2f ms/batch  avg %6.0f nodes  "
+                    "%7.0f edges  (%.2f edges/node)\n",
+                    name, t.elapsed() / kBatches * 1e3,
+                    nodes / kBatches, edges / kBatches,
+                    edges / nodes);
+    };
+    report("frontier", frontier);
+    report("saint-rw", saint);
+
+    // The custom sampler's output drops straight into the layers.
+    auto smp = frontier.sample();
+    core::Rng wrng(2);
+    dglx::SageConv conv(ds.info.numFeatures, 32, wrng,
+                        /*trainable=*/false);
+    dglx::KernelCtx ctx;
+    auto x = core::ag::constant(
+        core::ops::gatherRows(data.features, smp.nodes));
+    auto out = conv.forwardInduced(smp.adj, x, ctx);
+    std::printf("\nSAGE forward over a frontier batch: %lld x %lld "
+                "output\n",
+                static_cast<long long>(out->value.rows()),
+                static_cast<long long>(out->value.cols()));
+    return 0;
+}

@@ -1,0 +1,288 @@
+#include "gnnbench/core/autograd.h"
+
+#include <unordered_set>
+
+namespace gnnbench {
+namespace core {
+namespace ag {
+
+void
+Node::accumulateGrad(const Tensor &g)
+{
+    if (grad.empty()) {
+        grad = g.clone();
+        return;
+    }
+    GNNBENCH_ASSERT(grad.sameShape(g), "gradient shape mismatch in ",
+                    opName);
+    ops::axpy(grad, g, 1.0f);
+}
+
+Var
+leaf(Tensor value, bool requires_grad)
+{
+    auto n = std::make_shared<Node>();
+    n->value = std::move(value);
+    n->requiresGrad = requires_grad;
+    n->opName = "leaf";
+    return n;
+}
+
+Var
+constant(Tensor value)
+{
+    return leaf(std::move(value), false);
+}
+
+Var
+makeOp(std::string name, Tensor value, std::vector<Var> parents,
+       std::function<void(Node &)> backward_fn)
+{
+    auto n = std::make_shared<Node>();
+    n->value = std::move(value);
+    n->opName = std::move(name);
+    for (const auto &p : parents)
+        if (p->requiresGrad)
+            n->requiresGrad = true;
+    if (n->requiresGrad) {
+        n->parents = std::move(parents);
+        n->backwardFn = std::move(backward_fn);
+    }
+    return n;
+}
+
+namespace {
+
+/** Post-order DFS over the autograd graph (iterative, cycle-free). */
+void
+topoSort(const Var &root, std::vector<Node *> &order)
+{
+    std::unordered_set<Node *> visited;
+    std::vector<std::pair<Node *, size_t>> stack;
+    stack.emplace_back(root.get(), 0);
+    visited.insert(root.get());
+    while (!stack.empty()) {
+        auto &[node, next_child] = stack.back();
+        if (next_child < node->parents.size()) {
+            Node *child = node->parents[next_child++].get();
+            if (child->requiresGrad && !visited.count(child)) {
+                visited.insert(child);
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+void
+backward(const Var &root, const Tensor *seed)
+{
+    GNNBENCH_CHECK(root->requiresGrad,
+                   "backward() on a graph with no trainable inputs");
+    if (seed) {
+        GNNBENCH_CHECK(seed->sameShape(root->value),
+                       "backward seed shape mismatch");
+        root->accumulateGrad(*seed);
+    } else {
+        GNNBENCH_CHECK(root->value.numel() == 1,
+                       "backward() root must be scalar without a seed");
+        root->accumulateGrad(Tensor::full(1, 1, 1.0f));
+    }
+    std::vector<Node *> order;
+    topoSort(root, order);
+    // Post-order places parents before children; walk in reverse so
+    // each node's gradient is complete before it propagates.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *n = *it;
+        if (n->backwardFn && !n->grad.empty())
+            n->backwardFn(*n);
+    }
+}
+
+Var
+matmul(const Var &a, const Var &b)
+{
+    Tensor y = ops::matmul(a->value, b->value);
+    return makeOp("matmul", std::move(y), {a, b}, [a, b](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::matmulTb(n.grad, b->value));
+        if (b->requiresGrad)
+            b->accumulateGrad(ops::matmulTa(a->value, n.grad));
+    });
+}
+
+Var
+add(const Var &a, const Var &b)
+{
+    Tensor y = ops::add(a->value, b->value);
+    return makeOp("add", std::move(y), {a, b}, [a, b](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(n.grad);
+        if (b->requiresGrad)
+            b->accumulateGrad(n.grad);
+    });
+}
+
+Var
+addBias(const Var &x, const Var &bias)
+{
+    Tensor y = ops::addBias(x->value, bias->value);
+    return makeOp("addBias", std::move(y), {x, bias}, [x, bias](Node &n) {
+        if (x->requiresGrad)
+            x->accumulateGrad(n.grad);
+        if (bias->requiresGrad)
+            bias->accumulateGrad(ops::colSum(n.grad));
+    });
+}
+
+Var
+scale(const Var &a, float alpha)
+{
+    Tensor y = ops::scale(a->value, alpha);
+    return makeOp("scale", std::move(y), {a}, [a, alpha](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::scale(n.grad, alpha));
+    });
+}
+
+Var
+mul(const Var &a, const Var &b)
+{
+    Tensor y = ops::mul(a->value, b->value);
+    return makeOp("mul", std::move(y), {a, b}, [a, b](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::mul(n.grad, b->value));
+        if (b->requiresGrad)
+            b->accumulateGrad(ops::mul(n.grad, a->value));
+    });
+}
+
+Var
+relu(const Var &a)
+{
+    Tensor y = ops::relu(a->value);
+    return makeOp("relu", std::move(y), {a}, [a](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::reluGrad(a->value, n.grad));
+    });
+}
+
+Var
+elu(const Var &a)
+{
+    Tensor y = ops::elu(a->value);
+    auto out = makeOp("elu", std::move(y), {a}, [a](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::eluGradFromOutput(n.value, n.grad));
+    });
+    return out;
+}
+
+Var
+leakyRelu(const Var &a, float slope)
+{
+    Tensor y = ops::leakyRelu(a->value, slope);
+    return makeOp("leakyRelu", std::move(y), {a}, [a, slope](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::leakyReluGrad(a->value, n.grad, slope));
+    });
+}
+
+Var
+dropout(const Var &a, float p, Rng &rng)
+{
+    if (p <= 0.0f)
+        return a;
+    Tensor mask;
+    Tensor y = ops::dropout(a->value, p, rng, &mask);
+    auto mask_holder = std::make_shared<Tensor>(std::move(mask));
+    return makeOp("dropout", std::move(y), {a}, [a, mask_holder](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::mul(n.grad, *mask_holder));
+    });
+}
+
+Var
+logSoftmax(const Var &a)
+{
+    Tensor y = ops::logSoftmax(a->value);
+    return makeOp("logSoftmax", std::move(y), {a}, [a](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::logSoftmaxGrad(n.value, n.grad));
+    });
+}
+
+Var
+gatherRows(const Var &a, std::vector<NodeId> idx)
+{
+    Tensor y = ops::gatherRows(a->value, idx);
+    const int64_t out_rows = a->value.rows();
+    auto idx_holder =
+        std::make_shared<std::vector<NodeId>>(std::move(idx));
+    return makeOp("gatherRows", std::move(y), {a},
+                  [a, idx_holder, out_rows](Node &n) {
+                      if (a->requiresGrad) {
+                          a->accumulateGrad(ops::scatterAddRows(
+                              n.grad, *idx_holder, out_rows));
+                      }
+                  });
+}
+
+Var
+rowScale(const Var &a, std::vector<float> s)
+{
+    Tensor y = ops::rowScale(a->value, s);
+    auto s_holder = std::make_shared<std::vector<float>>(std::move(s));
+    return makeOp("rowScale", std::move(y), {a}, [a, s_holder](Node &n) {
+        if (a->requiresGrad)
+            a->accumulateGrad(ops::rowScale(n.grad, *s_holder));
+    });
+}
+
+Var
+concatCols(const Var &a, const Var &b)
+{
+    Tensor y = ops::concatCols(a->value, b->value);
+    const int64_t a_cols = a->value.cols();
+    return makeOp("concatCols", std::move(y), {a, b},
+                  [a, b, a_cols](Node &n) {
+                      Tensor ga, gb;
+                      ops::splitColsGrad(n.grad, a_cols, &ga, &gb);
+                      if (a->requiresGrad)
+                          a->accumulateGrad(ga);
+                      if (b->requiresGrad)
+                          b->accumulateGrad(gb);
+                  });
+}
+
+Var
+nllLoss(const Var &logprob, std::vector<int32_t> labels,
+        std::vector<NodeId> rows)
+{
+    const float loss = ops::nllLoss(logprob->value, labels, rows);
+    auto labels_holder =
+        std::make_shared<std::vector<int32_t>>(std::move(labels));
+    auto rows_holder =
+        std::make_shared<std::vector<NodeId>>(std::move(rows));
+    return makeOp(
+        "nllLoss", Tensor::full(1, 1, loss), {logprob},
+        [logprob, labels_holder, rows_holder](Node &n) {
+            if (!logprob->requiresGrad)
+                return;
+            Tensor g = ops::nllLossGrad(logprob->value, *labels_holder,
+                                        *rows_holder);
+            // Chain with the (scalar) upstream gradient.
+            const float upstream = n.grad(0, 0);
+            if (upstream != 1.0f)
+                g = ops::scale(g, upstream);
+            logprob->accumulateGrad(g);
+        });
+}
+
+} // namespace ag
+} // namespace core
+} // namespace gnnbench

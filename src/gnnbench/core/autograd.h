@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A small reverse-mode autograd tape over core::Tensor.
+ *
+ * Both framework implementations (dglx and pygx) express their layers
+ * in terms of these Variables, exactly like DGL and PyG both sit on
+ * top of the PyTorch autograd engine.  Framework-specific sparse
+ * aggregation kernels register themselves as custom ops through
+ * makeOp(), supplying their own backward closure.
+ */
+
+#ifndef GNNBENCH_CORE_AUTOGRAD_H
+#define GNNBENCH_CORE_AUTOGRAD_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/ops.h"
+#include "gnnbench/core/tensor.h"
+
+namespace gnnbench {
+namespace core {
+namespace ag {
+
+class Node;
+
+/** A handle to a node in the autograd graph. */
+using Var = std::shared_ptr<Node>;
+
+/**
+ * One value in the autograd graph: the forward tensor, the
+ * accumulated gradient, and the closure that propagates this node's
+ * gradient into its parents.
+ */
+class Node
+{
+  public:
+    /** Forward value. */
+    Tensor value;
+
+    /** Accumulated gradient; empty until backward touches the node. */
+    Tensor grad;
+
+    /** Whether gradients should flow to / through this node. */
+    bool requiresGrad = false;
+
+    /** Operation name, for profiling and debugging. */
+    std::string opName;
+
+    /** Parent operands in the forward graph. */
+    std::vector<Var> parents;
+
+    /**
+     * Backward closure: reads this->grad and accumulates into the
+     * parents' gradients.  Null for leaves.
+     */
+    std::function<void(Node &)> backwardFn;
+
+    /** Add g into this node's gradient (allocating on first use). */
+    void accumulateGrad(const Tensor &g);
+
+    /** Drop the accumulated gradient. */
+    void zeroGrad() { grad = Tensor(); }
+};
+
+/** Create a leaf variable (input or trainable parameter). */
+Var leaf(Tensor value, bool requires_grad);
+
+/** Create a constant (non-differentiable) variable. */
+Var constant(Tensor value);
+
+/**
+ * Create a custom op node.  The backward closure must add into each
+ * requiresGrad parent via accumulateGrad().  Returns a node that
+ * requires grad iff any parent does.
+ */
+Var makeOp(std::string name, Tensor value, std::vector<Var> parents,
+           std::function<void(Node &)> backward_fn);
+
+/**
+ * Run reverse-mode differentiation from @p root, which must be a
+ * scalar (1x1) unless @p seed is supplied.  Gradients accumulate into
+ * every reachable node with requiresGrad.
+ */
+void backward(const Var &root, const Tensor *seed = nullptr);
+
+/// @name Differentiable tensor ops (thin wrappers over core::ops)
+/// @{
+Var matmul(const Var &a, const Var &b);
+Var add(const Var &a, const Var &b);
+Var addBias(const Var &x, const Var &bias);
+Var scale(const Var &a, float alpha);
+Var mul(const Var &a, const Var &b);
+Var relu(const Var &a);
+Var elu(const Var &a);
+Var leakyRelu(const Var &a, float slope);
+Var dropout(const Var &a, float p, Rng &rng);
+Var logSoftmax(const Var &a);
+Var gatherRows(const Var &a, std::vector<NodeId> idx);
+Var rowScale(const Var &a, std::vector<float> s);
+Var concatCols(const Var &a, const Var &b);
+
+/**
+ * Mean NLL loss over the selected rows (all rows when @p rows is
+ * empty); returns a scalar Var suitable for backward().
+ */
+Var nllLoss(const Var &logprob, std::vector<int32_t> labels,
+            std::vector<NodeId> rows);
+/// @}
+
+} // namespace ag
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_AUTOGRAD_H

@@ -1,0 +1,71 @@
+#include "gnnbench/core/metrics.h"
+
+namespace gnnbench {
+namespace core {
+namespace metrics {
+
+double
+Evaluation::macroF1() const
+{
+    if (perClass.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &c : perClass)
+        sum += c.f1();
+    return sum / static_cast<double>(perClass.size());
+}
+
+double
+Evaluation::microF1() const
+{
+    int64_t tp = 0, fp = 0, fn = 0;
+    for (const auto &c : perClass) {
+        tp += c.truePositive;
+        fp += c.falsePositive;
+        fn += c.falseNegative;
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    return denom > 0.0 ? 2.0 * tp / denom : 0.0;
+}
+
+Evaluation
+evaluate(const Tensor &logits, const std::vector<int32_t> &labels,
+         const std::vector<NodeId> &rows, int32_t num_classes)
+{
+    GNNBENCH_CHECK(num_classes > 0, "evaluate: no classes");
+    GNNBENCH_CHECK(logits.cols() >= num_classes,
+                   "evaluate: logits narrower than class count");
+    Evaluation eval;
+    eval.perClass.resize(num_classes);
+    auto eval_row = [&](int64_t r) {
+        const float *row = logits.row(r);
+        int32_t pred = 0;
+        for (int64_t j = 1; j < logits.cols(); ++j)
+            if (row[j] > row[pred])
+                pred = static_cast<int32_t>(j);
+        const int32_t truth = labels[r];
+        GNNBENCH_CHECK(truth >= 0 && truth < num_classes,
+                       "evaluate: label out of range");
+        ++eval.total;
+        if (pred == truth) {
+            ++eval.correct;
+            ++eval.perClass[truth].truePositive;
+        } else {
+            ++eval.perClass[truth].falseNegative;
+            if (pred < num_classes)
+                ++eval.perClass[pred].falsePositive;
+        }
+    };
+    if (rows.empty()) {
+        for (int64_t r = 0; r < logits.rows(); ++r)
+            eval_row(r);
+    } else {
+        for (NodeId r : rows)
+            eval_row(r);
+    }
+    return eval;
+}
+
+} // namespace metrics
+} // namespace core
+} // namespace gnnbench

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Classification quality metrics.
+ *
+ * The paper deliberately excludes accuracy from its comparison (it
+ * depends on the GNN method, not the framework), but a usable library
+ * still needs evaluation: accuracy, per-class precision/recall, and
+ * macro/micro F1 over selected rows (splits).
+ */
+
+#ifndef GNNBENCH_CORE_METRICS_H
+#define GNNBENCH_CORE_METRICS_H
+
+#include <vector>
+
+#include "gnnbench/core/tensor.h"
+
+namespace gnnbench {
+namespace core {
+namespace metrics {
+
+/** Per-class counts from argmax predictions. */
+struct ClassCounts
+{
+    int64_t truePositive = 0;
+    int64_t falsePositive = 0;
+    int64_t falseNegative = 0;
+
+    double
+    precision() const
+    {
+        const int64_t denom = truePositive + falsePositive;
+        return denom > 0 ? static_cast<double>(truePositive) / denom
+                         : 0.0;
+    }
+
+    double
+    recall() const
+    {
+        const int64_t denom = truePositive + falseNegative;
+        return denom > 0 ? static_cast<double>(truePositive) / denom
+                         : 0.0;
+    }
+
+    double
+    f1() const
+    {
+        const double p = precision(), r = recall();
+        return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+    }
+};
+
+/** Full evaluation of argmax predictions over selected rows. */
+struct Evaluation
+{
+    int64_t total = 0;
+    int64_t correct = 0;
+    std::vector<ClassCounts> perClass;
+
+    double
+    accuracy() const
+    {
+        return total > 0 ? static_cast<double>(correct) / total : 0.0;
+    }
+
+    /** Unweighted mean of per-class F1 scores. */
+    double macroF1() const;
+
+    /** Micro-averaged F1 (equals accuracy for single-label). */
+    double microF1() const;
+};
+
+/**
+ * Evaluate argmax(logits) against integer labels over @p rows (all
+ * rows when empty).  @p num_classes bounds the label range.
+ */
+Evaluation evaluate(const Tensor &logits,
+                    const std::vector<int32_t> &labels,
+                    const std::vector<NodeId> &rows,
+                    int32_t num_classes);
+
+} // namespace metrics
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_METRICS_H

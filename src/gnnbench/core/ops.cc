@@ -1,0 +1,455 @@
+#include "gnnbench/core/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnbench {
+namespace core {
+namespace ops {
+
+namespace {
+
+/** Shared shape check for elementwise binary ops. */
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    GNNBENCH_CHECK(a.sameShape(b), op, ": shape mismatch ", a.rows(), "x",
+                   a.cols(), " vs ", b.rows(), "x", b.cols());
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    GNNBENCH_CHECK(a.cols() == b.rows(), "matmul: inner dims ", a.cols(),
+                   " vs ", b.rows());
+    const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    Tensor c(m, n);
+    // i-k-j loop order: streams over B rows and C rows, which is cache
+    // friendly for row-major storage and lets the compiler vectorize
+    // the inner j loop.
+    #pragma omp parallel for schedule(static)
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(kk);
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTa(const Tensor &a, const Tensor &b)
+{
+    GNNBENCH_CHECK(a.rows() == b.rows(), "matmulTa: outer dims ", a.rows(),
+                   " vs ", b.rows());
+    const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+    Tensor c(m, n);
+    for (int64_t kk = 0; kk < k; ++kk) {
+        const float *arow = a.row(kk);
+        const float *brow = b.row(kk);
+        for (int64_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTb(const Tensor &a, const Tensor &b)
+{
+    GNNBENCH_CHECK(a.cols() == b.cols(), "matmulTb: inner dims ", a.cols(),
+                   " vs ", b.cols());
+    const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+    Tensor c(m, n);
+    #pragma omp parallel for schedule(static)
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    Tensor t = Tensor::empty(a.cols(), a.rows());
+    for (int64_t i = 0; i < a.rows(); ++i)
+        for (int64_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor c = a.clone();
+    float *cp = c.data();
+    const float *bp = b.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        cp[i] += bp[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor c = a.clone();
+    float *cp = c.data();
+    const float *bp = b.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        cp[i] -= bp[i];
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    Tensor c = a.clone();
+    float *cp = c.data();
+    const float *bp = b.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        cp[i] *= bp[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float alpha)
+{
+    Tensor c = a.clone();
+    float *cp = c.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        cp[i] *= alpha;
+    return c;
+}
+
+void
+axpy(Tensor &a, const Tensor &b, float alpha)
+{
+    checkSameShape(a, b, "axpy");
+    float *ap = a.data();
+    const float *bp = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ap[i] += alpha * bp[i];
+}
+
+Tensor
+addBias(const Tensor &a, const Tensor &bias)
+{
+    GNNBENCH_CHECK(bias.rows() == 1 && bias.cols() == a.cols(),
+                   "addBias: bias must be 1x", a.cols());
+    Tensor c = a.clone();
+    const float *bp = bias.data();
+    for (int64_t i = 0; i < c.rows(); ++i) {
+        float *crow = c.row(i);
+        for (int64_t j = 0; j < c.cols(); ++j)
+            crow[j] += bp[j];
+    }
+    return c;
+}
+
+Tensor
+colSum(const Tensor &a)
+{
+    Tensor s(1, a.cols());
+    float *sp = s.data();
+    for (int64_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        for (int64_t j = 0; j < a.cols(); ++j)
+            sp[j] += arow[j];
+    }
+    return s;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    Tensor c = a.clone();
+    float *cp = c.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        cp[i] = std::max(cp[i], 0.0f);
+    return c;
+}
+
+Tensor
+reluGrad(const Tensor &x, const Tensor &grad)
+{
+    checkSameShape(x, grad, "reluGrad");
+    Tensor g = grad.clone();
+    float *gp = g.data();
+    const float *xp = x.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+        if (xp[i] <= 0.0f)
+            gp[i] = 0.0f;
+    return g;
+}
+
+Tensor
+elu(const Tensor &a)
+{
+    Tensor c = a.clone();
+    float *cp = c.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        if (cp[i] < 0.0f)
+            cp[i] = std::expm1(cp[i]);
+    return c;
+}
+
+Tensor
+eluGradFromOutput(const Tensor &y, const Tensor &grad)
+{
+    checkSameShape(y, grad, "eluGradFromOutput");
+    Tensor g = grad.clone();
+    float *gp = g.data();
+    const float *yp = y.data();
+    // d/dx elu(x) = 1 for x > 0 and elu(x) + 1 otherwise.
+    for (int64_t i = 0; i < g.numel(); ++i)
+        if (yp[i] < 0.0f)
+            gp[i] *= yp[i] + 1.0f;
+    return g;
+}
+
+Tensor
+leakyRelu(const Tensor &a, float slope)
+{
+    Tensor c = a.clone();
+    float *cp = c.data();
+    for (int64_t i = 0; i < c.numel(); ++i)
+        if (cp[i] < 0.0f)
+            cp[i] *= slope;
+    return c;
+}
+
+Tensor
+leakyReluGrad(const Tensor &x, const Tensor &grad, float slope)
+{
+    checkSameShape(x, grad, "leakyReluGrad");
+    Tensor g = grad.clone();
+    float *gp = g.data();
+    const float *xp = x.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+        if (xp[i] < 0.0f)
+            gp[i] *= slope;
+    return g;
+}
+
+Tensor
+dropout(const Tensor &a, float p, Rng &rng, Tensor *mask)
+{
+    GNNBENCH_CHECK(p >= 0.0f && p < 1.0f, "dropout probability ", p);
+    Tensor c = a.clone();
+    Tensor m(a.rows(), a.cols());
+    const float keep_scale = 1.0f / (1.0f - p);
+    float *cp = c.data();
+    float *mp = m.data();
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        const bool keep = rng.uniformFloat() >= p;
+        mp[i] = keep ? keep_scale : 0.0f;
+        cp[i] *= mp[i];
+    }
+    if (mask)
+        *mask = std::move(m);
+    return c;
+}
+
+Tensor
+logSoftmax(const Tensor &a)
+{
+    Tensor y = Tensor::empty(a.rows(), a.cols());
+    for (int64_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *yrow = y.row(i);
+        float mx = arow[0];
+        for (int64_t j = 1; j < a.cols(); ++j)
+            mx = std::max(mx, arow[j]);
+        double z = 0.0;
+        for (int64_t j = 0; j < a.cols(); ++j)
+            z += std::exp(static_cast<double>(arow[j] - mx));
+        const float logz = mx + static_cast<float>(std::log(z));
+        for (int64_t j = 0; j < a.cols(); ++j)
+            yrow[j] = arow[j] - logz;
+    }
+    return y;
+}
+
+Tensor
+logSoftmaxGrad(const Tensor &y, const Tensor &grad)
+{
+    checkSameShape(y, grad, "logSoftmaxGrad");
+    Tensor g = Tensor::empty(y.rows(), y.cols());
+    for (int64_t i = 0; i < y.rows(); ++i) {
+        const float *yrow = y.row(i);
+        const float *grow = grad.row(i);
+        float *orow = g.row(i);
+        double gsum = 0.0;
+        for (int64_t j = 0; j < y.cols(); ++j)
+            gsum += grow[j];
+        for (int64_t j = 0; j < y.cols(); ++j) {
+            orow[j] = grow[j] - std::exp(yrow[j]) *
+                                    static_cast<float>(gsum);
+        }
+    }
+    return g;
+}
+
+float
+nllLoss(const Tensor &logprob, const std::vector<int32_t> &labels,
+        const std::vector<NodeId> &rows)
+{
+    double acc = 0.0;
+    int64_t count = 0;
+    auto add_row = [&](int64_t r) {
+        const int32_t y = labels[r];
+        GNNBENCH_ASSERT(y >= 0 && y < logprob.cols(), "label ", y,
+                        " out of range");
+        acc -= logprob(r, y);
+        ++count;
+    };
+    if (rows.empty()) {
+        for (int64_t r = 0; r < logprob.rows(); ++r)
+            add_row(r);
+    } else {
+        for (NodeId r : rows)
+            add_row(r);
+    }
+    GNNBENCH_CHECK(count > 0, "nllLoss over zero rows");
+    return static_cast<float>(acc / count);
+}
+
+Tensor
+nllLossGrad(const Tensor &logprob, const std::vector<int32_t> &labels,
+            const std::vector<NodeId> &rows)
+{
+    Tensor g(logprob.rows(), logprob.cols());
+    const int64_t count =
+        rows.empty() ? logprob.rows() : static_cast<int64_t>(rows.size());
+    GNNBENCH_CHECK(count > 0, "nllLossGrad over zero rows");
+    const float scale = -1.0f / static_cast<float>(count);
+    if (rows.empty()) {
+        for (int64_t r = 0; r < logprob.rows(); ++r)
+            g(r, labels[r]) = scale;
+    } else {
+        for (NodeId r : rows)
+            g(r, labels[r]) = scale;
+    }
+    return g;
+}
+
+Tensor
+gatherRows(const Tensor &a, const std::vector<NodeId> &idx)
+{
+    Tensor out = Tensor::empty(static_cast<int64_t>(idx.size()), a.cols());
+    for (size_t i = 0; i < idx.size(); ++i) {
+        GNNBENCH_ASSERT(idx[i] >= 0 && idx[i] < a.rows(),
+                        "gatherRows index out of range");
+        std::copy_n(a.row(idx[i]), a.cols(), out.row(i));
+    }
+    return out;
+}
+
+Tensor
+scatterAddRows(const Tensor &a, const std::vector<NodeId> &idx,
+               int64_t out_rows)
+{
+    GNNBENCH_CHECK(static_cast<int64_t>(idx.size()) == a.rows(),
+                   "scatterAddRows: index count mismatch");
+    Tensor out(out_rows, a.cols());
+    for (size_t i = 0; i < idx.size(); ++i) {
+        GNNBENCH_ASSERT(idx[i] >= 0 && idx[i] < out_rows,
+                        "scatterAddRows index out of range");
+        const float *src = a.row(i);
+        float *dst = out.row(idx[i]);
+        for (int64_t j = 0; j < a.cols(); ++j)
+            dst[j] += src[j];
+    }
+    return out;
+}
+
+Tensor
+rowScale(const Tensor &a, const std::vector<float> &s)
+{
+    GNNBENCH_CHECK(static_cast<int64_t>(s.size()) == a.rows(),
+                   "rowScale: one scalar per row required");
+    Tensor c = a.clone();
+    for (int64_t i = 0; i < c.rows(); ++i) {
+        float *crow = c.row(i);
+        for (int64_t j = 0; j < c.cols(); ++j)
+            crow[j] *= s[i];
+    }
+    return c;
+}
+
+Tensor
+concatCols(const Tensor &a, const Tensor &b)
+{
+    GNNBENCH_CHECK(a.rows() == b.rows(), "concatCols: row mismatch");
+    Tensor c = Tensor::empty(a.rows(), a.cols() + b.cols());
+    for (int64_t i = 0; i < a.rows(); ++i) {
+        std::copy_n(a.row(i), a.cols(), c.row(i));
+        std::copy_n(b.row(i), b.cols(), c.row(i) + a.cols());
+    }
+    return c;
+}
+
+void
+splitColsGrad(const Tensor &grad, int64_t a_cols, Tensor *ga, Tensor *gb)
+{
+    GNNBENCH_CHECK(a_cols <= grad.cols(), "splitColsGrad: bad split");
+    const int64_t b_cols = grad.cols() - a_cols;
+    *ga = Tensor(grad.rows(), a_cols);
+    *gb = Tensor(grad.rows(), b_cols);
+    for (int64_t i = 0; i < grad.rows(); ++i) {
+        std::copy_n(grad.row(i), a_cols, ga->row(i));
+        std::copy_n(grad.row(i) + a_cols, b_cols, gb->row(i));
+    }
+}
+
+int64_t
+countCorrect(const Tensor &logits, const std::vector<int32_t> &labels,
+             const std::vector<NodeId> &rows)
+{
+    int64_t correct = 0;
+    auto check_row = [&](int64_t r) {
+        const float *row = logits.row(r);
+        int64_t best = 0;
+        for (int64_t j = 1; j < logits.cols(); ++j)
+            if (row[j] > row[best])
+                best = j;
+        if (best == labels[r])
+            ++correct;
+    };
+    if (rows.empty()) {
+        for (int64_t r = 0; r < logits.rows(); ++r)
+            check_row(r);
+    } else {
+        for (NodeId r : rows)
+            check_row(r);
+    }
+    return correct;
+}
+
+} // namespace ops
+} // namespace core
+} // namespace gnnbench

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * First-order optimizers over autograd leaf parameters.
+ *
+ * The paper's GNN models are trained with Adam (the DGL/PyG example
+ * default); SGD is provided for tests and ablations.
+ */
+
+#ifndef GNNBENCH_CORE_OPTIM_H
+#define GNNBENCH_CORE_OPTIM_H
+
+#include <vector>
+
+#include "gnnbench/core/autograd.h"
+
+namespace gnnbench {
+namespace core {
+
+/** Abstract optimizer over a fixed set of trainable parameters. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<ag::Var> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using the gradients currently accumulated. */
+    virtual void step() = 0;
+
+    /** Clear the gradients of every parameter. */
+    void zeroGrad();
+
+    /** The managed parameters. */
+    const std::vector<ag::Var> &params() const { return params_; }
+
+  protected:
+    std::vector<ag::Var> params_;
+};
+
+/** Plain SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+
+    void step() override;
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba, 2015) with PyTorch-default hyperparameters. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<ag::Var> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_OPTIM_H

@@ -1,0 +1,153 @@
+#include "gnnbench/core/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace gnnbench {
+namespace core {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniformFloat()
+{
+    return (next() >> 40) * 0x1.0p-24f;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    GNNBENCH_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::uniformRange(int64_t lo, int64_t hi)
+{
+    GNNBENCH_ASSERT(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    uniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1 = 0.0;
+    // Avoid log(0).
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+std::vector<NodeId>
+Rng::permutation(NodeId n)
+{
+    std::vector<NodeId> perm(n);
+    for (NodeId i = 0; i < n; ++i)
+        perm[i] = i;
+    shuffle(perm);
+    return perm;
+}
+
+std::vector<NodeId>
+Rng::sampleWithoutReplacement(NodeId n, NodeId k)
+{
+    GNNBENCH_ASSERT(k <= n);
+    if (k > n / 4) {
+        auto perm = permutation(n);
+        perm.resize(k);
+        return perm;
+    }
+    // Floyd's algorithm: k iterations, O(k) expected memory.
+    std::unordered_set<NodeId> chosen;
+    std::vector<NodeId> out;
+    out.reserve(k);
+    for (NodeId j = n - k; j < n; ++j) {
+        NodeId t = static_cast<NodeId>(uniformInt(j + 1));
+        if (chosen.count(t)) {
+            chosen.insert(j);
+            out.push_back(j);
+        } else {
+            chosen.insert(t);
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace gnnbench

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for gnnbench.
+ *
+ * All randomness in the library (graph generation, feature synthesis,
+ * samplers, weight initialization, dropout) flows through core::Rng so
+ * that every benchmark is exactly reproducible given its seed.  The
+ * generator is xoshiro256** seeded through SplitMix64, which is fast,
+ * high quality, and trivially portable.
+ */
+
+#ifndef GNNBENCH_CORE_RNG_H
+#define GNNBENCH_CORE_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace core {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Not thread-safe: create one Rng per thread (use fork()) when used
+ * inside parallel regions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [0, 1). */
+    float uniformFloat();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    int64_t uniformRange(int64_t lo, int64_t hi);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Derive an independent child generator.  Used to hand each
+     * worker / module its own stream while keeping global determinism.
+     */
+    Rng fork();
+
+    /** Random permutation of {0, ..., n-1}. */
+    std::vector<NodeId> permutation(NodeId n);
+
+    /** Fisher-Yates shuffle of an arbitrary vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /**
+     * Sample k distinct values from {0, ..., n-1} without replacement.
+     * Uses Floyd's algorithm for k << n and shuffling otherwise.
+     * @pre k <= n.
+     */
+    std::vector<NodeId> sampleWithoutReplacement(NodeId n, NodeId k);
+
+  private:
+    uint64_t state_[4];
+    bool hasCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_RNG_H

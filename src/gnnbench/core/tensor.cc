@@ -1,0 +1,142 @@
+#include "gnnbench/core/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnbench {
+namespace core {
+
+Tensor::Tensor(int64_t rows, int64_t cols)
+    : Tensor(rows, cols, Uninit{})
+{
+    if (numel() > 0)
+        std::memset(data_.get(), 0, bytes());
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, Uninit)
+    : rows_(rows), cols_(cols)
+{
+    GNNBENCH_CHECK(rows >= 0 && cols >= 0, "negative tensor shape ", rows,
+                   "x", cols);
+    data_ = std::make_unique_for_overwrite<float[]>(
+        static_cast<size_t>(rows) * static_cast<size_t>(cols));
+}
+
+Tensor::Tensor(const Tensor &other)
+    : Tensor(other.rows_, other.cols_, Uninit{})
+{
+    if (numel() > 0)
+        std::memcpy(data_.get(), other.data_.get(), bytes());
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this != &other) {
+        if (rows_ != other.rows_ || cols_ != other.cols_) {
+            rows_ = other.rows_;
+            cols_ = other.cols_;
+            data_ = std::make_unique_for_overwrite<float[]>(
+                static_cast<size_t>(numel()));
+        }
+        if (numel() > 0)
+            std::memcpy(data_.get(), other.data_.get(), bytes());
+    }
+    return *this;
+}
+
+Tensor
+Tensor::empty(int64_t rows, int64_t cols)
+{
+    return Tensor(rows, cols, Uninit{});
+}
+
+Tensor
+Tensor::zeros(int64_t rows, int64_t cols)
+{
+    return Tensor(rows, cols);
+}
+
+Tensor
+Tensor::full(int64_t rows, int64_t cols, float value)
+{
+    Tensor t(rows, cols);
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(int64_t rows, int64_t cols, Rng &rng, float stddev)
+{
+    Tensor t(rows, cols);
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.normal()) * stddev;
+    return t;
+}
+
+Tensor
+Tensor::uniform(int64_t rows, int64_t cols, Rng &rng, float lo, float hi)
+{
+    GNNBENCH_CHECK(lo <= hi, "uniform bounds inverted");
+    Tensor t(rows, cols);
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = lo + (hi - lo) * rng.uniformFloat();
+    return t;
+}
+
+Tensor
+Tensor::glorot(int64_t fan_in, int64_t fan_out, Rng &rng)
+{
+    const float limit =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return uniform(fan_in, fan_out, rng, -limit, limit);
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    GNNBENCH_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                   "tensor index (", i, ",", j, ") out of range ", rows_,
+                   "x", cols_);
+    return data_[i * cols_ + j];
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    GNNBENCH_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                   "tensor index (", i, ",", j, ") out of range ", rows_,
+                   "x", cols_);
+    return data_[i * cols_ + j];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill_n(data_.get(), numel(), value);
+}
+
+float
+Tensor::sum() const
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < numel(); ++i)
+        acc += data_[i];
+    return static_cast<float>(acc);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (int64_t i = 0; i < numel(); ++i)
+        m = std::max(m, std::fabs(data_[i]));
+    return m;
+}
+
+} // namespace core
+} // namespace gnnbench

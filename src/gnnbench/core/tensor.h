@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A minimal dense 2-D float32 tensor.
+ *
+ * gnnbench only needs row-major 2-D tensors (node-feature matrices,
+ * weight matrices, per-edge score columns), so Tensor is deliberately
+ * small: a shape plus contiguous storage with value semantics.  All
+ * numeric kernels live in ops.h.
+ */
+
+#ifndef GNNBENCH_CORE_TENSOR_H
+#define GNNBENCH_CORE_TENSOR_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace core {
+
+/** A row-major dense matrix of float32 values. */
+class Tensor
+{
+  public:
+    /** Empty tensor (0 x 0). */
+    Tensor() = default;
+
+    /** Allocate a rows x cols tensor, zero-initialized. */
+    Tensor(int64_t rows, int64_t cols);
+
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept = default;
+
+    /** Zero-filled tensor. */
+    static Tensor zeros(int64_t rows, int64_t cols);
+
+    /**
+     * Allocate WITHOUT zero-initialization (torch.empty semantics).
+     * Use only when every element will be written before being read
+     * — kernels that fully overwrite their output save a whole
+     * memory pass this way.
+     */
+    static Tensor empty(int64_t rows, int64_t cols);
+
+    /** Constant-filled tensor. */
+    static Tensor full(int64_t rows, int64_t cols, float value);
+
+    /** I.i.d. normal entries with the given standard deviation. */
+    static Tensor randn(int64_t rows, int64_t cols, Rng &rng,
+                        float stddev = 1.0f);
+
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor uniform(int64_t rows, int64_t cols, Rng &rng, float lo,
+                          float hi);
+
+    /**
+     * Glorot/Xavier uniform initialization, the default weight init in
+     * both DGL and PyG convolution layers.
+     */
+    static Tensor glorot(int64_t fan_in, int64_t fan_out, Rng &rng);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t numel() const { return rows_ * cols_; }
+    bool empty() const { return numel() == 0; }
+
+    /** Storage footprint in bytes. */
+    size_t bytes() const { return static_cast<size_t>(numel()) * 4; }
+
+    float *data() { return data_.get(); }
+    const float *data() const { return data_.get(); }
+
+    /** Pointer to the start of row i. */
+    float *row(int64_t i) { return data_.get() + i * cols_; }
+    const float *
+    row(int64_t i) const
+    {
+        return data_.get() + i * cols_;
+    }
+
+    /** Element access (debug-checked in tests via at()). */
+    float &operator()(int64_t i, int64_t j) { return data_[i * cols_ + j]; }
+    float operator()(int64_t i, int64_t j) const
+    {
+        return data_[i * cols_ + j];
+    }
+
+    /** Bounds-checked element access. */
+    float &at(int64_t i, int64_t j);
+    float at(int64_t i, int64_t j) const;
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Deep copy. */
+    Tensor clone() const { return *this; }
+
+    /** True when shapes match exactly. */
+    bool
+    sameShape(const Tensor &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+    /** Frobenius-norm style helpers used by tests and optimizers. */
+    float sum() const;
+    float maxAbs() const;
+
+  private:
+    struct Uninit
+    {
+    };
+
+    /** Internal: allocate without initialization. */
+    Tensor(int64_t rows, int64_t cols, Uninit);
+
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    std::unique_ptr<float[]> data_;
+};
+
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_TENSOR_H

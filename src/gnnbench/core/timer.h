@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing utilities.  All device-aware time accounting goes
+ * through device::Session; Timer is the raw building block.
+ */
+
+#ifndef GNNBENCH_CORE_TIMER_H
+#define GNNBENCH_CORE_TIMER_H
+
+#include <chrono>
+
+namespace gnnbench {
+namespace core {
+
+/** A simple monotonic wall-clock stopwatch measured in seconds. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace core
+} // namespace gnnbench
+
+#endif // GNNBENCH_CORE_TIMER_H

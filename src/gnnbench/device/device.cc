@@ -1,0 +1,58 @@
+#include "gnnbench/device/device.h"
+
+#include <algorithm>
+
+namespace gnnbench {
+namespace device {
+
+const char *
+deviceName(DeviceType dev)
+{
+    return dev == DeviceType::CPU ? "cpu" : "gpu";
+}
+
+double
+GpuModel::kernelTime(const KernelDesc &desc) const
+{
+    GNNBENCH_ASSERT(desc.efficiency > 0.0 && desc.efficiency <= 1.0,
+                    "kernel efficiency out of range");
+    const double compute =
+        desc.flops / (spec_.flopsPeak * desc.efficiency);
+    const double memory =
+        desc.bytes / (spec_.memBandwidth * desc.efficiency);
+    return spec_.kernelLaunchLatency + desc.frameworkOverhead +
+           std::max(compute, memory);
+}
+
+double
+GpuModel::kernelUtilization(const KernelDesc &desc) const
+{
+    if (desc.utilization >= 0.0)
+        return std::clamp(desc.utilization, 0.0, 1.0);
+    const double t = kernelTime(desc);
+    if (t <= 0.0)
+        return 0.0;
+    // Fraction of peak compute and peak bandwidth actually achieved;
+    // a kernel saturating either subsystem runs the chip hot.
+    const double compute_frac = desc.flops / (spec_.flopsPeak * t);
+    const double mem_frac = desc.bytes / (spec_.memBandwidth * t);
+    const double util = std::max(compute_frac, mem_frac) +
+                        0.3 * std::min(compute_frac, mem_frac);
+    return std::clamp(util, 0.10, 1.0);
+}
+
+double
+GpuModel::transferTime(uint64_t bytes) const
+{
+    return spec_.pcieLatency +
+           static_cast<double>(bytes) / spec_.pcieBandwidth;
+}
+
+double
+GpuModel::uvaAccessTime(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / spec_.uvaBandwidth;
+}
+
+} // namespace device
+} // namespace gnnbench

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Modeled hardware devices.
+ *
+ * The paper's testbed pairs dual Xeon Silver 4114 CPUs with an NVIDIA
+ * Quadro RTX 8000.  Offline we execute every kernel on the host CPU
+ * for numerical correctness, but *account* GPU kernel time with an
+ * analytical roofline model and data movement with a PCIe/UVA
+ * transfer model.  All constants live in GpuSpec/CpuSpec with their
+ * datasheet sources documented, so the model is auditable and easy to
+ * retarget.
+ */
+
+#ifndef GNNBENCH_DEVICE_DEVICE_H
+#define GNNBENCH_DEVICE_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace device {
+
+/** Where a kernel logically executes. */
+enum class DeviceType { CPU, GPU };
+
+/** Printable device name. */
+const char *deviceName(DeviceType dev);
+
+/**
+ * Modeled GPU: NVIDIA Quadro RTX 8000.
+ *
+ * Sources: NVIDIA datasheet (16.3 TFLOP/s FP32 peak, 672 GB/s GDDR6,
+ * 48 GB memory); PCIe 3.0 x16 sustains ~12 GB/s effective; pinned
+ * zero-copy (UVA) access over PCIe sustains ~70% of that in practice.
+ */
+struct GpuSpec
+{
+    double flopsPeak = 16.3e12;        ///< FP32 FLOP/s
+    double memBandwidth = 672e9;       ///< bytes/s, device memory
+    double kernelLaunchLatency = 8e-6; ///< s, per kernel launch
+    double pcieBandwidth = 12e9;       ///< bytes/s, H2D/D2H copies
+    double pcieLatency = 10e-6;        ///< s, per transfer
+    double uvaBandwidth = 8e9;         ///< bytes/s, zero-copy access
+    uint64_t memoryBytes = 48ull << 30;
+};
+
+/**
+ * Modeled host: dual Intel Xeon Silver 4114 (the paper's server).
+ * Host kernels run for real, so only capacity matters here.
+ */
+struct CpuSpec
+{
+    uint64_t memoryBytes = 64ull << 30;
+};
+
+/**
+ * A kernel's cost signature for the GPU roofline model.  flops and
+ * bytes describe the *algorithmic* work; efficiency scales the
+ * achievable peak (sparse, irregular kernels achieve a fraction of
+ * peak bandwidth; dense GEMM runs near peak).
+ */
+struct KernelDesc
+{
+    const char *name = "kernel";
+    double flops = 0.0;
+    double bytes = 0.0;
+    double efficiency = 1.0;
+    /** Extra per-call framework overhead charged on the device. */
+    double frameworkOverhead = 0.0;
+    /**
+     * Power-utilization override in [0, 1]; negative derives it from
+     * the roofline.  Irregular kernels (e.g. GPU graph sampling on
+     * high-degree graphs) keep the chip far busier than their
+     * achieved bandwidth suggests — set this explicitly for them.
+     */
+    double utilization = -1.0;
+};
+
+/** Analytical GPU timing/utilization model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuSpec &spec) : spec_(spec) {}
+
+    /** Modeled execution time of one kernel, in seconds. */
+    double kernelTime(const KernelDesc &desc) const;
+
+    /**
+     * Activity proxy in [0, 1] for the power model: how much of the
+     * chip (compute + memory system) the kernel keeps busy.
+     */
+    double kernelUtilization(const KernelDesc &desc) const;
+
+    /** Modeled host-to-device (or back) copy time over PCIe. */
+    double transferTime(uint64_t bytes) const;
+
+    /** Modeled zero-copy (UVA) access time for the given bytes. */
+    double uvaAccessTime(uint64_t bytes) const;
+
+    const GpuSpec &spec() const { return spec_; }
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace device
+} // namespace gnnbench
+
+#endif // GNNBENCH_DEVICE_DEVICE_H

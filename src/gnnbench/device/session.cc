@@ -1,0 +1,104 @@
+#include "gnnbench/device/session.h"
+
+#include <algorithm>
+
+namespace gnnbench {
+namespace device {
+
+Session::Session(const GpuSpec &gpu_spec, const CpuSpec &cpu_spec)
+    : gpuModel_(gpu_spec), cpuSpec_(cpu_spec)
+{
+}
+
+Session::Snapshot
+Session::snapshot() const
+{
+    Snapshot s;
+    s.wall = clock_.elapsed();
+    s.excludedWall = excludedWall_;
+    s.modeled = modeled_;
+    return s;
+}
+
+void
+Session::chargeGpuKernel(const KernelDesc &desc)
+{
+    const double t = gpuModel_.kernelTime(desc);
+    modeled_.gpuSeconds += t;
+    modeled_.gpuUtilSeconds += t * gpuModel_.kernelUtilization(desc);
+}
+
+void
+Session::transfer(uint64_t bytes)
+{
+    modeled_.xferSeconds += gpuModel_.transferTime(bytes);
+}
+
+void
+Session::transferOverlapped(uint64_t bytes, double overlap_seconds)
+{
+    GNNBENCH_ASSERT(overlap_seconds >= 0.0, "negative overlap");
+    const double t = gpuModel_.transferTime(bytes);
+    modeled_.xferSeconds += std::max(0.0, t - overlap_seconds);
+}
+
+void
+Session::uvaAccess(uint64_t bytes)
+{
+    // UVA reads stall the GPU-side consumer, so they are accounted as
+    // GPU time at low utilization (the SMs mostly wait on PCIe).
+    const double t = gpuModel_.uvaAccessTime(bytes);
+    modeled_.gpuSeconds += t;
+    modeled_.gpuUtilSeconds += t * 0.15;
+}
+
+void
+Session::chargeCpuOverhead(double seconds)
+{
+    GNNBENCH_ASSERT(seconds >= 0.0, "negative overhead charge");
+    modeled_.cpuOverheadSeconds += seconds;
+}
+
+void
+Session::excludeWall(double seconds)
+{
+    GNNBENCH_ASSERT(seconds >= 0.0, "negative wall exclusion");
+    excludedWall_ += seconds;
+}
+
+bool
+Session::fitsOnGpu(uint64_t bytes) const
+{
+    return gpuBytesUsed_ + bytes <= gpuModel_.spec().memoryBytes;
+}
+
+bool
+Session::reserveGpu(uint64_t bytes)
+{
+    if (!fitsOnGpu(bytes))
+        return false;
+    gpuBytesUsed_ += bytes;
+    return true;
+}
+
+void
+Session::releaseGpu(uint64_t bytes)
+{
+    GNNBENCH_ASSERT(bytes <= gpuBytesUsed_, "GPU memory underflow");
+    gpuBytesUsed_ -= bytes;
+}
+
+double
+Session::virtualSeconds(const Snapshot &a, const Snapshot &b)
+{
+    const double wall = (b.wall - a.wall) -
+                        (b.excludedWall - a.excludedWall);
+    const double modeled =
+        (b.modeled.gpuSeconds - a.modeled.gpuSeconds) +
+        (b.modeled.xferSeconds - a.modeled.xferSeconds) +
+        (b.modeled.cpuOverheadSeconds - a.modeled.cpuOverheadSeconds);
+    return wall + modeled;
+}
+
+} // namespace device
+} // namespace gnnbench

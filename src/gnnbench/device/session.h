@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The single time-and-memory authority of a benchmark run.
+ *
+ * Every timed region in gnnbench is accounted through a Session:
+ *  - host (CPU) kernels run for real; their wall time counts as CPU
+ *    busy time;
+ *  - "GPU" kernels also run on the host for numerical correctness,
+ *    but their wall time is *excluded* and replaced by the modeled
+ *    roofline time (see device.h);
+ *  - PCIe transfers and UVA accesses are charged from the transfer
+ *    model;
+ *  - modeled overheads (e.g. the pygx interpreter-cost model) are
+ *    charged explicitly.
+ *
+ * A profiler scope computes its *virtual* duration from two Session
+ * snapshots: (wall elapsed - excluded wall) + modeled GPU time +
+ * modeled transfer time + modeled overhead.  This is the time every
+ * figure in the reproduction reports.
+ */
+
+#ifndef GNNBENCH_DEVICE_SESSION_H
+#define GNNBENCH_DEVICE_SESSION_H
+
+#include <utility>
+
+#include "gnnbench/core/timer.h"
+#include "gnnbench/device/device.h"
+
+namespace gnnbench {
+namespace device {
+
+/** Accumulated modeled-time categories, all in seconds. */
+struct ModeledTotals
+{
+    double gpuSeconds = 0.0;      ///< modeled GPU kernel time
+    double gpuUtilSeconds = 0.0;  ///< ∫ utilization dt, for power
+    double xferSeconds = 0.0;     ///< modeled PCIe/UVA transfer time
+    double cpuOverheadSeconds = 0.0; ///< modeled CPU-side overhead
+};
+
+/** Central accounting object; one per benchmark run. */
+class Session
+{
+  public:
+    explicit Session(const GpuSpec &gpu_spec = GpuSpec{},
+                     const CpuSpec &cpu_spec = CpuSpec{});
+
+    /** A point-in-time view of all accounting counters. */
+    struct Snapshot
+    {
+        double wall = 0.0;
+        double excludedWall = 0.0;
+        ModeledTotals modeled;
+    };
+
+    /** Capture the current counters. */
+    Snapshot snapshot() const;
+
+    /**
+     * Execute @p fn as a kernel on @p dev.  On CPU the call simply
+     * runs (wall time counts).  On GPU the wall time is excluded and
+     * the modeled kernel time is charged instead.
+     */
+    template <typename F>
+    void
+    runKernel(DeviceType dev, const KernelDesc &desc, F &&fn)
+    {
+        if (dev == DeviceType::CPU) {
+            std::forward<F>(fn)();
+            return;
+        }
+        core::Timer t;
+        std::forward<F>(fn)();
+        excludeWall(t.elapsed());
+        chargeGpuKernel(desc);
+    }
+
+    /** Charge a modeled GPU kernel without running anything. */
+    void chargeGpuKernel(const KernelDesc &desc);
+
+    /** Charge a modeled host<->device PCIe copy. */
+    void transfer(uint64_t bytes);
+
+    /**
+     * Charge a PCIe copy of which up to @p overlap_seconds is hidden
+     * behind concurrent compute (DGL's asynchronous pre-fetching).
+     */
+    void transferOverlapped(uint64_t bytes, double overlap_seconds);
+
+    /** Charge a modeled zero-copy (UVA) access from the GPU. */
+    void uvaAccess(uint64_t bytes);
+
+    /** Charge modeled CPU-side overhead (e.g. interpreter cost). */
+    void chargeCpuOverhead(double seconds);
+
+    /** Exclude already-elapsed wall time from virtual accounting. */
+    void excludeWall(double seconds);
+
+    /// @name GPU memory tracking (for OOM behaviour and pre-loading)
+    /// @{
+    /** Bytes of GPU memory currently reserved. */
+    uint64_t gpuBytesUsed() const { return gpuBytesUsed_; }
+
+    /** Whether an allocation of @p bytes more would fit. */
+    bool fitsOnGpu(uint64_t bytes) const;
+
+    /**
+     * Reserve GPU memory; returns false (and reserves nothing) when
+     * the allocation would exceed device memory.
+     */
+    bool reserveGpu(uint64_t bytes);
+
+    /** Release previously reserved GPU memory. */
+    void releaseGpu(uint64_t bytes);
+    /// @}
+
+    const GpuModel &gpu() const { return gpuModel_; }
+    const CpuSpec &cpuSpec() const { return cpuSpec_; }
+
+    /**
+     * Virtual seconds between two snapshots:
+     * (wall - excluded) + modeled gpu + transfer + cpu overhead.
+     */
+    static double virtualSeconds(const Snapshot &a, const Snapshot &b);
+
+  private:
+    GpuModel gpuModel_;
+    CpuSpec cpuSpec_;
+    core::Timer clock_;
+    double excludedWall_ = 0.0;
+    ModeledTotals modeled_;
+    uint64_t gpuBytesUsed_ = 0;
+};
+
+} // namespace device
+} // namespace gnnbench
+
+#endif // GNNBENCH_DEVICE_SESSION_H

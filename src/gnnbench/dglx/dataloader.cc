@@ -1,0 +1,24 @@
+#include "gnnbench/dglx/dataloader.h"
+
+namespace gnnbench {
+namespace dglx {
+
+LoadedData
+DataLoader::load(const graph::Dataset &dataset)
+{
+    LoadedData out;
+    // Eager DGLGraph-style construction: COO copy + CSR + CSC +
+    // degree arrays + structural validation.
+    out.graph = std::make_shared<Graph>(dataset.graph);
+    out.graph->csr().validate();
+    out.graph->csc().validate();
+    out.features = dataset.features.clone();
+    out.labels = dataset.labels;
+    out.trainIdx = dataset.trainIdx;
+    out.valIdx = dataset.valIdx;
+    out.testIdx = dataset.testIdx;
+    return out;
+}
+
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,71 @@
+#include "gnnbench/dglx/feature_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gnnbench {
+namespace dglx {
+
+FeatureCache::FeatureCache(const std::vector<EdgeId> &degrees,
+                           int64_t feat_dim, uint64_t capacity_bytes,
+                           device::Session &session)
+    : featDim_(feat_dim), session_(session),
+      cached_(degrees.size(), false)
+{
+    GNNBENCH_CHECK(feat_dim > 0, "feature cache: bad feature dim");
+    const uint64_t row_bytes = static_cast<uint64_t>(feat_dim) * 4;
+    const auto n = static_cast<NodeId>(degrees.size());
+    NodeId capacity_rows =
+        static_cast<NodeId>(std::min<uint64_t>(
+            capacity_bytes / std::max<uint64_t>(row_bytes, 1), n));
+
+    // Hottest-first: sort node ids by degree, descending.
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+    std::partial_sort(order.begin(), order.begin() + capacity_rows,
+                      order.end(), [&degrees](NodeId a, NodeId b) {
+                          return degrees[a] > degrees[b];
+                      });
+    reservedBytes_ = static_cast<uint64_t>(capacity_rows) * row_bytes;
+    GNNBENCH_CHECK(session_.reserveGpu(reservedBytes_),
+                   "feature cache does not fit in GPU memory");
+    for (NodeId i = 0; i < capacity_rows; ++i)
+        cached_[order[i]] = true;
+    cachedCount_ = capacity_rows;
+
+    // Populating the cache is a one-time PCIe transfer.
+    session_.transfer(reservedBytes_);
+}
+
+FeatureCache::~FeatureCache()
+{
+    session_.releaseGpu(reservedBytes_);
+}
+
+CacheGatherStats
+FeatureCache::gather(const std::vector<NodeId> &nodes)
+{
+    const uint64_t row_bytes = static_cast<uint64_t>(featDim_) * 4;
+    CacheGatherStats stats;
+    for (NodeId v : nodes) {
+        if (cached_[v])
+            stats.hitBytes += row_bytes;
+        else
+            stats.missBytes += row_bytes;
+    }
+    if (stats.hitBytes > 0) {
+        device::KernelDesc desc;
+        desc.name = "cache_gather";
+        desc.bytes = 2.0 * static_cast<double>(stats.hitBytes);
+        desc.efficiency = 0.3;  // gather out of device memory
+        session_.chargeGpuKernel(desc);
+    }
+    if (stats.missBytes > 0)
+        session_.transfer(stats.missBytes);
+    totals_.hitBytes += stats.hitBytes;
+    totals_.missBytes += stats.missBytes;
+    return stats;
+}
+
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GPU-based and UVA-based neighbor samplers (DGL-only features).
+ *
+ * DGL can run GraphSAGE's neighborhood sampling on the GPU, either
+ * over a GPU-resident copy of the graph ("GPU" mode) or over pinned
+ * host memory accessed zero-copy through CUDA Unified Virtual
+ * Addressing ("UVA" mode).  Offline, both samplers execute the same
+ * (correct) sampling algorithm on the host but account their time
+ * through the device model:
+ *  - GPU mode: random neighbor-list reads out of device memory at a
+ *    low achieved bandwidth (irregular access), a few kernel launches
+ *    per layer;
+ *  - UVA mode: the same reads cross PCIe zero-copy, at pinned-host
+ *    bandwidth — slightly slower, exactly as the paper's Figure 20
+ *    observes.
+ */
+
+#ifndef GNNBENCH_DGLX_GPU_SAMPLER_H
+#define GNNBENCH_DGLX_GPU_SAMPLER_H
+
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/device/session.h"
+
+namespace gnnbench {
+namespace dglx {
+
+/** Calibration constants of the modeled GPU sampling kernels. */
+struct GpuSamplerCosts
+{
+    /** Achieved fraction of device bandwidth for the random
+     *  neighbor-list reads of sampling. */
+    double randomAccessEff = 0.08;
+    /** Kernel launches per sampled layer (frontier build, pick,
+     *  unique, block assembly). */
+    int kernelsPerLayer = 4;
+    /** Achieved fraction of UVA bandwidth for zero-copy sampling
+     *  reads (neighbor lists are contiguous, so coalescing is good). */
+    double uvaEff = 0.75;
+};
+
+/** Neighbor sampler executing (in model time) on the GPU. */
+class GpuNeighborSampler
+{
+  public:
+    enum class Mode
+    {
+        GpuResident,  ///< graph lives in device memory
+        Uva,          ///< graph pinned in host memory, zero-copy
+    };
+
+    GpuNeighborSampler(const Graph &g, std::vector<int> fanouts,
+                       core::Rng rng, Mode mode,
+                       device::Session &session,
+                       const GpuSamplerCosts &costs = {});
+
+    /**
+     * Sample one batch.  Wall time of the host execution is excluded
+     * and replaced by the modeled GPU/UVA cost.
+     */
+    sampling::NeighborSample sample(const std::vector<NodeId> &seeds);
+
+    Mode mode() const { return mode_; }
+
+  private:
+    const Graph &g_;
+    NeighborSampler inner_;
+    Mode mode_;
+    device::Session &session_;
+    GpuSamplerCosts costs_;
+};
+
+} // namespace dglx
+} // namespace gnnbench
+
+#endif // GNNBENCH_DGLX_GPU_SAMPLER_H

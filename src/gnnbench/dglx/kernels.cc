@@ -1,0 +1,686 @@
+#include "gnnbench/dglx/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "gnnbench/core/timer.h"
+
+namespace gnnbench {
+namespace dglx {
+
+using core::Tensor;
+using device::KernelDesc;
+
+namespace {
+
+/** Roofline signature of one fused g-SpMM call. */
+KernelDesc
+spmmDesc(const graph::CsrGraph &csc, int64_t feat_dim, bool weighted,
+         const Costs &costs)
+{
+    const double e = static_cast<double>(csc.numEdges());
+    const double n_out = static_cast<double>(csc.numRows);
+    KernelDesc d;
+    d.name = "gspmm";
+    d.flops = (weighted ? 2.0 : 1.0) * e * feat_dim;
+    d.bytes = 4.0 * (e * feat_dim + n_out * feat_dim) + 8.0 * e +
+              (weighted ? 4.0 * e : 0.0);
+    d.efficiency = costs.gpuSpmmEff;
+    d.frameworkOverhead = costs.gpuCallOverhead;
+    return d;
+}
+
+KernelDesc
+sddmmDesc(const graph::CsrGraph &csc, int64_t cols, const Costs &costs)
+{
+    const double e = static_cast<double>(csc.numEdges());
+    KernelDesc d;
+    d.name = "gsddmm";
+    d.flops = 2.0 * e * cols;
+    d.bytes = 4.0 * e * (2.0 * cols + 1.0) + 8.0 * e;
+    d.efficiency = costs.gpuSddmmEff;
+    d.frameworkOverhead = costs.gpuCallOverhead;
+    return d;
+}
+
+KernelDesc
+elemDesc(const char *name, double elems, const Costs &costs)
+{
+    KernelDesc d;
+    d.name = name;
+    d.flops = 2.0 * elems;
+    d.bytes = 8.0 * elems;
+    d.efficiency = costs.gpuElemEff;
+    return d;
+}
+
+KernelDesc
+gemmDesc(int64_t m, int64_t k, int64_t n, const Costs &costs)
+{
+    KernelDesc d;
+    d.name = "gemm";
+    d.flops = 2.0 * static_cast<double>(m) * k * n;
+    d.bytes = 4.0 * (static_cast<double>(m) * k +
+                     static_cast<double>(k) * n +
+                     static_cast<double>(m) * n);
+    d.efficiency = costs.gpuGemmEff;
+    return d;
+}
+
+/** Run fn as a kernel through the context's session (if any). */
+template <typename F>
+void
+runKernel(const KernelCtx &ctx, const KernelDesc &desc, F &&fn)
+{
+    if (ctx.session) {
+        ctx.session->runKernel(ctx.dev, desc, std::forward<F>(fn));
+    } else {
+        fn();
+    }
+}
+
+} // namespace
+
+Tensor
+gspmm(const graph::CsrGraph &csc, const Tensor &x, Reducer reducer,
+      const float *w, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(x.rows() == csc.numCols,
+                   "gspmm: feature rows != source nodes");
+    const int64_t f = x.cols();
+    Tensor out;
+    runKernel(ctx, spmmDesc(csc, f, w != nullptr, ctx.costs), [&] {
+        out = Tensor(csc.numRows, f);
+        if (reducer == Reducer::Max) {
+            out.fill(-std::numeric_limits<float>::infinity());
+            #pragma omp parallel for schedule(dynamic, 64)
+            for (NodeId d = 0; d < csc.numRows; ++d) {
+                float *orow = out.row(d);
+                for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1];
+                     ++e) {
+                    const float *xrow = x.row(csc.indices[e]);
+                    for (int64_t j = 0; j < f; ++j)
+                        orow[j] = std::max(orow[j], xrow[j]);
+                }
+                if (csc.indptr[d] == csc.indptr[d + 1])
+                    std::fill_n(orow, f, 0.0f);
+            }
+            return;
+        }
+        #pragma omp parallel for schedule(dynamic, 64)
+        for (NodeId d = 0; d < csc.numRows; ++d) {
+            float *__restrict orow = out.row(d);
+            const EdgeId begin = csc.indptr[d], end = csc.indptr[d + 1];
+            // Edge-pair unrolled accumulate (the register-blocked,
+            // latency-hiding CPU kernel style the paper credits to
+            // DGL's DistGNN-derived kernels).
+            EdgeId e = begin;
+            for (; e + 2 <= end; e += 2) {
+                const float *__restrict x0 = x.row(csc.indices[e]);
+                const float *__restrict x1 =
+                    x.row(csc.indices[e + 1]);
+                const float w0 = w ? w[e] : 1.0f;
+                const float w1 = w ? w[e + 1] : 1.0f;
+                #pragma omp simd
+                for (int64_t j = 0; j < f; ++j)
+                    orow[j] += w0 * x0[j] + w1 * x1[j];
+            }
+            for (; e < end; ++e) {
+                const float *__restrict xrow = x.row(csc.indices[e]);
+                const float we = w ? w[e] : 1.0f;
+                #pragma omp simd
+                for (int64_t j = 0; j < f; ++j)
+                    orow[j] += we * xrow[j];
+            }
+            if (reducer == Reducer::Mean && end > begin) {
+                const float inv =
+                    1.0f / static_cast<float>(end - begin);
+                for (int64_t j = 0; j < f; ++j)
+                    orow[j] *= inv;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+gspmmScatter(const graph::CsrGraph &csc, const Tensor &x,
+             const float *w, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(x.rows() == csc.numRows,
+                   "gspmmScatter: feature rows != adjacency rows");
+    const int64_t f = x.cols();
+    Tensor out;
+    KernelDesc desc = spmmDesc(csc, f, w != nullptr, ctx.costs);
+    desc.name = "gspmm_scatter";
+    runKernel(ctx, desc, [&] {
+        out = Tensor(csc.numCols, f);
+        for (NodeId r = 0; r < csc.numRows; ++r) {
+            const float *xrow = x.row(r);
+            for (EdgeId e = csc.indptr[r]; e < csc.indptr[r + 1];
+                 ++e) {
+                float *orow = out.row(csc.indices[e]);
+                const float we = w ? w[e] : 1.0f;
+                for (int64_t j = 0; j < f; ++j)
+                    orow[j] += we * xrow[j];
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+gsddmmAdd(const graph::CsrGraph &csc, const Tensor &a_dst,
+          const Tensor &b_src, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(a_dst.rows() == csc.numRows &&
+                       b_src.rows() == csc.numCols,
+                   "gsddmmAdd: operand rows mismatch");
+    GNNBENCH_CHECK(a_dst.cols() == b_src.cols(),
+                   "gsddmmAdd: operand cols mismatch");
+    const int64_t h = a_dst.cols();
+    Tensor out;
+    runKernel(ctx, sddmmDesc(csc, h, ctx.costs), [&] {
+        out = Tensor::empty(csc.numEdges(), h);
+        for (NodeId d = 0; d < csc.numRows; ++d) {
+            const float *arow = a_dst.row(d);
+            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
+                const float *brow = b_src.row(csc.indices[e]);
+                float *orow = out.row(e);
+                for (int64_t j = 0; j < h; ++j)
+                    orow[j] = arow[j] + brow[j];
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+gsddmmDot(const graph::CsrGraph &csc, const Tensor &a_dst,
+          const Tensor &b_src, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(a_dst.rows() == csc.numRows &&
+                       b_src.rows() == csc.numCols,
+                   "gsddmmDot: operand rows mismatch");
+    GNNBENCH_CHECK(a_dst.cols() == b_src.cols(),
+                   "gsddmmDot: operand cols mismatch");
+    const int64_t f = a_dst.cols();
+    Tensor out;
+    runKernel(ctx, sddmmDesc(csc, f, ctx.costs), [&] {
+        out = Tensor::empty(csc.numEdges(), 1);
+        for (NodeId d = 0; d < csc.numRows; ++d) {
+            const float *arow = a_dst.row(d);
+            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
+                const float *brow = b_src.row(csc.indices[e]);
+                float acc = 0.0f;
+                for (int64_t j = 0; j < f; ++j)
+                    acc += arow[j] * brow[j];
+                out(e, 0) = acc;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+gsddmmAttnV2(const graph::CsrGraph &csc, const Tensor &z_dst,
+             const Tensor &z_src, const Tensor &attn_vec,
+             float negative_slope, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(z_dst.rows() == csc.numRows &&
+                       z_src.rows() == csc.numCols,
+                   "gsddmmAttnV2: operand rows mismatch");
+    GNNBENCH_CHECK(attn_vec.rows() == 1 &&
+                       attn_vec.cols() == z_dst.cols() &&
+                       z_src.cols() == z_dst.cols(),
+                   "gsddmmAttnV2: attention vector shape");
+    const int64_t f = z_dst.cols();
+    Tensor out;
+    KernelDesc d = sddmmDesc(csc, f, ctx.costs);
+    d.name = "gsddmm_attn_v2";
+    d.flops *= 2.0;  // add + leakyrelu + dot
+    runKernel(ctx, d, [&] {
+        out = Tensor::empty(csc.numEdges(), 1);
+        const float *a = attn_vec.data();
+        for (NodeId dst = 0; dst < csc.numRows; ++dst) {
+            const float *zd = z_dst.row(dst);
+            for (EdgeId e = csc.indptr[dst]; e < csc.indptr[dst + 1];
+                 ++e) {
+                const float *zs = z_src.row(csc.indices[e]);
+                float acc = 0.0f;
+                for (int64_t j = 0; j < f; ++j) {
+                    float v = zd[j] + zs[j];
+                    if (v < 0.0f)
+                        v *= negative_slope;
+                    acc += a[j] * v;
+                }
+                out(e, 0) = acc;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+edgeSoftmax(const graph::CsrGraph &csc, const Tensor &scores,
+            const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(scores.rows() == csc.numEdges(),
+                   "edgeSoftmax: one score row per edge required");
+    const int64_t h = scores.cols();
+    Tensor out;
+    runKernel(
+        ctx,
+        elemDesc("edge_softmax",
+                 static_cast<double>(scores.numel()) * 3.0, ctx.costs),
+        [&] {
+            out = Tensor::empty(scores.rows(), scores.cols());
+            for (NodeId d = 0; d < csc.numRows; ++d) {
+                const EdgeId begin = csc.indptr[d];
+                const EdgeId end = csc.indptr[d + 1];
+                for (int64_t j = 0; j < h; ++j) {
+                    float mx = -std::numeric_limits<float>::infinity();
+                    for (EdgeId e = begin; e < end; ++e)
+                        mx = std::max(mx, scores(e, j));
+                    double z = 0.0;
+                    for (EdgeId e = begin; e < end; ++e)
+                        z += std::exp(
+                            static_cast<double>(scores(e, j) - mx));
+                    const float invz =
+                        z > 0.0 ? static_cast<float>(1.0 / z) : 0.0f;
+                    for (EdgeId e = begin; e < end; ++e)
+                        out(e, j) =
+                            std::exp(scores(e, j) - mx) * invz;
+                }
+            }
+        });
+    return out;
+}
+
+Tensor
+gspmmEdgeScalar(const graph::CsrGraph &csc, const Tensor &x,
+                const Tensor &att, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(att.rows() == csc.numEdges() && att.cols() == 1,
+                   "gspmmEdgeScalar: attention must be E x 1");
+    GNNBENCH_CHECK(x.rows() == csc.numCols,
+                   "gspmmEdgeScalar: feature rows != source nodes");
+    const int64_t f = x.cols();
+    Tensor out;
+    runKernel(ctx, spmmDesc(csc, f, true, ctx.costs), [&] {
+        out = Tensor(csc.numRows, f);
+        for (NodeId d = 0; d < csc.numRows; ++d) {
+            float *orow = out.row(d);
+            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
+                const float *xrow = x.row(csc.indices[e]);
+                const float we = att(e, 0);
+                for (int64_t j = 0; j < f; ++j)
+                    orow[j] += we * xrow[j];
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+gemm(const Tensor &a, const Tensor &b, const KernelCtx &ctx)
+{
+    Tensor out;
+    runKernel(ctx, gemmDesc(a.rows(), a.cols(), b.cols(), ctx.costs),
+              [&] { out = core::ops::matmul(a, b); });
+    return out;
+}
+
+core::ag::Var
+spmmVar(const graph::CsrGraph &csc, const float *w_csc,
+        std::shared_ptr<const graph::CsrGraph> bwd,
+        std::shared_ptr<const std::vector<float>> w_bwd,
+        const core::ag::Var &x, const KernelCtx &ctx)
+{
+    Tensor y = gspmm(csc, x->value, Reducer::Sum, w_csc, ctx);
+    return core::ag::makeOp(
+        "dglx.spmm", std::move(y), {x},
+        [bwd = std::move(bwd), w_bwd = std::move(w_bwd), x,
+         ctx](core::ag::Node &n) {
+            if (x->requiresGrad) {
+                const float *w = w_bwd ? w_bwd->data() : nullptr;
+                x->accumulateGrad(
+                    gspmm(*bwd, n.grad, Reducer::Sum, w, ctx));
+            }
+        });
+}
+
+core::ag::Var
+spmmScatterBwdVar(std::shared_ptr<const graph::CsrGraph> csc,
+                  std::shared_ptr<const std::vector<float>> w,
+                  const core::ag::Var &x, const KernelCtx &ctx)
+{
+    const float *w_fwd = w ? w->data() : nullptr;
+    Tensor y = gspmm(*csc, x->value, Reducer::Sum, w_fwd, ctx);
+    return core::ag::makeOp(
+        "dglx.spmm", std::move(y), {x},
+        [csc = std::move(csc), w = std::move(w), x,
+         ctx](core::ag::Node &n) {
+            if (x->requiresGrad) {
+                const float *wb = w ? w->data() : nullptr;
+                x->accumulateGrad(
+                    gspmmScatter(*csc, n.grad, wb, ctx));
+            }
+        });
+}
+
+core::ag::Var
+gemmVar(const core::ag::Var &a, const core::ag::Var &b,
+        const KernelCtx &ctx)
+{
+    Tensor y = gemm(a->value, b->value, ctx);
+    return core::ag::makeOp(
+        "dglx.gemm", std::move(y), {a, b},
+        [a, b, ctx](core::ag::Node &n) {
+            if (a->requiresGrad) {
+                Tensor ga;
+                runKernel(ctx,
+                          gemmDesc(n.grad.rows(), n.grad.cols(),
+                                   b->value.rows(), ctx.costs),
+                          [&] {
+                              ga = core::ops::matmulTb(n.grad,
+                                                       b->value);
+                          });
+                a->accumulateGrad(ga);
+            }
+            if (b->requiresGrad) {
+                Tensor gb;
+                runKernel(ctx,
+                          gemmDesc(a->value.cols(), a->value.rows(),
+                                   n.grad.cols(), ctx.costs),
+                          [&] {
+                              gb = core::ops::matmulTa(a->value,
+                                                       n.grad);
+                          });
+                b->accumulateGrad(gb);
+            }
+        });
+}
+
+core::Tensor
+segmentSumRows(const graph::CsrGraph &csc, const Tensor &x,
+               const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(x.rows() == csc.numEdges(),
+                   "segmentSumRows: one row per edge required");
+    const int64_t h = x.cols();
+    Tensor out;
+    runKernel(ctx,
+              elemDesc("segment_sum",
+                       static_cast<double>(x.numel()), ctx.costs),
+              [&] {
+                  out = Tensor(csc.numRows, h);
+                  for (NodeId d = 0; d < csc.numRows; ++d) {
+                      float *orow = out.row(d);
+                      for (EdgeId e = csc.indptr[d];
+                           e < csc.indptr[d + 1]; ++e) {
+                          const float *xrow = x.row(e);
+                          for (int64_t j = 0; j < h; ++j)
+                              orow[j] += xrow[j];
+                      }
+                  }
+              });
+    return out;
+}
+
+core::Tensor
+scatterSumCols(const graph::CsrGraph &csc, const Tensor &x,
+               const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(x.rows() == csc.numEdges(),
+                   "scatterSumCols: one row per edge required");
+    const int64_t h = x.cols();
+    Tensor out;
+    runKernel(ctx,
+              elemDesc("scatter_sum_cols",
+                       static_cast<double>(x.numel()), ctx.costs),
+              [&] {
+                  out = Tensor(csc.numCols, h);
+                  for (EdgeId e = 0; e < csc.numEdges(); ++e) {
+                      float *orow = out.row(csc.indices[e]);
+                      const float *xrow = x.row(e);
+                      for (int64_t j = 0; j < h; ++j)
+                          orow[j] += xrow[j];
+                  }
+              });
+    return out;
+}
+
+core::ag::Var
+gsddmmAddVar(std::shared_ptr<const graph::CsrGraph> csc,
+             const core::ag::Var &a_dst, const core::ag::Var &b_src,
+             const KernelCtx &ctx)
+{
+    Tensor y = gsddmmAdd(*csc, a_dst->value, b_src->value, ctx);
+    return core::ag::makeOp(
+        "dglx.gsddmm_add", std::move(y), {a_dst, b_src},
+        [csc = std::move(csc), a_dst, b_src,
+         ctx](core::ag::Node &n) {
+            if (a_dst->requiresGrad)
+                a_dst->accumulateGrad(
+                    segmentSumRows(*csc, n.grad, ctx));
+            if (b_src->requiresGrad)
+                b_src->accumulateGrad(
+                    scatterSumCols(*csc, n.grad, ctx));
+        });
+}
+
+core::ag::Var
+edgeSoftmaxVar(std::shared_ptr<const graph::CsrGraph> csc,
+               const core::ag::Var &scores, const KernelCtx &ctx)
+{
+    Tensor y = edgeSoftmax(*csc, scores->value, ctx);
+    return core::ag::makeOp(
+        "dglx.edge_softmax", std::move(y), {scores},
+        [csc = std::move(csc), scores, ctx](core::ag::Node &n) {
+            if (!scores->requiresGrad)
+                return;
+            // dx[e] = y[e] * (g[e] - sum over the segment of y g).
+            const Tensor &y_out = n.value;
+            Tensor gx;
+            runKernel(
+                ctx,
+                elemDesc("edge_softmax_bwd",
+                         3.0 * static_cast<double>(y_out.numel()),
+                         ctx.costs),
+                [&] {
+                    gx = Tensor::empty(y_out.rows(), y_out.cols());
+                    const int64_t h = y_out.cols();
+                    for (NodeId d = 0; d < csc->numRows; ++d) {
+                        for (int64_t j = 0; j < h; ++j) {
+                            double dot = 0.0;
+                            for (EdgeId e = csc->indptr[d];
+                                 e < csc->indptr[d + 1]; ++e)
+                                dot += y_out(e, j) * n.grad(e, j);
+                            for (EdgeId e = csc->indptr[d];
+                                 e < csc->indptr[d + 1]; ++e)
+                                gx(e, j) = y_out(e, j) *
+                                           (n.grad(e, j) -
+                                            static_cast<float>(dot));
+                        }
+                    }
+                });
+            scores->accumulateGrad(gx);
+        });
+}
+
+core::ag::Var
+gspmmEdgeScalarVar(std::shared_ptr<const graph::CsrGraph> csc,
+                   const core::ag::Var &x, const core::ag::Var &att,
+                   const KernelCtx &ctx)
+{
+    Tensor y = gspmmEdgeScalar(*csc, x->value, att->value, ctx);
+    return core::ag::makeOp(
+        "dglx.gspmm_edge", std::move(y), {x, att},
+        [csc = std::move(csc), x, att, ctx](core::ag::Node &n) {
+            if (att->requiresGrad) {
+                // d att[e] = <grad[dst(e)], x[src(e)]>.
+                att->accumulateGrad(
+                    gsddmmDot(*csc, n.grad, x->value, ctx));
+            }
+            if (x->requiresGrad) {
+                // d x[s] = sum over src(e)=s of att[e] * grad[dst(e)].
+                std::vector<float> w(
+                    static_cast<size_t>(csc->numEdges()));
+                for (EdgeId e = 0; e < csc->numEdges(); ++e)
+                    w[e] = att->value(e, 0);
+                x->accumulateGrad(
+                    gspmmScatter(*csc, n.grad, w.data(), ctx));
+            }
+        });
+}
+
+core::ag::Var
+gsddmmAttnV2Var(std::shared_ptr<const graph::CsrGraph> csc,
+                const core::ag::Var &z_dst, const core::ag::Var &z_src,
+                const core::ag::Var &attn_vec, float negative_slope,
+                const KernelCtx &ctx)
+{
+    Tensor y = gsddmmAttnV2(*csc, z_dst->value, z_src->value,
+                            attn_vec->value, negative_slope, ctx);
+    return core::ag::makeOp(
+        "dglx.gsddmm_attn_v2", std::move(y),
+        {z_dst, z_src, attn_vec},
+        [csc = std::move(csc), z_dst, z_src, attn_vec, negative_slope,
+         ctx](core::ag::Node &n) {
+            // Fused backward: per-edge pre-activations are recomputed
+            // on the fly (no E x F materialization, like forward).
+            const int64_t f = z_dst->value.cols();
+            Tensor g_dst(z_dst->value.rows(), f);
+            Tensor g_src(z_src->value.rows(), f);
+            Tensor g_attn(1, f);
+            KernelDesc d = sddmmDesc(*csc, f, ctx.costs);
+            d.name = "gsddmm_attn_v2_bwd";
+            d.flops *= 3.0;
+            runKernel(ctx, d, [&] {
+                const float *a = attn_vec->value.data();
+                for (NodeId dst = 0; dst < csc->numRows; ++dst) {
+                    const float *zd = z_dst->value.row(dst);
+                    float *gd = g_dst.row(dst);
+                    for (EdgeId e = csc->indptr[dst];
+                         e < csc->indptr[dst + 1]; ++e) {
+                        const NodeId s = csc->indices[e];
+                        const float *zs = z_src->value.row(s);
+                        float *gs = g_src.row(s);
+                        const float ge = n.grad(e, 0);
+                        for (int64_t j = 0; j < f; ++j) {
+                            const float pre = zd[j] + zs[j];
+                            const float act =
+                                pre < 0.0f ? pre * negative_slope
+                                           : pre;
+                            const float slope =
+                                pre < 0.0f ? negative_slope : 1.0f;
+                            const float d_pre = ge * a[j] * slope;
+                            gd[j] += d_pre;
+                            gs[j] += d_pre;
+                            g_attn(0, j) += ge * act;
+                        }
+                    }
+                }
+            });
+            if (z_dst->requiresGrad)
+                z_dst->accumulateGrad(g_dst);
+            if (z_src->requiresGrad)
+                z_src->accumulateGrad(g_src);
+            if (attn_vec->requiresGrad)
+                attn_vec->accumulateGrad(g_attn);
+        });
+}
+
+namespace {
+
+/** Charge one elementwise kernel pass over n elements. */
+void
+chargeElem(const KernelCtx &ctx, double n)
+{
+    if (!ctx.session || !ctx.onGpu())
+        return;
+    KernelDesc d = elemDesc("elementwise", n, ctx.costs);
+    ctx.session->chargeGpuKernel(d);
+}
+
+/**
+ * Wrap a core autograd elementwise op so that its forward runs under
+ * runKernel (wall excluded on GPU, modeled time charged) and its
+ * backward charges one more elementwise pass.
+ */
+core::ag::Var
+elemWrap(const KernelCtx &ctx,
+         const std::function<core::ag::Var()> &build)
+{
+    if (!ctx.session || !ctx.onGpu())
+        return build();
+    core::Timer timer;
+    core::ag::Var out = build();
+    ctx.session->excludeWall(timer.elapsed());
+    {
+        chargeElem(ctx, static_cast<double>(out->value.numel()));
+        if (out->requiresGrad && out->backwardFn) {
+            auto inner = std::move(out->backwardFn);
+            auto ctx_copy = ctx;
+            out->backwardFn = [inner = std::move(inner),
+                               ctx_copy](core::ag::Node &n) {
+                core::Timer t;
+                inner(n);
+                ctx_copy.session->excludeWall(t.elapsed());
+                chargeElem(ctx_copy,
+                           static_cast<double>(n.value.numel()));
+            };
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+core::ag::Var
+elemVar(const KernelCtx &ctx,
+        const std::function<core::ag::Var()> &build)
+{
+    return elemWrap(ctx, build);
+}
+
+core::ag::Var
+addVar(const core::ag::Var &a, const core::ag::Var &b,
+       const KernelCtx &ctx)
+{
+    return elemWrap(ctx, [&] { return core::ag::add(a, b); });
+}
+
+core::ag::Var
+addBiasVar(const core::ag::Var &x, const core::ag::Var &bias,
+           const KernelCtx &ctx)
+{
+    return elemWrap(ctx, [&] { return core::ag::addBias(x, bias); });
+}
+
+core::ag::Var
+rowScaleVar(const core::ag::Var &x, std::vector<float> s,
+            const KernelCtx &ctx)
+{
+    return elemWrap(ctx, [&] {
+        return core::ag::rowScale(x, std::move(s));
+    });
+}
+
+core::ag::Var
+reluVar(const core::ag::Var &x, const KernelCtx &ctx)
+{
+    return elemWrap(ctx, [&] { return core::ag::relu(x); });
+}
+
+core::ag::Var
+scaleVar(const core::ag::Var &x, float alpha, const KernelCtx &ctx)
+{
+    return elemWrap(ctx, [&] { return core::ag::scale(x, alpha); });
+}
+
+} // namespace dglx
+} // namespace gnnbench

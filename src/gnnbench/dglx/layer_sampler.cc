@@ -1,0 +1,226 @@
+#include "gnnbench/dglx/layer_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnbench {
+namespace dglx {
+
+using sampling::LayerSample;
+using sampling::LayerWiseSample;
+
+namespace {
+
+/**
+ * Build one bipartite layer between a sampled source set and a
+ * destination set: for every dst, keep in-neighbors that landed in
+ * the source set, weighted by 1/(q(v) * t) for unbiasedness.
+ */
+LayerSample
+buildLayer(const Graph &g, std::vector<NodeId> src,
+           const std::vector<NodeId> &dst,
+           const std::vector<double> &q, std::vector<NodeId> &local,
+           bool add_self_loops = false)
+{
+    LayerSample layer;
+    layer.srcNodes = std::move(src);
+    layer.dstNodes = dst;
+    const auto t = static_cast<double>(layer.srcNodes.size());
+    for (size_t i = 0; i < layer.srcNodes.size(); ++i)
+        local[layer.srcNodes[i]] = static_cast<NodeId>(i);
+
+    const graph::CsrGraph &csc = g.csc();
+    layer.csc.numRows = static_cast<NodeId>(dst.size());
+    layer.csc.numCols = static_cast<NodeId>(layer.srcNodes.size());
+    layer.csc.indptr.assign(dst.size() + 1, 0);
+    for (size_t d = 0; d < dst.size(); ++d) {
+        const NodeId u = dst[d];
+        EdgeId kept = 0;
+        for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e) {
+            const NodeId lv = local[csc.indices[e]];
+            if (lv != -1) {
+                layer.csc.indices.push_back(lv);
+                layer.edgeWeights.push_back(static_cast<float>(
+                    1.0 / (q[csc.indices[e]] * t)));
+                ++kept;
+            }
+        }
+        if (add_self_loops && local[u] != -1) {
+            // LADIES attaches the identity to the sliced adjacency,
+            // guaranteeing no destination is isolated.
+            layer.csc.indices.push_back(local[u]);
+            layer.edgeWeights.push_back(1.0f);
+            ++kept;
+        }
+        layer.csc.indptr[d + 1] = layer.csc.indptr[d] + kept;
+    }
+    for (NodeId v : layer.srcNodes)
+        local[v] = -1;
+    return layer;
+}
+
+} // namespace
+
+FastGcnSampler::FastGcnSampler(const Graph &g,
+                               std::vector<NodeId> layer_sizes,
+                               core::Rng rng)
+    : g_(g), layerSizes_(std::move(layer_sizes)), rng_(rng),
+      localId_(g.numNodes(), -1)
+{
+    GNNBENCH_CHECK(!layerSizes_.empty(),
+                   "FastGCN sampler needs layer sizes");
+    // q(v) proportional to ||A(:, v)||^2, approximated by the
+    // squared (degree + 1), as in the FastGCN paper.
+    q_.resize(g.numNodes());
+    cdf_.resize(g.numNodes());
+    double total = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        const double d =
+            static_cast<double>(g.inDegrees()[v]) + 1.0;
+        q_[v] = d * d;
+        total += q_[v];
+    }
+    double acc = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        q_[v] /= total;
+        acc += q_[v];
+        cdf_[v] = acc;
+    }
+}
+
+LayerWiseSample
+FastGcnSampler::sample(const std::vector<NodeId> &seeds)
+{
+    GNNBENCH_CHECK(!seeds.empty(), "empty seed batch");
+    LayerWiseSample out;
+    out.seeds = seeds;
+    out.layers.resize(layerSizes_.size());
+
+    std::vector<NodeId> frontier = seeds;
+    for (size_t l = layerSizes_.size(); l-- > 0;) {
+        // Draw the layer's source set i.i.d. from q, deduplicated
+        // (each layer is independent of the one above — FastGCN's
+        // defining property and the cause of isolated nodes).
+        std::vector<NodeId> src;
+        src.reserve(layerSizes_[l]);
+        for (NodeId i = 0; i < layerSizes_[l]; ++i) {
+            const double r = rng_.uniform();
+            const NodeId v = static_cast<NodeId>(
+                std::lower_bound(cdf_.begin(), cdf_.end(), r) -
+                cdf_.begin());
+            if (localId_[v] == -1) {
+                localId_[v] = 1;
+                src.push_back(v);
+            }
+        }
+        for (NodeId v : src)
+            localId_[v] = -1;
+        out.layers[l] =
+            buildLayer(g_, std::move(src), frontier, q_, localId_);
+        frontier = out.layers[l].srcNodes;
+    }
+    return out;
+}
+
+LadiesSampler::LadiesSampler(const Graph &g,
+                             std::vector<NodeId> layer_sizes,
+                             core::Rng rng)
+    : g_(g), layerSizes_(std::move(layer_sizes)), rng_(rng),
+      localId_(g.numNodes(), -1), candWeight_(g.numNodes(), 0.0f)
+{
+    GNNBENCH_CHECK(!layerSizes_.empty(),
+                   "LADIES sampler needs layer sizes");
+}
+
+LayerWiseSample
+LadiesSampler::sample(const std::vector<NodeId> &seeds)
+{
+    GNNBENCH_CHECK(!seeds.empty(), "empty seed batch");
+    LayerWiseSample out;
+    out.seeds = seeds;
+    out.layers.resize(layerSizes_.size());
+    const graph::CsrGraph &csc = g_.csc();
+
+    std::vector<NodeId> frontier = seeds;
+    for (size_t l = layerSizes_.size(); l-- > 0;) {
+        // Layer-dependent distribution: candidates are the union of
+        // the frontier's in-neighborhoods, weighted by how many
+        // frontier nodes they reach (the row-sum of the sliced
+        // adjacency — this pass is LADIES's "additional
+        // computational cost").
+        candidates_.clear();
+        for (NodeId u : frontier) {
+            for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1];
+                 ++e) {
+                const NodeId v = csc.indices[e];
+                if (candWeight_[v] == 0.0f)
+                    candidates_.push_back(v);
+                candWeight_[v] += 1.0f;
+            }
+        }
+        double total = 0.0;
+        for (NodeId v : candidates_)
+            total += candWeight_[v];
+
+        // Sample up to the budget without replacement, proportional
+        // to candidate weight (repeated CDF draws + dedup).
+        std::vector<NodeId> src;
+        std::vector<double> q(g_.numNodes(), 0.0);
+        if (total > 0.0) {
+            std::vector<double> cdf(candidates_.size());
+            double acc = 0.0;
+            for (size_t i = 0; i < candidates_.size(); ++i) {
+                acc += candWeight_[candidates_[i]];
+                cdf[i] = acc;
+            }
+            const NodeId budget = std::min<NodeId>(
+                layerSizes_[l],
+                static_cast<NodeId>(candidates_.size()));
+            const int max_draws = 8 * budget + 16;
+            for (int draw = 0;
+                 draw < max_draws &&
+                 static_cast<NodeId>(src.size()) < budget;
+                 ++draw) {
+                const double r = rng_.uniform() * total;
+                const size_t i = static_cast<size_t>(
+                    std::lower_bound(cdf.begin(), cdf.end(), r) -
+                    cdf.begin());
+                const NodeId v = candidates_[i];
+                if (localId_[v] == -1) {
+                    localId_[v] = 1;
+                    src.push_back(v);
+                }
+            }
+        }
+        // Keep the destination set in the sample (LADIES keeps the
+        // layer connected; no destination can be isolated as long as
+        // it has a self loop into the next layer).
+        for (NodeId u : frontier) {
+            if (localId_[u] == -1) {
+                localId_[u] = 1;
+                src.push_back(u);
+            }
+        }
+        for (NodeId v : src)
+            localId_[v] = -1;
+        // Importance weights from the layer-dependent distribution;
+        // destination self-inclusions get weight as if sampled.
+        for (NodeId v : src) {
+            const double w =
+                candWeight_[v] > 0.0f
+                    ? candWeight_[v] / std::max(total, 1.0)
+                    : 1.0 / std::max<double>(g_.numNodes(), 1);
+            q[v] = w;
+        }
+        for (NodeId v : candidates_)
+            candWeight_[v] = 0.0f;
+
+        out.layers[l] = buildLayer(g_, std::move(src), frontier, q,
+                                   localId_, /*add_self_loops=*/true);
+        frontier = out.layers[l].srcNodes;
+    }
+    return out;
+}
+
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Layer-wise importance samplers: FastGCN (Chen et al., ICLR'18) and
+ * LADIES (Zou et al., NeurIPS'19).
+ *
+ * The paper's Section 2.1 positions these as the historical
+ * alternatives to GraphSAGE's neighborhood sampling: FastGCN samples
+ * each layer independently from a global degree-based distribution
+ * (cheap, but "can generate isolated nodes, thereby leading to an
+ * accuracy drop"); LADIES restricts each layer's candidates to the
+ * neighborhood of the layer above (connected, but with "additional
+ * computational cost and non-negligible overhead in the sampling
+ * process").  Both are provided so the ablation bench can reproduce
+ * those trade-offs quantitatively.
+ */
+
+#ifndef GNNBENCH_DGLX_LAYER_SAMPLER_H
+#define GNNBENCH_DGLX_LAYER_SAMPLER_H
+
+#include <vector>
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/dglx/graph.h"
+#include "gnnbench/sampling/subgraph.h"
+
+namespace gnnbench {
+namespace dglx {
+
+/**
+ * FastGCN: every layer draws a fixed budget of nodes i.i.d. from the
+ * global importance distribution q(v) proportional to (deg(v)+1)^2,
+ * independent of the layer above.
+ */
+class FastGcnSampler
+{
+  public:
+    /**
+     * @param layer_sizes per-layer sample budgets, input-side layer
+     * first (like NeighborSampler's fanouts).
+     */
+    FastGcnSampler(const Graph &g, std::vector<NodeId> layer_sizes,
+                   core::Rng rng);
+
+    sampling::LayerWiseSample sample(const std::vector<NodeId> &seeds);
+
+  private:
+    const Graph &g_;
+    std::vector<NodeId> layerSizes_;
+    core::Rng rng_;
+    /** CDF of the global importance distribution. */
+    std::vector<double> cdf_;
+    /** q(v), for the importance weights. */
+    std::vector<double> q_;
+    std::vector<NodeId> localId_;
+};
+
+/**
+ * LADIES: layer-dependent importance sampling — each layer's
+ * candidates are the in-neighbors of the layer above, weighted by
+ * their connectivity to it, and the destination set itself is kept
+ * in the sample so no destination is isolated.
+ */
+class LadiesSampler
+{
+  public:
+    LadiesSampler(const Graph &g, std::vector<NodeId> layer_sizes,
+                  core::Rng rng);
+
+    sampling::LayerWiseSample sample(const std::vector<NodeId> &seeds);
+
+  private:
+    const Graph &g_;
+    std::vector<NodeId> layerSizes_;
+    core::Rng rng_;
+    std::vector<NodeId> localId_;
+    /** Scratch: per-candidate connectivity counts. */
+    std::vector<float> candWeight_;
+    std::vector<NodeId> candidates_;
+};
+
+} // namespace dglx
+} // namespace gnnbench
+
+#endif // GNNBENCH_DGLX_LAYER_SAMPLER_H

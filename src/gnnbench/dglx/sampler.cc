@@ -1,0 +1,304 @@
+#include "gnnbench/dglx/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnbench {
+namespace dglx {
+
+using sampling::Block;
+using sampling::InducedSample;
+using sampling::NeighborSample;
+
+NeighborSampler::NeighborSampler(const Graph &g, std::vector<int> fanouts,
+                                 core::Rng rng)
+    : g_(g), fanouts_(std::move(fanouts)), rng_(rng),
+      localId_(g.numNodes(), -1)
+{
+    GNNBENCH_CHECK(!fanouts_.empty(), "neighbor sampler needs fanouts");
+    for (int f : fanouts_)
+        GNNBENCH_CHECK(f > 0, "fanout must be positive");
+}
+
+NeighborSample
+NeighborSampler::sample(const std::vector<NodeId> &seeds)
+{
+    GNNBENCH_CHECK(!seeds.empty(), "empty seed batch");
+    NeighborSample out;
+    out.seeds = seeds;
+    out.blocks.resize(fanouts_.size());
+
+    const graph::CsrGraph &csc = g_.csc();
+    std::vector<NodeId> frontier = seeds;
+
+    // Walk layers from the seed side inwards; fanouts_[0] is the
+    // input-side layer so it is filled last.
+    for (size_t l = fanouts_.size(); l-- > 0;) {
+        const int fanout = fanouts_[l];
+        Block &blk = out.blocks[l];
+        blk.dstNodes = frontier;
+        blk.srcNodes = frontier;
+        for (size_t i = 0; i < blk.srcNodes.size(); ++i)
+            localId_[blk.srcNodes[i]] = static_cast<NodeId>(i);
+
+        const NodeId num_dst = static_cast<NodeId>(frontier.size());
+        blk.csc.numRows = num_dst;
+        blk.csc.indptr.assign(num_dst + 1, 0);
+        blk.csc.indices.reserve(static_cast<size_t>(num_dst) * fanout);
+
+        for (NodeId d = 0; d < num_dst; ++d) {
+            const NodeId u = frontier[d];
+            const EdgeId deg = csc.degree(u);
+            const NodeId *nbrs = csc.rowBegin(u);
+            EdgeId taken = 0;
+            if (deg <= fanout) {
+                for (EdgeId i = 0; i < deg; ++i) {
+                    NodeId v = nbrs[i];
+                    if (localId_[v] == -1) {
+                        localId_[v] =
+                            static_cast<NodeId>(blk.srcNodes.size());
+                        blk.srcNodes.push_back(v);
+                    }
+                    blk.csc.indices.push_back(localId_[v]);
+                }
+                taken = deg;
+            } else {
+                // Partial Fisher-Yates over a scratch copy: O(deg)
+                // copy + O(fanout) swaps, no allocation.
+                neighborScratch_.assign(nbrs, nbrs + deg);
+                for (int i = 0; i < fanout; ++i) {
+                    const EdgeId j =
+                        i + static_cast<EdgeId>(
+                                rng_.uniformInt(deg - i));
+                    std::swap(neighborScratch_[i],
+                              neighborScratch_[j]);
+                    NodeId v = neighborScratch_[i];
+                    if (localId_[v] == -1) {
+                        localId_[v] =
+                            static_cast<NodeId>(blk.srcNodes.size());
+                        blk.srcNodes.push_back(v);
+                    }
+                    blk.csc.indices.push_back(localId_[v]);
+                }
+                taken = fanout;
+            }
+            blk.csc.indptr[d + 1] = blk.csc.indptr[d] + taken;
+        }
+        blk.csc.numCols = static_cast<NodeId>(blk.srcNodes.size());
+
+        // O(|src|) reset of the dense map.
+        for (NodeId v : blk.srcNodes)
+            localId_[v] = -1;
+        frontier = blk.srcNodes;
+    }
+    return out;
+}
+
+InducedSample
+ClusterSampler::extractInduced(const graph::CsrGraph &csr,
+                               std::vector<NodeId> nodes,
+                               std::vector<NodeId> &local_id_scratch)
+{
+    InducedSample out;
+    out.nodes = std::move(nodes);
+    const NodeId k = static_cast<NodeId>(out.nodes.size());
+    for (NodeId i = 0; i < k; ++i)
+        local_id_scratch[out.nodes[i]] = i;
+
+    out.adj.numRows = k;
+    out.adj.numCols = k;
+    out.adj.indptr.assign(k + 1, 0);
+    // Two passes over the candidate edges: count, then fill.
+    for (NodeId i = 0; i < k; ++i) {
+        const NodeId u = out.nodes[i];
+        EdgeId cnt = 0;
+        for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e)
+            if (local_id_scratch[csr.indices[e]] != -1)
+                ++cnt;
+        out.adj.indptr[i + 1] = out.adj.indptr[i] + cnt;
+    }
+    out.adj.indices.resize(out.adj.indptr.back());
+    for (NodeId i = 0; i < k; ++i) {
+        const NodeId u = out.nodes[i];
+        EdgeId cursor = out.adj.indptr[i];
+        for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e) {
+            const NodeId lv = local_id_scratch[csr.indices[e]];
+            if (lv != -1)
+                out.adj.indices[cursor++] = lv;
+        }
+    }
+    for (NodeId v : out.nodes)
+        local_id_scratch[v] = -1;
+    return out;
+}
+
+ClusterSampler::ClusterSampler(const Graph &g, int32_t num_parts,
+                               core::Rng rng)
+    : g_(g), rng_(rng), localId_(g.numNodes(), -1)
+{
+    // The one-time "METIS" partitioning step.
+    partition_ = graph::partitionGraph(g.csr(), num_parts, rng_);
+    // Bucket nodes by cluster for O(batch) member collection.
+    memberPtr_.assign(num_parts + 1, 0);
+    for (int32_t p : partition_.assignment)
+        ++memberPtr_[p + 1];
+    for (int32_t c = 0; c < num_parts; ++c)
+        memberPtr_[c + 1] += memberPtr_[c];
+    memberList_.resize(g.numNodes());
+    std::vector<EdgeId> cursor(memberPtr_.begin(), memberPtr_.end() - 1);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        memberList_[cursor[partition_.assignment[v]]++] = v;
+}
+
+InducedSample
+ClusterSampler::sample(int32_t clusters_per_batch)
+{
+    GNNBENCH_CHECK(clusters_per_batch > 0 &&
+                       clusters_per_batch <= partition_.numParts,
+                   "bad clusters_per_batch");
+    auto chosen = rng_.sampleWithoutReplacement(partition_.numParts,
+                                                clusters_per_batch);
+    std::vector<NodeId> nodes;
+    for (NodeId c : chosen) {
+        nodes.insert(nodes.end(), memberList_.begin() + memberPtr_[c],
+                     memberList_.begin() + memberPtr_[c + 1]);
+    }
+    return extractInduced(g_.csr(), std::move(nodes), localId_);
+}
+
+SaintRwSampler::SaintRwSampler(const Graph &g, int32_t num_roots,
+                               int32_t walk_length, core::Rng rng)
+    : g_(g), numRoots_(num_roots), walkLength_(walk_length), rng_(rng),
+      localId_(g.numNodes(), -1)
+{
+    GNNBENCH_CHECK(num_roots > 0 && walk_length >= 0,
+                   "bad random walk parameters");
+}
+
+InducedSample
+SaintRwSampler::sample()
+{
+    const graph::CsrGraph &csr = g_.csr();
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<size_t>(numRoots_) * (walkLength_ + 1));
+    auto visit = [&](NodeId v) {
+        if (localId_[v] == -1) {
+            localId_[v] = static_cast<NodeId>(nodes.size());
+            nodes.push_back(v);
+        }
+    };
+    for (int32_t r = 0; r < numRoots_; ++r) {
+        NodeId cur =
+            static_cast<NodeId>(rng_.uniformInt(g_.numNodes()));
+        visit(cur);
+        for (int32_t s = 0; s < walkLength_; ++s) {
+            const EdgeId deg = csr.degree(cur);
+            if (deg == 0)
+                break;
+            cur = csr.rowBegin(cur)[rng_.uniformInt(deg)];
+            visit(cur);
+        }
+    }
+    // extractInduced resets localId_, but entries were also set here;
+    // clear before handing the scratch over.
+    for (NodeId v : nodes)
+        localId_[v] = -1;
+    return ClusterSampler::extractInduced(csr, std::move(nodes),
+                                          localId_);
+}
+
+SaintNodeSampler::SaintNodeSampler(const Graph &g, NodeId budget,
+                                   core::Rng rng)
+    : g_(g), budget_(budget), rng_(rng), localId_(g.numNodes(), -1)
+{
+    GNNBENCH_CHECK(budget > 0 && budget <= g.numNodes(),
+                   "bad node-sampler budget");
+    // Degree-proportional CDF (GraphSAINT node-sampler distribution).
+    degreeCdf_.resize(g.numNodes());
+    double acc = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        acc += static_cast<double>(g.outDegrees()[v]) + 1.0;
+        degreeCdf_[v] = acc;
+    }
+}
+
+InducedSample
+SaintNodeSampler::sample()
+{
+    const double total = degreeCdf_.back();
+    std::vector<NodeId> nodes;
+    nodes.reserve(budget_);
+    for (NodeId i = 0; i < budget_; ++i) {
+        const double r = rng_.uniform() * total;
+        const NodeId v = static_cast<NodeId>(
+            std::lower_bound(degreeCdf_.begin(), degreeCdf_.end(), r) -
+            degreeCdf_.begin());
+        if (localId_[v] == -1) {
+            localId_[v] = 1;  // presence marker
+            nodes.push_back(v);
+        }
+    }
+    for (NodeId v : nodes)
+        localId_[v] = -1;
+    return ClusterSampler::extractInduced(g_.csr(), std::move(nodes),
+                                          localId_);
+}
+
+SaintEdgeSampler::SaintEdgeSampler(const Graph &g, EdgeId budget,
+                                   core::Rng rng)
+    : g_(g), budget_(budget), rng_(rng), localId_(g.numNodes(), -1)
+{
+    GNNBENCH_CHECK(budget > 0, "bad edge-sampler budget");
+    // p_e proportional to 1/deg(u) + 1/deg(v) (GraphSAINT edge
+    // sampler), in CSR edge order.
+    const graph::CsrGraph &csr = g.csr();
+    edgeCdf_.resize(csr.numEdges());
+    double acc = 0.0;
+    EdgeId e = 0;
+    for (NodeId u = 0; u < csr.numRows; ++u) {
+        const double du =
+            static_cast<double>(g.outDegrees()[u]) + 1.0;
+        for (EdgeId i = csr.indptr[u]; i < csr.indptr[u + 1];
+             ++i, ++e) {
+            const double dv = static_cast<double>(
+                                  g.outDegrees()[csr.indices[i]]) +
+                              1.0;
+            acc += 1.0 / du + 1.0 / dv;
+            edgeCdf_[e] = acc;
+        }
+    }
+}
+
+InducedSample
+SaintEdgeSampler::sample()
+{
+    const graph::CsrGraph &csr = g_.csr();
+    const double total = edgeCdf_.back();
+    std::vector<NodeId> nodes;
+    auto visit = [&](NodeId v) {
+        if (localId_[v] == -1) {
+            localId_[v] = 1;
+            nodes.push_back(v);
+        }
+    };
+    // Map a flat edge id back to its source via indptr search.
+    for (EdgeId i = 0; i < budget_; ++i) {
+        const double r = rng_.uniform() * total;
+        const EdgeId e = static_cast<EdgeId>(
+            std::lower_bound(edgeCdf_.begin(), edgeCdf_.end(), r) -
+            edgeCdf_.begin());
+        const NodeId u = static_cast<NodeId>(
+            std::upper_bound(csr.indptr.begin(), csr.indptr.end(),
+                             e) -
+            csr.indptr.begin() - 1);
+        visit(u);
+        visit(csr.indices[e]);
+    }
+    for (NodeId v : nodes)
+        localId_[v] = -1;
+    return ClusterSampler::extractInduced(csr, std::move(nodes),
+                                          localId_);
+}
+
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * CPU graph samplers of the dglx framework.
+ *
+ * DGL implements its samplers in C++ (with OpenMP) over the graph's
+ * native CSR/CSC arrays; dglx reproduces that fast path: flat scratch
+ * arrays, a dense node-relabeling map with O(1) reset, and no
+ * per-node heap allocation.  The pygx counterparts implement the same
+ * algorithms in a deliberately "interpreted" style (see
+ * pygx/sampler.h) — that contrast is Observation 2 of the paper.
+ */
+
+#ifndef GNNBENCH_DGLX_SAMPLER_H
+#define GNNBENCH_DGLX_SAMPLER_H
+
+#include <vector>
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/dglx/graph.h"
+#include "gnnbench/graph/partition.h"
+#include "gnnbench/sampling/subgraph.h"
+
+namespace gnnbench {
+namespace dglx {
+
+/**
+ * GraphSAGE neighborhood sampler: for each seed, samples a fixed
+ * fanout of in-neighbors per layer, producing one bipartite block per
+ * GNN layer (paper settings: fanouts {25, 10}, batch size 512).
+ */
+class NeighborSampler
+{
+  public:
+    /**
+     * @param fanouts per-layer fanouts, input-side layer first (DGL
+     * convention: {25, 10} samples 25 first-hop and 10 second-hop
+     * neighbors).
+     */
+    NeighborSampler(const Graph &g, std::vector<int> fanouts,
+                    core::Rng rng);
+
+    /** Sample the layered blocks for one mini-batch of seeds. */
+    sampling::NeighborSample sample(const std::vector<NodeId> &seeds);
+
+    const std::vector<int> &fanouts() const { return fanouts_; }
+
+  private:
+    const Graph &g_;
+    std::vector<int> fanouts_;
+    core::Rng rng_;
+    /** Dense global->local map; entries reset after each layer. */
+    std::vector<NodeId> localId_;
+    std::vector<NodeId> neighborScratch_;
+};
+
+/**
+ * ClusterGCN sampler: partitions the graph once (the "METIS" step),
+ * then each batch unions a few random clusters and extracts their
+ * induced subgraph (paper settings: 2000 parts, 50 per batch).
+ */
+class ClusterSampler
+{
+  public:
+    ClusterSampler(const Graph &g, int32_t num_parts, core::Rng rng);
+
+    /** Union @p clusters_per_batch random clusters into a batch. */
+    sampling::InducedSample sample(int32_t clusters_per_batch);
+
+    int32_t numParts() const { return partition_.numParts; }
+    const graph::PartitionResult &partition() const
+    {
+        return partition_;
+    }
+
+  private:
+    const Graph &g_;
+    core::Rng rng_;
+    graph::PartitionResult partition_;
+    /** members of cluster c: memberList_[memberPtr_[c]..[c+1]) */
+    std::vector<NodeId> memberList_;
+    std::vector<EdgeId> memberPtr_;
+    std::vector<NodeId> localId_;
+
+  public:
+    /** Fast induced-subgraph extraction shared by the samplers. */
+    static sampling::InducedSample extractInduced(
+        const graph::CsrGraph &csr, std::vector<NodeId> nodes,
+        std::vector<NodeId> &local_id_scratch);
+};
+
+/**
+ * GraphSAINT random-walk sampler: starts @p num_roots random walks of
+ * @p walk_length steps and induces the subgraph on all visited nodes
+ * (paper settings: 3000 roots, walk length 2).
+ */
+class SaintRwSampler
+{
+  public:
+    SaintRwSampler(const Graph &g, int32_t num_roots,
+                   int32_t walk_length, core::Rng rng);
+
+    sampling::InducedSample sample();
+
+  private:
+    const Graph &g_;
+    int32_t numRoots_;
+    int32_t walkLength_;
+    core::Rng rng_;
+    std::vector<NodeId> localId_;
+};
+
+/**
+ * GraphSAINT node sampler (baseline): samples @p budget nodes with
+ * probability proportional to degree and induces the subgraph.  The
+ * paper notes node/edge sampling are inferior to random walks; both
+ * are provided for the ablation bench.
+ */
+class SaintNodeSampler
+{
+  public:
+    SaintNodeSampler(const Graph &g, NodeId budget, core::Rng rng);
+
+    sampling::InducedSample sample();
+
+  private:
+    const Graph &g_;
+    NodeId budget_;
+    core::Rng rng_;
+    std::vector<double> degreeCdf_;
+    std::vector<NodeId> localId_;
+};
+
+/**
+ * GraphSAINT edge sampler (baseline): samples @p budget edges with
+ * probability proportional to 1/deg(u) + 1/deg(v) and induces the
+ * subgraph on their endpoints.
+ */
+class SaintEdgeSampler
+{
+  public:
+    SaintEdgeSampler(const Graph &g, EdgeId budget, core::Rng rng);
+
+    sampling::InducedSample sample();
+
+  private:
+    const Graph &g_;
+    EdgeId budget_;
+    core::Rng rng_;
+    std::vector<double> edgeCdf_;
+    std::vector<NodeId> localId_;
+};
+
+} // namespace dglx
+} // namespace gnnbench
+
+#endif // GNNBENCH_DGLX_SAMPLER_H

@@ -1,0 +1,120 @@
+#include "gnnbench/graph/convert.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gnnbench {
+namespace graph {
+
+namespace {
+
+/** Counting-sort based COO -> CSR keyed by the given edge endpoint. */
+CsrGraph
+buildAdjacency(NodeId num_nodes, const std::vector<NodeId> &key,
+               const std::vector<NodeId> &other)
+{
+    CsrGraph out;
+    out.numRows = num_nodes;
+    out.numCols = num_nodes;
+    out.indptr.assign(num_nodes + 1, 0);
+    for (NodeId k : key)
+        ++out.indptr[k + 1];
+    for (NodeId r = 0; r < num_nodes; ++r)
+        out.indptr[r + 1] += out.indptr[r];
+    out.indices.resize(key.size());
+    std::vector<EdgeId> cursor(out.indptr.begin(), out.indptr.end() - 1);
+    for (size_t e = 0; e < key.size(); ++e)
+        out.indices[cursor[key[e]]++] = other[e];
+    return out;
+}
+
+} // namespace
+
+CsrGraph
+cooToCsr(const CooGraph &g)
+{
+    return buildAdjacency(g.numNodes, g.src, g.dst);
+}
+
+CsrGraph
+cooToCsc(const CooGraph &g)
+{
+    return buildAdjacency(g.numNodes, g.dst, g.src);
+}
+
+CsrGraph
+csrTranspose(const CsrGraph &g)
+{
+    CsrGraph out;
+    out.numRows = g.numCols;
+    out.numCols = g.numRows;
+    out.indptr.assign(g.numCols + 1, 0);
+    for (NodeId c : g.indices)
+        ++out.indptr[c + 1];
+    for (NodeId r = 0; r < out.numRows; ++r)
+        out.indptr[r + 1] += out.indptr[r];
+    out.indices.resize(g.indices.size());
+    std::vector<EdgeId> cursor(out.indptr.begin(), out.indptr.end() - 1);
+    for (NodeId r = 0; r < g.numRows; ++r)
+        for (EdgeId e = g.indptr[r]; e < g.indptr[r + 1]; ++e)
+            out.indices[cursor[g.indices[e]]++] = r;
+    return out;
+}
+
+CooGraph
+csrToCoo(const CsrGraph &g)
+{
+    GNNBENCH_CHECK(g.numRows == g.numCols,
+                   "csrToCoo expects a square adjacency");
+    CooGraph out;
+    out.numNodes = g.numRows;
+    out.src.reserve(g.indices.size());
+    out.dst.reserve(g.indices.size());
+    for (NodeId r = 0; r < g.numRows; ++r)
+        for (EdgeId e = g.indptr[r]; e < g.indptr[r + 1]; ++e) {
+            out.src.push_back(r);
+            out.dst.push_back(g.indices[e]);
+        }
+    return out;
+}
+
+CsrGraph
+inducedSubgraph(const CsrGraph &g, const std::vector<NodeId> &nodes)
+{
+    GNNBENCH_CHECK(g.numRows == g.numCols,
+                   "inducedSubgraph expects a square adjacency");
+    const NodeId k = static_cast<NodeId>(nodes.size());
+    // Dense membership map: -1 = absent, else local id.
+    std::vector<NodeId> local(g.numRows, -1);
+    for (NodeId i = 0; i < k; ++i) {
+        GNNBENCH_CHECK(local[nodes[i]] == -1,
+                       "inducedSubgraph: duplicate node in set");
+        local[nodes[i]] = i;
+    }
+    CsrGraph out;
+    out.numRows = k;
+    out.numCols = k;
+    out.indptr.assign(k + 1, 0);
+    for (NodeId i = 0; i < k; ++i) {
+        const NodeId u = nodes[i];
+        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e)
+            if (local[g.indices[e]] != -1)
+                ++out.indptr[i + 1];
+    }
+    for (NodeId i = 0; i < k; ++i)
+        out.indptr[i + 1] += out.indptr[i];
+    out.indices.resize(out.indptr.back());
+    std::vector<EdgeId> cursor(out.indptr.begin(), out.indptr.end() - 1);
+    for (NodeId i = 0; i < k; ++i) {
+        const NodeId u = nodes[i];
+        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+            const NodeId lv = local[g.indices[e]];
+            if (lv != -1)
+                out.indices[cursor[i]++] = lv;
+        }
+    }
+    return out;
+}
+
+} // namespace graph
+} // namespace gnnbench

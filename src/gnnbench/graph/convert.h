@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Conversions between graph storage formats.
+ *
+ * Format conversion is itself one of the measured costs in the paper
+ * (PyG's samplers require a CSR-to-CSC conversion that "turns out to
+ * be quite slow on large datasets"), so the conversions are exposed as
+ * first-class operations rather than hidden constructors.
+ */
+
+#ifndef GNNBENCH_GRAPH_CONVERT_H
+#define GNNBENCH_GRAPH_CONVERT_H
+
+#include "gnnbench/graph/coo.h"
+#include "gnnbench/graph/csr.h"
+
+namespace gnnbench {
+namespace graph {
+
+/** Build the out-adjacency CSR of a COO edge list. */
+CsrGraph cooToCsr(const CooGraph &g);
+
+/** Build the in-adjacency (CSC, stored row-wise by destination). */
+CsrGraph cooToCsc(const CooGraph &g);
+
+/** Transpose a CSR (CSR of the reverse graph == CSC of the graph). */
+CsrGraph csrTranspose(const CsrGraph &g);
+
+/** Expand a CSR back into a COO edge list (row-major edge order). */
+CooGraph csrToCoo(const CsrGraph &g);
+
+/**
+ * Extract the subgraph induced by @p nodes (original ids) with nodes
+ * relabeled to 0..k-1 in the order given.  Reference implementation
+ * shared by tests; the frameworks implement their own versions with
+ * deliberately different performance characteristics.
+ */
+CsrGraph inducedSubgraph(const CsrGraph &g,
+                         const std::vector<NodeId> &nodes);
+
+} // namespace graph
+} // namespace gnnbench
+
+#endif // GNNBENCH_GRAPH_CONVERT_H

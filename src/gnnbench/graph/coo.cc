@@ -1,0 +1,80 @@
+#include "gnnbench/graph/coo.h"
+
+#include <algorithm>
+
+namespace gnnbench {
+namespace graph {
+
+void
+CooGraph::validate() const
+{
+    GNNBENCH_CHECK(src.size() == dst.size(),
+                   "COO src/dst length mismatch");
+    for (size_t i = 0; i < src.size(); ++i) {
+        GNNBENCH_CHECK(src[i] >= 0 && src[i] < numNodes &&
+                           dst[i] >= 0 && dst[i] < numNodes,
+                       "COO edge ", i, " out of range");
+    }
+}
+
+namespace {
+
+/** Sort + unique over packed (src, dst) pairs. */
+std::vector<uint64_t>
+packedSortedUnique(const CooGraph &g)
+{
+    std::vector<uint64_t> packed;
+    packed.reserve(g.src.size());
+    for (size_t i = 0; i < g.src.size(); ++i) {
+        packed.push_back((static_cast<uint64_t>(g.src[i]) << 32) |
+                         static_cast<uint32_t>(g.dst[i]));
+    }
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    return packed;
+}
+
+CooGraph
+unpack(NodeId num_nodes, const std::vector<uint64_t> &packed)
+{
+    CooGraph out;
+    out.numNodes = num_nodes;
+    out.src.reserve(packed.size());
+    out.dst.reserve(packed.size());
+    for (uint64_t p : packed) {
+        out.src.push_back(static_cast<NodeId>(p >> 32));
+        out.dst.push_back(static_cast<NodeId>(p & 0xffffffffu));
+    }
+    return out;
+}
+
+} // namespace
+
+CooGraph
+symmetrize(const CooGraph &g, bool keep_self_loops)
+{
+    CooGraph both;
+    both.numNodes = g.numNodes;
+    both.src.reserve(g.src.size() * 2);
+    both.dst.reserve(g.src.size() * 2);
+    for (size_t i = 0; i < g.src.size(); ++i) {
+        const NodeId u = g.src[i], v = g.dst[i];
+        if (u == v) {
+            if (keep_self_loops)
+                both.addEdge(u, v);
+            continue;
+        }
+        both.addEdge(u, v);
+        both.addEdge(v, u);
+    }
+    return unpack(g.numNodes, packedSortedUnique(both));
+}
+
+CooGraph
+dedup(const CooGraph &g)
+{
+    return unpack(g.numNodes, packedSortedUnique(g));
+}
+
+} // namespace graph
+} // namespace gnnbench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Coordinate-format (COO) graph: parallel src/dst edge arrays.
+ *
+ * COO is the interchange format of the library: generators emit COO,
+ * pygx keeps its graphs in COO ("edge_index") like PyG, and dglx
+ * converts COO into CSR/CSC on construction like DGL.
+ */
+
+#ifndef GNNBENCH_GRAPH_COO_H
+#define GNNBENCH_GRAPH_COO_H
+
+#include <vector>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace graph {
+
+/** An edge list with a node count; edges are directed src -> dst. */
+struct CooGraph
+{
+    NodeId numNodes = 0;
+    std::vector<NodeId> src;
+    std::vector<NodeId> dst;
+
+    EdgeId numEdges() const { return static_cast<EdgeId>(src.size()); }
+
+    /** Append one directed edge. */
+    void
+    addEdge(NodeId u, NodeId v)
+    {
+        src.push_back(u);
+        dst.push_back(v);
+    }
+
+    /** Validate node ids and array lengths; fatal on violation. */
+    void validate() const;
+};
+
+/**
+ * Return a copy with both edge directions present and duplicate edges
+ * removed (self-loops are kept only if @p keep_self_loops).
+ */
+CooGraph symmetrize(const CooGraph &g, bool keep_self_loops = true);
+
+/** Remove duplicate edges (stable on first occurrence ordering lost). */
+CooGraph dedup(const CooGraph &g);
+
+} // namespace graph
+} // namespace gnnbench
+
+#endif // GNNBENCH_GRAPH_COO_H

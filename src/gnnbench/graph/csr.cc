@@ -1,0 +1,40 @@
+#include "gnnbench/graph/csr.h"
+
+namespace gnnbench {
+namespace graph {
+
+void
+CsrGraph::validate() const
+{
+    GNNBENCH_CHECK(static_cast<NodeId>(indptr.size()) == numRows + 1,
+                   "CSR indptr size");
+    GNNBENCH_CHECK(indptr.front() == 0, "CSR indptr[0] != 0");
+    GNNBENCH_CHECK(indptr.back() == numEdges(),
+                   "CSR indptr tail != numEdges");
+    for (NodeId r = 0; r < numRows; ++r)
+        GNNBENCH_CHECK(indptr[r] <= indptr[r + 1],
+                       "CSR indptr not monotone at row ", r);
+    for (NodeId c : indices)
+        GNNBENCH_CHECK(c >= 0 && c < numCols, "CSR column out of range");
+}
+
+std::vector<EdgeId>
+outDegrees(const CsrGraph &g)
+{
+    std::vector<EdgeId> deg(g.numRows);
+    for (NodeId r = 0; r < g.numRows; ++r)
+        deg[r] = g.degree(r);
+    return deg;
+}
+
+std::vector<EdgeId>
+inDegrees(const CsrGraph &g)
+{
+    std::vector<EdgeId> deg(g.numCols, 0);
+    for (NodeId c : g.indices)
+        ++deg[c];
+    return deg;
+}
+
+} // namespace graph
+} // namespace gnnbench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) adjacency, also used (transposed) as
+ * compressed sparse column (CSC).
+ *
+ * The structure supports *bipartite* adjacencies (numRows != numCols)
+ * because sampled message-flow blocks map a set of source nodes onto a
+ * smaller set of destination nodes.
+ */
+
+#ifndef GNNBENCH_GRAPH_CSR_H
+#define GNNBENCH_GRAPH_CSR_H
+
+#include <vector>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace graph {
+
+/**
+ * CSR adjacency: row r's neighbors are indices[indptr[r]..indptr[r+1]).
+ *
+ * For a full graph numRows == numCols == |V|.  When used as a CSC the
+ * "rows" are destination nodes and "neighbors" are in-neighbors; the
+ * semantics are documented at each use site.
+ */
+struct CsrGraph
+{
+    NodeId numRows = 0;
+    NodeId numCols = 0;
+    std::vector<EdgeId> indptr;   // size numRows + 1
+    std::vector<NodeId> indices;  // size numEdges
+
+    EdgeId numEdges() const { return static_cast<EdgeId>(indices.size()); }
+
+    /** Out-degree of row r. */
+    EdgeId
+    degree(NodeId r) const
+    {
+        return indptr[r + 1] - indptr[r];
+    }
+
+    /** Begin pointer of row r's neighbor list. */
+    const NodeId *
+    rowBegin(NodeId r) const
+    {
+        return indices.data() + indptr[r];
+    }
+
+    /** End pointer of row r's neighbor list. */
+    const NodeId *
+    rowEnd(NodeId r) const
+    {
+        return indices.data() + indptr[r + 1];
+    }
+
+    /** Validate structural invariants; fatal on violation. */
+    void validate() const;
+};
+
+/** Per-row degrees of a CSR. */
+std::vector<EdgeId> outDegrees(const CsrGraph &g);
+
+/** Per-column degrees of a CSR (in-degrees of the graph it encodes). */
+std::vector<EdgeId> inDegrees(const CsrGraph &g);
+
+} // namespace graph
+} // namespace gnnbench
+
+#endif // GNNBENCH_GRAPH_CSR_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The six benchmark datasets of the paper (Table 1), reproduced as
+ * statistics-matched synthetic graphs.
+ *
+ * Each dataset records the published node/edge/feature/class counts
+ * and the fixed train/val/test split fractions.  Because the original
+ * raw data is not available offline, loadDataset() synthesizes an
+ * R-MAT graph matched to those statistics, with class-correlated node
+ * features and community-correlated labels (see DESIGN.md §1).  The
+ * three largest graphs carry a default down-scale factor sized for a
+ * single-core CI machine; pass scale_mult > 1 to enlarge.
+ */
+
+#ifndef GNNBENCH_GRAPH_DATASETS_H
+#define GNNBENCH_GRAPH_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/tensor.h"
+#include "gnnbench/graph/coo.h"
+
+namespace gnnbench {
+namespace graph {
+
+/** Published statistics of one benchmark dataset (paper Table 1). */
+struct DatasetInfo
+{
+    std::string name;
+    std::string description;
+    NodeId numNodes;
+    EdgeId numEdges;
+    int64_t numFeatures;
+    int32_t numClasses;
+    double trainFrac;
+    double valFrac;
+    double testFrac;
+    /** Default down-scale applied by loadDataset (1.0 = full size). */
+    double defaultScale;
+};
+
+/** An in-memory node-classification dataset. */
+struct Dataset
+{
+    DatasetInfo info;           ///< published statistics
+    double scale = 1.0;         ///< actually applied scale
+    CooGraph graph;             ///< undirected (symmetrized) edges
+    core::Tensor features;      ///< numNodes x numFeatures
+    std::vector<int32_t> labels;
+    std::vector<NodeId> trainIdx;
+    std::vector<NodeId> valIdx;
+    std::vector<NodeId> testIdx;
+
+    NodeId numNodes() const { return graph.numNodes; }
+    EdgeId numEdges() const { return graph.numEdges(); }
+};
+
+/** All six datasets in the paper's Table 1 order. */
+const std::vector<DatasetInfo> &datasetTable();
+
+/** Look up a dataset by (case-insensitive) name; fatal if unknown. */
+const DatasetInfo &datasetInfo(const std::string &name);
+
+/**
+ * Synthesize the dataset at info.defaultScale * scale_mult, fully
+ * deterministic in @p seed.
+ */
+Dataset loadDataset(const std::string &name, double scale_mult = 1.0,
+                    uint64_t seed = 42);
+
+/** Names of all datasets, in Table 1 order. */
+std::vector<std::string> datasetNames();
+
+} // namespace graph
+} // namespace gnnbench
+
+#endif // GNNBENCH_GRAPH_DATASETS_H

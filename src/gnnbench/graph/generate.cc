@@ -1,0 +1,133 @@
+#include "gnnbench/graph/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "gnnbench/graph/convert.h"
+
+namespace gnnbench {
+namespace graph {
+
+CooGraph
+rmat(NodeId num_nodes, EdgeId num_edges, core::Rng &rng,
+     const RmatParams &params)
+{
+    GNNBENCH_CHECK(num_nodes > 0 && num_edges >= 0, "rmat: bad sizes");
+    GNNBENCH_CHECK(params.a + params.b + params.c <= 1.0,
+                   "rmat: quadrant probabilities exceed 1");
+    const int levels =
+        std::max(1, static_cast<int>(std::ceil(std::log2(
+                        std::max<NodeId>(num_nodes, 2)))));
+    CooGraph g;
+    g.numNodes = num_nodes;
+    g.src.reserve(num_edges);
+    g.dst.reserve(num_edges);
+    // Draw edges; re-draw when an endpoint lands outside [0, n) (the
+    // 2^levels grid can be larger than n).
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        NodeId u = 0, v = 0;
+        NodeId step = NodeId{1} << (levels - 1);
+        for (int l = 0; l < levels; ++l) {
+            // Perturb quadrant probabilities per level so the
+            // distribution is not perfectly self-similar.
+            const double jit =
+                1.0 + params.noise * (2.0 * rng.uniform() - 1.0);
+            const double aa = params.a * jit;
+            const double bb = params.b * jit;
+            const double cc = params.c * jit;
+            const double total = aa + bb + cc +
+                                 (1.0 - params.a - params.b - params.c);
+            const double r = rng.uniform() * total;
+            if (r < aa) {
+                // top-left: no move
+            } else if (r < aa + bb) {
+                v += step;
+            } else if (r < aa + bb + cc) {
+                u += step;
+            } else {
+                u += step;
+                v += step;
+            }
+            step >>= 1;
+        }
+        if (u >= num_nodes || v >= num_nodes) {
+            --e;
+            continue;
+        }
+        g.addEdge(u, v);
+    }
+    // Random relabeling so node id carries no quadrant information.
+    auto perm = rng.permutation(num_nodes);
+    for (auto &u : g.src)
+        u = perm[u];
+    for (auto &v : g.dst)
+        v = perm[v];
+    return g;
+}
+
+CooGraph
+erdosRenyi(NodeId num_nodes, EdgeId num_edges, core::Rng &rng)
+{
+    GNNBENCH_CHECK(num_nodes > 0, "erdosRenyi: empty graph");
+    CooGraph g;
+    g.numNodes = num_nodes;
+    g.src.reserve(num_edges);
+    g.dst.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        g.addEdge(static_cast<NodeId>(rng.uniformInt(num_nodes)),
+                  static_cast<NodeId>(rng.uniformInt(num_nodes)));
+    }
+    return g;
+}
+
+std::vector<int32_t>
+communityLabels(const CooGraph &g, int32_t num_classes, core::Rng &rng,
+                double noise)
+{
+    GNNBENCH_CHECK(num_classes > 0, "communityLabels: no classes");
+    const CsrGraph csr = cooToCsr(symmetrize(g, false));
+    std::vector<int32_t> labels(g.numNodes, -1);
+    // Seed one BFS frontier per class from random distinct nodes and
+    // grow them round-robin; unreachable leftovers get random labels.
+    std::vector<std::queue<NodeId>> frontiers(num_classes);
+    const NodeId seeds = std::min<NodeId>(num_classes, g.numNodes);
+    auto seed_nodes = rng.sampleWithoutReplacement(g.numNodes, seeds);
+    for (NodeId i = 0; i < seeds; ++i) {
+        labels[seed_nodes[i]] = i;
+        frontiers[i].push(seed_nodes[i]);
+    }
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int32_t cls = 0; cls < num_classes; ++cls) {
+            auto &frontier = frontiers[cls];
+            // Pop until one node expands, to keep classes balanced.
+            while (!frontier.empty()) {
+                const NodeId u = frontier.front();
+                frontier.pop();
+                bool expanded = false;
+                for (auto it = csr.rowBegin(u); it != csr.rowEnd(u);
+                     ++it) {
+                    if (labels[*it] == -1) {
+                        labels[*it] = cls;
+                        frontier.push(*it);
+                        expanded = true;
+                    }
+                }
+                if (expanded) {
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (NodeId v = 0; v < g.numNodes; ++v) {
+        if (labels[v] == -1 || rng.bernoulli(noise))
+            labels[v] = static_cast<int32_t>(rng.uniformInt(num_classes));
+    }
+    return labels;
+}
+
+} // namespace graph
+} // namespace gnnbench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The paper's six benchmark datasets are real graphs; offline we
+ * substitute statistics-matched synthetic graphs (see DESIGN.md §1).
+ * The R-MAT generator produces the skewed, community-structured degree
+ * distributions characteristic of social / co-purchase / citation
+ * networks, which is what the samplers and kernels are sensitive to.
+ */
+
+#ifndef GNNBENCH_GRAPH_GENERATE_H
+#define GNNBENCH_GRAPH_GENERATE_H
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/graph/coo.h"
+
+namespace gnnbench {
+namespace graph {
+
+/** Parameters of the R-MAT recursive edge generator. */
+struct RmatParams
+{
+    double a = 0.57;  ///< top-left quadrant probability
+    double b = 0.19;  ///< top-right
+    double c = 0.19;  ///< bottom-left (d = 1 - a - b - c)
+    double noise = 0.1;  ///< per-level probability perturbation
+};
+
+/**
+ * Generate an R-MAT graph with @p num_nodes nodes and (approximately,
+ * after dedup re-draws) @p num_edges directed edges.  Node ids are
+ * randomly permuted so that id order carries no structure.
+ */
+CooGraph rmat(NodeId num_nodes, EdgeId num_edges, core::Rng &rng,
+              const RmatParams &params = RmatParams{});
+
+/** Uniform (Erdos-Renyi G(n, m)) random graph, for tests/baselines. */
+CooGraph erdosRenyi(NodeId num_nodes, EdgeId num_edges, core::Rng &rng);
+
+/**
+ * Community-structured label assignment: runs @p num_classes seeded
+ * BFS frontiers over the graph so labels correlate with topology (as
+ * they do in real node-classification datasets), then flips a
+ * @p noise fraction of labels uniformly at random.
+ */
+std::vector<int32_t> communityLabels(const CooGraph &g,
+                                     int32_t num_classes,
+                                     core::Rng &rng,
+                                     double noise = 0.1);
+
+} // namespace graph
+} // namespace gnnbench
+
+#endif // GNNBENCH_GRAPH_GENERATE_H

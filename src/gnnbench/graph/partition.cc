@@ -1,0 +1,293 @@
+#include "gnnbench/graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace gnnbench {
+namespace graph {
+
+namespace {
+
+/** Weighted graph used on the coarse levels. */
+struct WGraph
+{
+    NodeId n = 0;
+    std::vector<EdgeId> indptr;
+    std::vector<NodeId> adj;
+    std::vector<int64_t> wadj;   ///< edge weights
+    std::vector<int64_t> wnode;  ///< node weights
+};
+
+WGraph
+fromCsr(const CsrGraph &g)
+{
+    WGraph w;
+    w.n = g.numRows;
+    w.indptr = g.indptr;
+    w.adj = g.indices;
+    w.wadj.assign(g.indices.size(), 1);
+    w.wnode.assign(g.numRows, 1);
+    return w;
+}
+
+/**
+ * One level of heavy-edge-matching coarsening.  Returns the coarse
+ * graph and fills @p coarse_of with the fine -> coarse node map.
+ */
+WGraph
+coarsen(const WGraph &g, core::Rng &rng, std::vector<NodeId> &coarse_of)
+{
+    coarse_of.assign(g.n, -1);
+    std::vector<NodeId> match(g.n, -1);
+    auto order = rng.permutation(g.n);
+    NodeId coarse_n = 0;
+    for (NodeId u : order) {
+        if (match[u] != -1)
+            continue;
+        // Pick the unmatched neighbor with the heaviest edge.
+        NodeId best = -1;
+        int64_t best_w = -1;
+        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+            const NodeId v = g.adj[e];
+            if (v != u && match[v] == -1 && g.wadj[e] > best_w) {
+                best_w = g.wadj[e];
+                best = v;
+            }
+        }
+        match[u] = (best == -1) ? u : best;
+        if (best != -1)
+            match[best] = u;
+        coarse_of[u] = coarse_n;
+        if (best != -1)
+            coarse_of[best] = coarse_n;
+        ++coarse_n;
+    }
+    // Build the coarse graph, merging parallel edges with a
+    // timestamped dense accumulator.
+    WGraph c;
+    c.n = coarse_n;
+    c.wnode.assign(coarse_n, 0);
+    for (NodeId u = 0; u < g.n; ++u)
+        c.wnode[coarse_of[u]] += g.wnode[u];
+
+    std::vector<NodeId> mark(coarse_n, -1);
+    std::vector<int64_t> acc(coarse_n, 0);
+    std::vector<NodeId> touched;
+    c.indptr.assign(coarse_n + 1, 0);
+
+    // Group fine nodes by coarse id so each coarse row is built once.
+    std::vector<NodeId> members(g.n);
+    std::vector<EdgeId> member_ptr(coarse_n + 1, 0);
+    for (NodeId u = 0; u < g.n; ++u)
+        ++member_ptr[coarse_of[u] + 1];
+    for (NodeId cidx = 0; cidx < coarse_n; ++cidx)
+        member_ptr[cidx + 1] += member_ptr[cidx];
+    {
+        std::vector<EdgeId> cursor(member_ptr.begin(),
+                                   member_ptr.end() - 1);
+        for (NodeId u = 0; u < g.n; ++u)
+            members[cursor[coarse_of[u]]++] = u;
+    }
+
+    for (NodeId cu = 0; cu < coarse_n; ++cu) {
+        touched.clear();
+        for (EdgeId mi = member_ptr[cu]; mi < member_ptr[cu + 1]; ++mi) {
+            const NodeId u = members[mi];
+            for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+                const NodeId cv = coarse_of[g.adj[e]];
+                if (cv == cu)
+                    continue;
+                if (mark[cv] != cu) {
+                    mark[cv] = cu;
+                    acc[cv] = 0;
+                    touched.push_back(cv);
+                }
+                acc[cv] += g.wadj[e];
+            }
+        }
+        c.indptr[cu + 1] = c.indptr[cu] + touched.size();
+        for (NodeId cv : touched) {
+            c.adj.push_back(cv);
+            c.wadj.push_back(acc[cv]);
+        }
+    }
+    return c;
+}
+
+/** Greedy BFS initial partition of the coarsest graph into k parts. */
+std::vector<int32_t>
+initialPartition(const WGraph &g, int32_t k, core::Rng &rng,
+                 double balance)
+{
+    std::vector<int32_t> part(g.n, -1);
+    const int64_t total =
+        std::accumulate(g.wnode.begin(), g.wnode.end(), int64_t{0});
+    const double target = static_cast<double>(total) / k;
+    const double cap = balance * target;
+
+    auto order = rng.permutation(g.n);
+    size_t seed_cursor = 0;
+    std::vector<int64_t> weight(k, 0);
+
+    for (int32_t p = 0; p < k; ++p) {
+        // Find an unassigned seed.
+        while (seed_cursor < order.size() && part[order[seed_cursor]] != -1)
+            ++seed_cursor;
+        if (seed_cursor >= order.size())
+            break;
+        std::queue<NodeId> bfs;
+        bfs.push(order[seed_cursor]);
+        part[order[seed_cursor]] = p;
+        weight[p] += g.wnode[order[seed_cursor]];
+        while (!bfs.empty() && weight[p] < target) {
+            const NodeId u = bfs.front();
+            bfs.pop();
+            for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+                const NodeId v = g.adj[e];
+                if (part[v] == -1 && weight[p] + g.wnode[v] <= cap) {
+                    part[v] = p;
+                    weight[p] += g.wnode[v];
+                    bfs.push(v);
+                    if (weight[p] >= target)
+                        break;
+                }
+            }
+        }
+    }
+    // Leftovers: lightest part.
+    for (NodeId u = 0; u < g.n; ++u) {
+        if (part[u] != -1)
+            continue;
+        const auto lightest = static_cast<int32_t>(std::distance(
+            weight.begin(),
+            std::min_element(weight.begin(), weight.end())));
+        part[u] = lightest;
+        weight[lightest] += g.wnode[u];
+    }
+    return part;
+}
+
+/** One greedy boundary-move refinement pass. */
+void
+refine(const WGraph &g, std::vector<int32_t> &part, int32_t k,
+       core::Rng &rng, double balance, int iters)
+{
+    std::vector<int64_t> weight(k, 0);
+    for (NodeId u = 0; u < g.n; ++u)
+        weight[part[u]] += g.wnode[u];
+    const int64_t total =
+        std::accumulate(weight.begin(), weight.end(), int64_t{0});
+    const double cap = balance * static_cast<double>(total) / k;
+
+    std::vector<int64_t> conn(k, 0);
+    std::vector<int32_t> touched;
+    for (int it = 0; it < iters; ++it) {
+        bool moved = false;
+        auto order = rng.permutation(g.n);
+        for (NodeId u : order) {
+            const int32_t cur = part[u];
+            touched.clear();
+            for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+                const int32_t pv = part[g.adj[e]];
+                if (conn[pv] == 0)
+                    touched.push_back(pv);
+                conn[pv] += g.wadj[e];
+            }
+            int32_t best = cur;
+            int64_t best_gain = 0;
+            for (int32_t pv : touched) {
+                if (pv == cur)
+                    continue;
+                const int64_t gain = conn[pv] - conn[cur];
+                if (gain > best_gain &&
+                    weight[pv] + g.wnode[u] <= cap) {
+                    best_gain = gain;
+                    best = pv;
+                }
+            }
+            for (int32_t pv : touched)
+                conn[pv] = 0;
+            if (best != cur) {
+                weight[cur] -= g.wnode[u];
+                weight[best] += g.wnode[u];
+                part[u] = best;
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+    }
+}
+
+} // namespace
+
+EdgeId
+countCutEdges(const CsrGraph &g, const std::vector<int32_t> &assignment)
+{
+    EdgeId cut = 0;
+    for (NodeId u = 0; u < g.numRows; ++u)
+        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e)
+            if (assignment[u] != assignment[g.indices[e]])
+                ++cut;
+    return cut;
+}
+
+PartitionResult
+partitionGraph(const CsrGraph &g, int32_t k, core::Rng &rng,
+               const PartitionOptions &opts)
+{
+    GNNBENCH_CHECK(g.numRows == g.numCols,
+                   "partitionGraph expects a square adjacency");
+    GNNBENCH_CHECK(k > 0, "partitionGraph: k must be positive");
+
+    PartitionResult result;
+    result.numParts = k;
+
+    if (k >= g.numRows) {
+        // Degenerate: at most one node per part.
+        result.assignment.resize(g.numRows);
+        for (NodeId u = 0; u < g.numRows; ++u)
+            result.assignment[u] = u % k;
+    } else {
+        // Coarsening phase.
+        std::vector<WGraph> levels;
+        std::vector<std::vector<NodeId>> maps;
+        levels.push_back(fromCsr(g));
+        const NodeId stop_n = std::max<NodeId>(
+            static_cast<NodeId>(opts.coarsenToFactor) * k, 256);
+        while (levels.back().n > stop_n) {
+            std::vector<NodeId> coarse_of;
+            WGraph c = coarsen(levels.back(), rng, coarse_of);
+            if (c.n >= levels.back().n * 95 / 100)
+                break;  // matching stalled (e.g., star graphs)
+            maps.push_back(std::move(coarse_of));
+            levels.push_back(std::move(c));
+        }
+        // Initial partition + refinement on the coarsest level.
+        auto part = initialPartition(levels.back(), k, rng, opts.balance);
+        refine(levels.back(), part, k, rng, opts.balance,
+               opts.refineIters);
+        // Uncoarsen with refinement at each level.
+        for (size_t lvl = maps.size(); lvl-- > 0;) {
+            const auto &map = maps[lvl];
+            std::vector<int32_t> fine_part(map.size());
+            for (size_t u = 0; u < map.size(); ++u)
+                fine_part[u] = part[map[u]];
+            part = std::move(fine_part);
+            refine(levels[lvl], part, k, rng, opts.balance,
+                   opts.refineIters);
+        }
+        result.assignment = std::move(part);
+    }
+
+    result.cutEdges = countCutEdges(g, result.assignment);
+    std::vector<NodeId> sizes(k, 0);
+    for (int32_t p : result.assignment)
+        ++sizes[p];
+    result.maxPartSize = *std::max_element(sizes.begin(), sizes.end());
+    return result;
+}
+
+} // namespace graph
+} // namespace gnnbench

@@ -1,0 +1,198 @@
+#include "gnnbench/io/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace gnnbench {
+namespace io {
+
+namespace {
+
+constexpr uint64_t kDatasetMagic = 0x474e4e42444154ULL;  // "GNNBDAT"
+constexpr uint64_t kParamsMagic = 0x474e4e42505253ULL;   // "GNNBPRS"
+constexpr uint32_t kFormatVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    GNNBENCH_CHECK(in.good(), "serialized file truncated");
+    return value;
+}
+
+template <typename T>
+void
+writeVec(std::ostream &out, const std::vector<T> &v)
+{
+    writePod<uint64_t>(out, v.size());
+    if (!v.empty())
+        out.write(reinterpret_cast<const char *>(v.data()),
+                  static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::istream &in)
+{
+    const auto n = readPod<uint64_t>(in);
+    std::vector<T> v(n);
+    if (n > 0) {
+        in.read(reinterpret_cast<char *>(v.data()),
+                static_cast<std::streamsize>(n * sizeof(T)));
+        GNNBENCH_CHECK(in.good(), "serialized file truncated");
+    }
+    return v;
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writePod<uint64_t>(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &in)
+{
+    const auto n = readPod<uint64_t>(in);
+    std::string s(n, '\0');
+    if (n > 0) {
+        in.read(s.data(), static_cast<std::streamsize>(n));
+        GNNBENCH_CHECK(in.good(), "serialized file truncated");
+    }
+    return s;
+}
+
+} // namespace
+
+void
+writeTensor(std::ostream &out, const core::Tensor &t)
+{
+    writePod<int64_t>(out, t.rows());
+    writePod<int64_t>(out, t.cols());
+    out.write(reinterpret_cast<const char *>(t.data()),
+              static_cast<std::streamsize>(t.bytes()));
+}
+
+core::Tensor
+readTensor(std::istream &in)
+{
+    const auto rows = readPod<int64_t>(in);
+    const auto cols = readPod<int64_t>(in);
+    GNNBENCH_CHECK(rows >= 0 && cols >= 0,
+                   "serialized tensor has invalid shape");
+    core::Tensor t = core::Tensor::empty(rows, cols);
+    if (t.numel() > 0) {
+        in.read(reinterpret_cast<char *>(t.data()),
+                static_cast<std::streamsize>(t.bytes()));
+        GNNBENCH_CHECK(in.good(), "serialized tensor truncated");
+    }
+    return t;
+}
+
+void
+saveDataset(const graph::Dataset &dataset, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    GNNBENCH_CHECK(out.is_open(), "cannot open '", path,
+                   "' for writing");
+    writePod(out, kDatasetMagic);
+    writePod(out, kFormatVersion);
+    writeString(out, dataset.info.name);
+    writePod(out, dataset.scale);
+    writePod<int32_t>(out, dataset.info.numClasses);
+    writePod<NodeId>(out, dataset.graph.numNodes);
+    writeVec(out, dataset.graph.src);
+    writeVec(out, dataset.graph.dst);
+    writeTensor(out, dataset.features);
+    writeVec(out, dataset.labels);
+    writeVec(out, dataset.trainIdx);
+    writeVec(out, dataset.valIdx);
+    writeVec(out, dataset.testIdx);
+    GNNBENCH_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+graph::Dataset
+loadDatasetFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GNNBENCH_CHECK(in.is_open(), "cannot open '", path,
+                   "' for reading");
+    GNNBENCH_CHECK(readPod<uint64_t>(in) == kDatasetMagic,
+                   "'", path, "' is not a gnnbench dataset file");
+    GNNBENCH_CHECK(readPod<uint32_t>(in) == kFormatVersion,
+                   "unsupported dataset format version in '", path,
+                   "'");
+    graph::Dataset ds;
+    const std::string name = readString(in);
+    ds.info = graph::datasetInfo(name);
+    ds.scale = readPod<double>(in);
+    const auto classes = readPod<int32_t>(in);
+    GNNBENCH_CHECK(classes == ds.info.numClasses,
+                   "class count mismatch in '", path, "'");
+    ds.graph.numNodes = readPod<NodeId>(in);
+    ds.graph.src = readVec<NodeId>(in);
+    ds.graph.dst = readVec<NodeId>(in);
+    ds.features = readTensor(in);
+    ds.labels = readVec<int32_t>(in);
+    ds.trainIdx = readVec<NodeId>(in);
+    ds.valIdx = readVec<NodeId>(in);
+    ds.testIdx = readVec<NodeId>(in);
+    ds.graph.validate();
+    GNNBENCH_CHECK(ds.features.rows() == ds.graph.numNodes &&
+                       ds.labels.size() ==
+                           static_cast<size_t>(ds.graph.numNodes),
+                   "dataset sections inconsistent in '", path, "'");
+    return ds;
+}
+
+void
+saveParams(const std::vector<core::ag::Var> &params,
+           const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    GNNBENCH_CHECK(out.is_open(), "cannot open '", path,
+                   "' for writing");
+    writePod(out, kParamsMagic);
+    writePod(out, kFormatVersion);
+    writePod<uint64_t>(out, params.size());
+    for (const auto &p : params)
+        writeTensor(out, p->value);
+    GNNBENCH_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+void
+loadParams(const std::vector<core::ag::Var> &params,
+           const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GNNBENCH_CHECK(in.is_open(), "cannot open '", path,
+                   "' for reading");
+    GNNBENCH_CHECK(readPod<uint64_t>(in) == kParamsMagic,
+                   "'", path, "' is not a gnnbench parameter file");
+    GNNBENCH_CHECK(readPod<uint32_t>(in) == kFormatVersion,
+                   "unsupported parameter format version in '", path,
+                   "'");
+    const auto count = readPod<uint64_t>(in);
+    GNNBENCH_CHECK(count == params.size(),
+                   "parameter count mismatch: file has ", count,
+                   ", model has ", params.size());
+    for (const auto &p : params) {
+        core::Tensor t = readTensor(in);
+        GNNBENCH_CHECK(t.sameShape(p->value),
+                       "parameter shape mismatch in '", path, "'");
+        p->value = std::move(t);
+    }
+}
+
+} // namespace io
+} // namespace gnnbench

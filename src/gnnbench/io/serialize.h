@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary serialization of datasets and model parameters.
+ *
+ * Benchmark runs synthesize datasets deterministically, but
+ * downstream users want to snapshot exact inputs and trained weights
+ * (e.g. to compare frameworks on byte-identical data, or to resume
+ * training).  The format is a simple tagged binary layout:
+ * magic, format version, then length-prefixed sections — fully
+ * validated on load (truncation, bad magic, and shape mismatches are
+ * fatal with a clear message).
+ */
+
+#ifndef GNNBENCH_IO_SERIALIZE_H
+#define GNNBENCH_IO_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/autograd.h"
+#include "gnnbench/graph/datasets.h"
+
+namespace gnnbench {
+namespace io {
+
+/** Serialize one tensor (shape + raw float32 data). */
+void writeTensor(std::ostream &out, const core::Tensor &t);
+
+/** Deserialize one tensor; fatal on truncation. */
+core::Tensor readTensor(std::istream &in);
+
+/** Save a dataset (graph, features, labels, splits) to @p path. */
+void saveDataset(const graph::Dataset &dataset,
+                 const std::string &path);
+
+/** Load a dataset previously saved with saveDataset. */
+graph::Dataset loadDatasetFile(const std::string &path);
+
+/**
+ * Save the values of a parameter list (e.g. the concatenated
+ * params() of a model's layers) to @p path.
+ */
+void saveParams(const std::vector<core::ag::Var> &params,
+                const std::string &path);
+
+/**
+ * Load parameter values saved with saveParams into @p params.
+ * Count and shapes must match exactly (fatal otherwise).
+ */
+void loadParams(const std::vector<core::ag::Var> &params,
+                const std::string &path);
+
+} // namespace io
+} // namespace gnnbench
+
+#endif // GNNBENCH_IO_SERIALIZE_H

@@ -1,0 +1,205 @@
+#include "gnnbench/models/clustergcn.h"
+
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/models/feature_fetch.h"
+#include "gnnbench/models/induced_step.h"
+#include "gnnbench/pygx/dataloader.h"
+#include "gnnbench/pygx/sampler.h"
+
+namespace gnnbench {
+namespace models {
+
+using profiling::Phase;
+
+namespace {
+
+TrainResult
+runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
+        device::Session &session, profiling::PhaseTracker &tracker)
+{
+    core::Rng rng(cfg.seed);
+    dglx::LoadedData ld;
+    {
+        auto s = tracker.track(Phase::DataLoading);
+        ld = dglx::DataLoader::load(dataset);
+    }
+    const auto train_dev = usesGpu(cfg.mode)
+                               ? device::DeviceType::GPU
+                               : device::DeviceType::CPU;
+    dglx::KernelCtx ctx{&session, train_dev, dglx::Costs{}};
+
+    core::Rng wrng = rng.fork();
+    dglx::GcnConv layer1(dataset.info.numFeatures, cfg.hiddenDim,
+                         wrng);
+    dglx::GcnConv layer2(cfg.hiddenDim, dataset.info.numClasses,
+                         wrng);
+    std::vector<core::ag::Var> params = layer1.params();
+    params.insert(params.end(), layer2.params().begin(),
+                  layer2.params().end());
+    core::Adam opt(params, cfg.lr);
+
+    if (usesGpu(cfg.mode)) {
+        auto s = tracker.track(Phase::DataMovement);
+        uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
+        if (cfg.preloadFeatures)
+            bytes += ld.features.bytes() +
+                     ld.graph->structureBytes();
+        session.transfer(bytes);
+        GNNBENCH_CHECK(session.reserveGpu(bytes), "GPU memory");
+    }
+
+    const int32_t num_parts =
+        std::min<int32_t>(cfg.numParts, dataset.numNodes() / 2);
+    const int32_t per_batch =
+        std::min(cfg.clustersPerBatch, num_parts);
+    std::unique_ptr<dglx::ClusterSampler> sampler;
+    {
+        // Includes the one-time METIS-style partitioning.
+        auto s = tracker.track(Phase::Sampling);
+        sampler = std::make_unique<dglx::ClusterSampler>(
+            *ld.graph, num_parts, rng.fork());
+    }
+    const int batches_per_epoch =
+        std::max(1, num_parts / per_batch);
+
+    const auto mask = trainMask(dataset.numNodes(), ld.trainIdx);
+    TrainResult result;
+    double prev_train_seconds = 0.0;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        EpochStats es;
+        for (int b = 0; b < batches_per_epoch; ++b) {
+            sampling::InducedSample smp;
+            {
+                auto s = tracker.track(Phase::Sampling);
+                smp = sampler->sample(per_batch);
+            }
+            core::Tensor x = fetchFeatures(
+                ld.features, smp.nodes, cfg.mode,
+                cfg.preloadFeatures, cfg.prefetch,
+                prev_train_seconds, session, tracker,
+                smp.structureBytes());
+            const auto sup =
+                localSupervision(smp.nodes, ld.labels, mask);
+            const auto t0 = session.snapshot();
+            {
+                auto s = tracker.track(Phase::Training);
+                inducedStepDglx(smp, std::move(x), sup, layer1,
+                                layer2, opt, ctx, es);
+            }
+            prev_train_seconds = device::Session::virtualSeconds(
+                t0, session.snapshot());
+        }
+        es.loss /= std::max<int64_t>(es.total, 1);
+        result.epochs.push_back(es);
+    }
+
+    TrainResult final = finalizeResult(Framework::Dglx, cfg.mode,
+                                       tracker, power::PowerSpec{});
+    final.epochs = std::move(result.epochs);
+    return final;
+}
+
+TrainResult
+runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
+        device::Session &session, profiling::PhaseTracker &tracker)
+{
+    core::Rng rng(cfg.seed);
+    pygx::LoadedData ld;
+    {
+        auto s = tracker.track(Phase::DataLoading);
+        ld = pygx::DataLoader::load(dataset);
+    }
+    const auto train_dev = usesGpu(cfg.mode)
+                               ? device::DeviceType::GPU
+                               : device::DeviceType::CPU;
+    pygx::KernelCtx ctx{&session, train_dev, pygx::Costs{},
+                        1.0 / dataset.scale};
+
+    core::Rng wrng = rng.fork();
+    pygx::GcnConv layer1(dataset.info.numFeatures, cfg.hiddenDim,
+                         wrng);
+    pygx::GcnConv layer2(cfg.hiddenDim, dataset.info.numClasses,
+                         wrng);
+    std::vector<core::ag::Var> params = layer1.params();
+    params.insert(params.end(), layer2.params().begin(),
+                  layer2.params().end());
+    core::Adam opt(params, cfg.lr);
+
+    if (usesGpu(cfg.mode)) {
+        auto s = tracker.track(Phase::DataMovement);
+        uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
+        if (cfg.preloadFeatures)
+            bytes +=
+                ld.features.bytes() + ld.data->structureBytes();
+        session.transfer(bytes);
+        GNNBENCH_CHECK(session.reserveGpu(bytes), "GPU memory");
+    }
+
+    const int32_t num_parts =
+        std::min<int32_t>(cfg.numParts, dataset.numNodes() / 2);
+    const int32_t per_batch =
+        std::min(cfg.clustersPerBatch, num_parts);
+    std::unique_ptr<pygx::ClusterSampler> sampler;
+    {
+        auto s = tracker.track(Phase::Sampling);
+        sampler = std::make_unique<pygx::ClusterSampler>(
+            *ld.data, num_parts, rng.fork(), &session);
+    }
+    const int batches_per_epoch =
+        std::max(1, num_parts / per_batch);
+
+    const auto mask = trainMask(dataset.numNodes(), ld.trainIdx);
+    TrainResult result;
+    double prev_train_seconds = 0.0;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        EpochStats es;
+        for (int b = 0; b < batches_per_epoch; ++b) {
+            pygx::EdgeBatch batch;
+            {
+                auto s = tracker.track(Phase::Sampling);
+                batch = sampler->sample(per_batch);
+            }
+            core::Tensor x = fetchFeatures(
+                ld.features, batch.nodes, cfg.mode,
+                cfg.preloadFeatures, cfg.prefetch,
+                prev_train_seconds, session, tracker,
+                batch.structureBytes());
+            const auto sup =
+                localSupervision(batch.nodes, ld.labels, mask);
+            const auto t0 = session.snapshot();
+            {
+                auto s = tracker.track(Phase::Training);
+                inducedStepPygx(batch, std::move(x), sup, layer1,
+                                layer2, opt, ctx, es);
+            }
+            prev_train_seconds = device::Session::virtualSeconds(
+                t0, session.snapshot());
+        }
+        es.loss /= std::max<int64_t>(es.total, 1);
+        result.epochs.push_back(es);
+    }
+
+    TrainResult final = finalizeResult(Framework::Pygx, cfg.mode,
+                                       tracker, power::PowerSpec{});
+    final.epochs = std::move(result.epochs);
+    return final;
+}
+
+} // namespace
+
+TrainResult
+trainClusterGcn(const graph::Dataset &dataset, const TrainConfig &cfg)
+{
+    GNNBENCH_CHECK(cfg.mode == RunMode::CPU ||
+                       cfg.mode == RunMode::CPUGPU,
+                   "ClusterGCN supports CPU and CPUGPU modes only");
+    device::Session session;
+    profiling::PhaseTracker tracker(session);
+    if (cfg.framework == Framework::Dglx)
+        return runDglx(dataset, cfg, session, tracker);
+    return runPygx(dataset, cfg, session, tracker);
+}
+
+} // namespace models
+} // namespace gnnbench

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * End-to-end ClusterGCN training (Chiang et al. 2019): METIS-style
+ * partitioning into 2000 clusters, mini-batches of 50 random clusters,
+ * two GCN layers — the configuration of the paper's Figures 10-13.
+ */
+
+#ifndef GNNBENCH_MODELS_CLUSTERGCN_H
+#define GNNBENCH_MODELS_CLUSTERGCN_H
+
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+/** Train ClusterGCN; CPU and CPUGPU modes only (as benchmarked). */
+TrainResult trainClusterGcn(const graph::Dataset &dataset,
+                            const TrainConfig &config);
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_CLUSTERGCN_H

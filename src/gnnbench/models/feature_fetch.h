@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-batch feature fetching shared by the model pipelines.
+ *
+ * Encapsulates the phase accounting of getting a mini-batch's node
+ * features to the training device under every placement mode:
+ * feature *fetching* counts as sampling (as the paper defines the
+ * sampling phase), PCIe copies count as data movement, pre-loaded /
+ * GPU-resident gathers run as modeled GPU kernels, and UVA reads
+ * cross PCIe zero-copy.
+ */
+
+#ifndef GNNBENCH_MODELS_FEATURE_FETCH_H
+#define GNNBENCH_MODELS_FEATURE_FETCH_H
+
+#include "gnnbench/core/ops.h"
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+/**
+ * Gather the feature rows of @p nodes and account the movement of
+ * the gathered features plus @p structure_bytes of sampled-graph
+ * structure according to @p mode.
+ *
+ * @param prev_train_seconds duration of the previous batch's training
+ * step, used to hide transfers when @p prefetch is set.
+ */
+inline core::Tensor
+fetchFeatures(const core::Tensor &features,
+              const std::vector<NodeId> &nodes, RunMode mode,
+              bool preloaded, bool prefetch, double prev_train_seconds,
+              device::Session &session,
+              profiling::PhaseTracker &tracker,
+              uint64_t structure_bytes)
+{
+    core::Tensor x;
+    const uint64_t feat_bytes =
+        static_cast<uint64_t>(nodes.size()) * features.cols() * 4;
+
+    auto gather_cpu = [&] {
+        auto s = tracker.track(profiling::Phase::Sampling);
+        x = core::ops::gatherRows(features, nodes);
+    };
+    auto gather_gpu = [&] {
+        auto s = tracker.track(profiling::Phase::Sampling);
+        device::KernelDesc desc;
+        desc.name = "feature_gather";
+        desc.bytes = 2.0 * static_cast<double>(feat_bytes);
+        desc.efficiency = 0.3;  // irregular row gather
+        session.runKernel(device::DeviceType::GPU, desc, [&] {
+            x = core::ops::gatherRows(features, nodes);
+        });
+    };
+
+    switch (mode) {
+      case RunMode::CPU:
+        gather_cpu();
+        break;
+      case RunMode::CPUGPU:
+        if (!preloaded) {
+            gather_cpu();
+            auto s = tracker.track(profiling::Phase::DataMovement);
+            if (prefetch) {
+                session.transferOverlapped(
+                    feat_bytes + structure_bytes, prev_train_seconds);
+            } else {
+                session.transfer(feat_bytes + structure_bytes);
+            }
+        } else {
+            {
+                auto s =
+                    tracker.track(profiling::Phase::DataMovement);
+                session.transfer(structure_bytes);
+            }
+            gather_gpu();
+        }
+        break;
+      case RunMode::GPU:
+        // Graph, features, and sampled structure are all resident.
+        gather_gpu();
+        break;
+      case RunMode::UVAGPU: {
+        auto s = tracker.track(profiling::Phase::Sampling);
+        core::Timer t;
+        x = core::ops::gatherRows(features, nodes);
+        session.excludeWall(t.elapsed());
+        session.uvaAccess(feat_bytes);
+        break;
+      }
+    }
+    return x;
+}
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_FEATURE_FETCH_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Full-batch GraphSAGE training (paper Section 4.3, Figures 22-24):
+ * a two-layer mean-aggregator SAGE trained on the entire graph
+ * without sampling, on CPU or GPU, in both frameworks.  Reported per
+ * epoch, averaged over several measured epochs after a warmup.
+ */
+
+#ifndef GNNBENCH_MODELS_FULLBATCH_H
+#define GNNBENCH_MODELS_FULLBATCH_H
+
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+/** Per-epoch metrics of a full-batch run. */
+struct FullBatchResult
+{
+    std::string config;          ///< e.g. "DGL-GPU"
+    double secondsPerEpoch = 0.0;
+    power::EnergyReport energyPerEpoch;
+
+    double
+    avgWatts() const
+    {
+        return energyPerEpoch.avgWatts();
+    }
+};
+
+/**
+ * Train full-batch GraphSAGE and measure @p measured_epochs epochs
+ * (after one untimed warmup epoch).
+ * @param mode RunMode::CPU or RunMode::GPU.
+ */
+FullBatchResult trainFullBatchSage(const graph::Dataset &dataset,
+                                   Framework framework, RunMode mode,
+                                   int measured_epochs = 5,
+                                   uint64_t seed = 1);
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_FULLBATCH_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * End-to-end GraphSAGE training (Hamilton et al. 2017) with
+ * neighborhood sampling, in both frameworks and all placement modes.
+ *
+ * Two SAGEConv layers (mean aggregation, hidden 256, ReLU between),
+ * Adam, NLL loss over each batch's seeds — the configuration of the
+ * paper's Figures 6-9 (and, with preloadFeatures, Figures 18-19; with
+ * GPU/UVAGPU modes, Figures 20-21).
+ */
+
+#ifndef GNNBENCH_MODELS_GRAPHSAGE_H
+#define GNNBENCH_MODELS_GRAPHSAGE_H
+
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+/**
+ * Train GraphSAGE on @p dataset under @p config.
+ * GPU/UVAGPU sampling modes are dglx-only, as in DGL.
+ */
+TrainResult trainGraphSage(const graph::Dataset &dataset,
+                           const TrainConfig &config);
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_GRAPHSAGE_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * End-to-end GraphSAINT training (Zeng et al. 2020) with the
+ * random-walk sampler (3000 roots, walk length 2), two GCN layers —
+ * the configuration of the paper's Figures 14-17.
+ */
+
+#ifndef GNNBENCH_MODELS_GRAPHSAINT_H
+#define GNNBENCH_MODELS_GRAPHSAINT_H
+
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+/** Train GraphSAINT; CPU and CPUGPU modes only (as benchmarked). */
+TrainResult trainGraphSaint(const graph::Dataset &dataset,
+                            const TrainConfig &config);
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_GRAPHSAINT_H

@@ -1,0 +1,96 @@
+#include "gnnbench/models/pipeline.h"
+
+namespace gnnbench {
+namespace models {
+
+const char *
+frameworkName(Framework fw)
+{
+    return fw == Framework::Dglx ? "DGL" : "PyG";
+}
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::CPU:
+        return "CPU";
+      case RunMode::CPUGPU:
+        return "CPUGPU";
+      case RunMode::GPU:
+        return "GPU";
+      case RunMode::UVAGPU:
+        return "UVAGPU";
+    }
+    return "?";
+}
+
+std::string
+configName(Framework fw, RunMode mode)
+{
+    return std::string(frameworkName(fw)) + "-" + runModeName(mode);
+}
+
+double
+TrainResult::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &slice : phases)
+        total += slice.seconds();
+    return total;
+}
+
+TrainResult
+finalizeResult(Framework fw, RunMode mode,
+               const profiling::PhaseTracker &tracker,
+               const power::PowerSpec &power_spec)
+{
+    TrainResult result;
+    result.config = configName(fw, mode);
+    power::ActivitySlice total;
+    for (int p = 0; p < profiling::kNumPhases; ++p) {
+        result.phases[p] =
+            tracker.phase(static_cast<profiling::Phase>(p));
+        total += result.phases[p];
+    }
+    const power::PowerModel model(power_spec, usesGpu(mode));
+    result.energy = model.energyOf(total);
+    return result;
+}
+
+std::vector<std::vector<NodeId>>
+makeBatches(const std::vector<NodeId> &ids, int batch_size,
+            core::Rng &rng)
+{
+    GNNBENCH_CHECK(batch_size > 0, "batch size must be positive");
+    std::vector<NodeId> shuffled = ids;
+    rng.shuffle(shuffled);
+    std::vector<std::vector<NodeId>> batches;
+    for (size_t start = 0; start < shuffled.size();
+         start += batch_size) {
+        const size_t end =
+            std::min(shuffled.size(), start + batch_size);
+        batches.emplace_back(shuffled.begin() + start,
+                             shuffled.begin() + end);
+    }
+    return batches;
+}
+
+int
+saintBatchesPerEpoch(NodeId num_nodes, int32_t roots,
+                     int32_t walk_length)
+{
+    const int64_t per_batch =
+        static_cast<int64_t>(roots) * (walk_length + 1);
+    return static_cast<int>(
+        std::max<int64_t>(1, (num_nodes + per_batch - 1) / per_batch));
+}
+
+bool
+usesGpu(RunMode mode)
+{
+    return mode != RunMode::CPU;
+}
+
+} // namespace models
+} // namespace gnnbench

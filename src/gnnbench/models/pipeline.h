@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared configuration and result types of the end-to-end GNN
+ * training pipelines (GraphSAGE, ClusterGCN, GraphSAINT, full-batch).
+ *
+ * A pipeline run follows the paper's Figure 2 workflow — data
+ * loading, then per-batch sampling / data movement / model training —
+ * with every phase accounted through profiling::PhaseTracker and the
+ * device model, and energy integrated by the power model.
+ */
+
+#ifndef GNNBENCH_MODELS_PIPELINE_H
+#define GNNBENCH_MODELS_PIPELINE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/graph/datasets.h"
+#include "gnnbench/power/energy_meter.h"
+#include "gnnbench/profiling/profiler.h"
+
+namespace gnnbench {
+namespace models {
+
+/** Which framework implementation executes the run. */
+enum class Framework { Dglx, Pygx };
+
+/**
+ * Device placement, matching the paper's configuration labels:
+ *  - CPU:    sampling and training on CPU ("DGL-CPU"/"PyG-CPU")
+ *  - CPUGPU: sampling on CPU, training on GPU ("-CPUGPU")
+ *  - GPU:    GPU-resident graph + GPU sampler ("DGL-GPU"; dglx only)
+ *  - UVAGPU: UVA sampler over pinned host memory ("DGL-UVAGPU")
+ */
+enum class RunMode { CPU, CPUGPU, GPU, UVAGPU };
+
+const char *frameworkName(Framework fw);
+const char *runModeName(RunMode mode);
+
+/** Combined label like "DGL-CPUGPU" used in reports. */
+std::string configName(Framework fw, RunMode mode);
+
+/** Hyperparameters of a training run (paper defaults). */
+struct TrainConfig
+{
+    Framework framework = Framework::Dglx;
+    RunMode mode = RunMode::CPU;
+    int epochs = 10;
+    int64_t hiddenDim = 256;
+    float lr = 1e-3f;
+    uint64_t seed = 1;
+
+    /// GraphSAGE sampler: fanouts {25, 10}, batch size 512.
+    std::vector<int> fanouts = {25, 10};
+    int batchSize = 512;
+
+    /// ClusterGCN sampler: 2000 partitions, 50 clusters per batch.
+    int32_t numParts = 2000;
+    int32_t clustersPerBatch = 50;
+
+    /// GraphSAINT sampler: 3000 roots, walk length 2.
+    int32_t saintRoots = 3000;
+    int32_t saintWalkLength = 2;
+
+    /// Case study (Figures 18-19): pre-load graph + features to GPU.
+    bool preloadFeatures = false;
+
+    /// Extension: asynchronous pre-fetch overlapping movement with
+    /// training (DGL feature the paper mentions but does not plot).
+    bool prefetch = false;
+};
+
+/** Per-epoch training statistics. */
+struct EpochStats
+{
+    double loss = 0.0;
+    int64_t correct = 0;
+    int64_t total = 0;
+
+    double
+    accuracy() const
+    {
+        return total > 0 ? static_cast<double>(correct) / total : 0.0;
+    }
+};
+
+/** Everything a benchmark needs from one training run. */
+struct TrainResult
+{
+    std::string config;                ///< e.g. "DGL-CPUGPU"
+    std::array<power::ActivitySlice, profiling::kNumPhases> phases;
+    power::EnergyReport energy;
+    std::vector<EpochStats> epochs;
+    bool oom = false;                  ///< pygx materialization OOM
+
+    double
+    phaseSeconds(profiling::Phase p) const
+    {
+        return phases[static_cast<int>(p)].seconds();
+    }
+
+    /** Total virtual runtime across all phases. */
+    double totalSeconds() const;
+
+    /** Average power over the run. */
+    double avgWatts() const
+    {
+        return energy.avgWatts();
+    }
+};
+
+/**
+ * Copy phase totals out of a tracker and integrate energy with the
+ * given power spec (GPU power accounted iff the mode uses the GPU).
+ */
+TrainResult finalizeResult(Framework fw, RunMode mode,
+                           const profiling::PhaseTracker &tracker,
+                           const power::PowerSpec &power_spec);
+
+/** Shuffle ids and split into batches of at most @p batch_size. */
+std::vector<std::vector<NodeId>> makeBatches(
+    const std::vector<NodeId> &ids, int batch_size, core::Rng &rng);
+
+/** GraphSAINT batches per epoch: one pass over all nodes given the
+ *  expected subgraph size roots * (walk_length + 1). */
+int saintBatchesPerEpoch(NodeId num_nodes, int32_t roots,
+                         int32_t walk_length);
+
+/** True when the mode runs any work on the GPU. */
+bool usesGpu(RunMode mode);
+
+} // namespace models
+} // namespace gnnbench
+
+#endif // GNNBENCH_MODELS_PIPELINE_H

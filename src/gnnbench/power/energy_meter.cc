@@ -1,0 +1,59 @@
+#include "gnnbench/power/energy_meter.h"
+
+namespace gnnbench {
+namespace power {
+
+EnergyMeter::EnergyMeter(const PowerModel &model, double interval)
+    : model_(model), interval_(interval)
+{
+    GNNBENCH_CHECK(interval > 0.0, "meter interval must be positive");
+}
+
+void
+EnergyMeter::record(const ActivitySlice &slice)
+{
+    const double dur = slice.seconds();
+    if (dur <= 0.0)
+        return;
+    const EnergyReport e = model_.energyOf(slice);
+    segments_.push_back(Segment{elapsed_, dur, e.cpuJoules / dur,
+                                e.gpuJoules / dur});
+    elapsed_ += dur;
+    total_ += e;
+}
+
+std::vector<PowerSample>
+EnergyMeter::sampledTrace() const
+{
+    std::vector<PowerSample> trace;
+    if (segments_.empty())
+        return trace;
+    size_t seg = 0;
+    for (double t = interval_; t <= elapsed_; t += interval_) {
+        // Advance to the segment containing sample time t (sample
+        // reflects the power just before the sampling instant, like a
+        // counter read).
+        while (seg + 1 < segments_.size() &&
+               segments_[seg].start + segments_[seg].duration < t) {
+            ++seg;
+        }
+        trace.push_back(PowerSample{t, segments_[seg].cpuWatts,
+                                    segments_[seg].gpuWatts});
+    }
+    return trace;
+}
+
+EnergyReport
+EnergyMeter::sampledEnergy() const
+{
+    EnergyReport e;
+    for (const auto &s : sampledTrace()) {
+        e.seconds += interval_;
+        e.cpuJoules += s.cpuWatts * interval_;
+        e.gpuJoules += s.gpuWatts * interval_;
+    }
+    return e;
+}
+
+} // namespace power
+} // namespace gnnbench

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A CodeCarbon-style energy meter.
+ *
+ * CodeCarbon samples instantaneous power at a fixed interval (the
+ * paper uses 0.1 s) and integrates power x dt.  EnergyMeter does the
+ * same over the *virtual* timeline: activity slices are appended as
+ * the run progresses, and the meter can either integrate them exactly
+ * or produce the discretized power trace a sampling meter would see.
+ */
+
+#ifndef GNNBENCH_POWER_ENERGY_METER_H
+#define GNNBENCH_POWER_ENERGY_METER_H
+
+#include <vector>
+
+#include "gnnbench/power/power.h"
+
+namespace gnnbench {
+namespace power {
+
+/** One sample of the discretized power trace. */
+struct PowerSample
+{
+    double timeSeconds = 0.0;   ///< virtual time at the sample
+    double cpuWatts = 0.0;
+    double gpuWatts = 0.0;
+
+    double watts() const { return cpuWatts + gpuWatts; }
+};
+
+/** Integrating, optionally-sampling energy meter. */
+class EnergyMeter
+{
+  public:
+    /**
+     * @param interval sampling interval in (virtual) seconds; the
+     * paper configures CodeCarbon to 0.1 s.
+     */
+    explicit EnergyMeter(const PowerModel &model,
+                         double interval = 0.1);
+
+    /** Append one activity slice to the timeline. */
+    void record(const ActivitySlice &slice);
+
+    /** Exact integrated energy over everything recorded so far. */
+    EnergyReport total() const { return total_; }
+
+    /** Total virtual time recorded. */
+    double elapsedSeconds() const { return elapsed_; }
+
+    /**
+     * The discretized power trace a sampling meter would record:
+     * one PowerSample per interval, power piecewise constant per
+     * slice (each slice's average power).
+     */
+    std::vector<PowerSample> sampledTrace() const;
+
+    /**
+     * Energy estimated from the sampled trace (power x interval),
+     * i.e. what CodeCarbon reports.  Approaches total() as the
+     * interval shrinks.
+     */
+    EnergyReport sampledEnergy() const;
+
+    const PowerModel &model() const { return model_; }
+
+  private:
+    struct Segment
+    {
+        double start;    ///< virtual start time
+        double duration;
+        double cpuWatts; ///< average power within the segment
+        double gpuWatts;
+    };
+
+    PowerModel model_;
+    double interval_;
+    double elapsed_ = 0.0;
+    EnergyReport total_;
+    std::vector<Segment> segments_;
+};
+
+} // namespace power
+} // namespace gnnbench
+
+#endif // GNNBENCH_POWER_ENERGY_METER_H

@@ -1,0 +1,29 @@
+#include "gnnbench/power/gpsup.h"
+
+namespace gnnbench {
+namespace power {
+
+GpsUpMetrics
+gpsup(double baseline_seconds, double baseline_joules,
+      double optimized_seconds, double optimized_joules)
+{
+    GNNBENCH_CHECK(baseline_seconds > 0.0 && optimized_seconds > 0.0 &&
+                       baseline_joules > 0.0 && optimized_joules > 0.0,
+                   "gpsup: non-positive inputs");
+    GpsUpMetrics m;
+    m.speedup = baseline_seconds / optimized_seconds;
+    m.greenup = baseline_joules / optimized_joules;
+    m.powerup = (optimized_joules / optimized_seconds) /
+                (baseline_joules / baseline_seconds);
+    return m;
+}
+
+GpsUpMetrics
+gpsup(const EnergyReport &baseline, const EnergyReport &optimized)
+{
+    return gpsup(baseline.seconds, baseline.joules(), optimized.seconds,
+                 optimized.joules());
+}
+
+} // namespace power
+} // namespace gnnbench

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GPS-UP (Greenup, Powerup, Speedup) efficiency metrics
+ * [Abdulsalam et al., IGSC 2015], used by the paper's Figure 20 to
+ * compare GPU/UVA-based sampling against the CPU-sampling baseline.
+ */
+
+#ifndef GNNBENCH_POWER_GPSUP_H
+#define GNNBENCH_POWER_GPSUP_H
+
+#include "gnnbench/power/power.h"
+
+namespace gnnbench {
+namespace power {
+
+/** The three GPS-UP ratios of an optimized run vs. a baseline. */
+struct GpsUpMetrics
+{
+    double speedup = 0.0;  ///< T_baseline / T_optimized
+    double greenup = 0.0;  ///< E_baseline / E_optimized
+    double powerup = 0.0;  ///< P_optimized / P_baseline
+};
+
+/**
+ * Compute GPS-UP from (time, energy) of the baseline and optimized
+ * runs.  Satisfies Powerup == Speedup / Greenup by construction.
+ */
+GpsUpMetrics gpsup(double baseline_seconds, double baseline_joules,
+                   double optimized_seconds, double optimized_joules);
+
+/** Convenience overload over EnergyReports. */
+GpsUpMetrics gpsup(const EnergyReport &baseline,
+                   const EnergyReport &optimized);
+
+} // namespace power
+} // namespace gnnbench
+
+#endif // GNNBENCH_POWER_GPSUP_H

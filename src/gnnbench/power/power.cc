@@ -1,0 +1,77 @@
+#include "gnnbench/power/power.h"
+
+#include <algorithm>
+
+namespace gnnbench {
+namespace power {
+
+ActivitySlice &
+ActivitySlice::operator+=(const ActivitySlice &other)
+{
+    cpuBusySeconds += other.cpuBusySeconds;
+    gpuBusySeconds += other.gpuBusySeconds;
+    gpuUtilSeconds += other.gpuUtilSeconds;
+    xferSeconds += other.xferSeconds;
+    return *this;
+}
+
+EnergyReport &
+EnergyReport::operator+=(const EnergyReport &other)
+{
+    seconds += other.seconds;
+    cpuJoules += other.cpuJoules;
+    gpuJoules += other.gpuJoules;
+    return *this;
+}
+
+PowerModel::PowerModel(const PowerSpec &spec, bool gpu_present)
+    : spec_(spec), gpuPresent_(gpu_present)
+{
+    GNNBENCH_CHECK(spec.cpuActive >= spec.cpuIdle &&
+                       spec.gpuMax >= spec.gpuIdle,
+                   "power spec: active power below idle");
+}
+
+double
+PowerModel::cpuPower(double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    return spec_.cpuIdle + u * (spec_.cpuActive - spec_.cpuIdle);
+}
+
+double
+PowerModel::gpuPower(double utilization) const
+{
+    if (!gpuPresent_)
+        return 0.0;
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    return spec_.gpuIdle + u * (spec_.gpuMax - spec_.gpuIdle);
+}
+
+EnergyReport
+PowerModel::energyOf(const ActivitySlice &slice) const
+{
+    EnergyReport e;
+    e.seconds = slice.seconds();
+
+    // CPU: full tilt while executing host kernels, idle while the
+    // (synchronous) GPU kernels run, lightly busy while driving DMA.
+    e.cpuJoules = slice.cpuBusySeconds * cpuPower(1.0) +
+                  slice.gpuBusySeconds * cpuPower(0.0) +
+                  slice.xferSeconds * cpuPower(spec_.xferCpuUtil);
+
+    if (gpuPresent_) {
+        // GPU: idle baseline over the whole interval plus dynamic
+        // power proportional to integrated kernel utilization and a
+        // small dynamic share during transfers.
+        const double dynamic_range = spec_.gpuMax - spec_.gpuIdle;
+        e.gpuJoules = e.seconds * spec_.gpuIdle +
+                      slice.gpuUtilSeconds * dynamic_range +
+                      slice.xferSeconds * spec_.xferGpuUtil *
+                          dynamic_range;
+    }
+    return e;
+}
+
+} // namespace power
+} // namespace gnnbench

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Power and energy models.
+ *
+ * The paper measures CPU energy through Intel RAPL and GPU power
+ * through pynvml (both via CodeCarbon).  Offline we substitute
+ * activity-proportional power models calibrated to the paper's
+ * hardware (dual Xeon Silver 4114, 2 x 85 W TDP; Quadro RTX 8000,
+ * 260 W TDP).  The paper itself only draws *relative* conclusions
+ * from its power numbers, which is exactly what such a model
+ * preserves.
+ */
+
+#ifndef GNNBENCH_POWER_POWER_H
+#define GNNBENCH_POWER_POWER_H
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace power {
+
+/** Calibration constants of the power model. */
+struct PowerSpec
+{
+    /** Package idle power of both sockets plus DRAM, watts. */
+    double cpuIdle = 40.0;
+    /** Full-load package power (2 x 85 W TDP), watts. */
+    double cpuActive = 170.0;
+    /** GPU idle board power, watts. */
+    double gpuIdle = 25.0;
+    /** GPU board power limit (RTX 8000 TDP), watts. */
+    double gpuMax = 260.0;
+    /** CPU activity while driving PCIe DMA transfers. */
+    double xferCpuUtil = 0.15;
+    /** GPU activity while receiving PCIe DMA transfers. */
+    double xferGpuUtil = 0.10;
+};
+
+/**
+ * Activity within one accounting interval: how long each subsystem
+ * was busy.  The interval's virtual duration is the sum of the three
+ * busy components (execution is synchronous, as in the paper's
+ * breakdowns).
+ */
+struct ActivitySlice
+{
+    double cpuBusySeconds = 0.0;
+    double gpuBusySeconds = 0.0;
+    /** ∫ utilization dt over the GPU-busy part (<= gpuBusySeconds). */
+    double gpuUtilSeconds = 0.0;
+    double xferSeconds = 0.0;
+
+    double
+    seconds() const
+    {
+        return cpuBusySeconds + gpuBusySeconds + xferSeconds;
+    }
+
+    ActivitySlice &operator+=(const ActivitySlice &other);
+};
+
+/** Energy of one interval or run. */
+struct EnergyReport
+{
+    double seconds = 0.0;
+    double cpuJoules = 0.0;
+    double gpuJoules = 0.0;
+
+    double joules() const { return cpuJoules + gpuJoules; }
+    double
+    avgWatts() const
+    {
+        return seconds > 0.0 ? joules() / seconds : 0.0;
+    }
+
+    EnergyReport &operator+=(const EnergyReport &other);
+};
+
+/** Activity-proportional power model for one run configuration. */
+class PowerModel
+{
+  public:
+    /**
+     * @param gpu_present whether the run uses the GPU at all; when
+     * false no GPU power (not even idle) is accounted, mirroring a
+     * meter that only tracks utilized devices.
+     */
+    PowerModel(const PowerSpec &spec, bool gpu_present);
+
+    /** Instantaneous CPU package power at the given utilization. */
+    double cpuPower(double utilization) const;
+
+    /** Instantaneous GPU board power at the given utilization. */
+    double gpuPower(double utilization) const;
+
+    /** Integrate energy over one activity slice. */
+    EnergyReport energyOf(const ActivitySlice &slice) const;
+
+    bool gpuPresent() const { return gpuPresent_; }
+    const PowerSpec &spec() const { return spec_; }
+
+  private:
+    PowerSpec spec_;
+    bool gpuPresent_;
+};
+
+} // namespace power
+} // namespace gnnbench
+
+#endif // GNNBENCH_POWER_POWER_H

@@ -1,0 +1,145 @@
+#include "gnnbench/profiling/profiler.h"
+
+#include <sstream>
+
+namespace gnnbench {
+namespace profiling {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::DataLoading:
+        return "data_loading";
+      case Phase::Sampling:
+        return "sampling";
+      case Phase::DataMovement:
+        return "data_movement";
+      case Phase::Training:
+        return "training";
+      case Phase::Other:
+        return "other";
+    }
+    return "?";
+}
+
+power::ActivitySlice
+sliceBetween(const device::Session::Snapshot &a,
+             const device::Session::Snapshot &b)
+{
+    power::ActivitySlice s;
+    s.cpuBusySeconds =
+        (b.wall - a.wall) - (b.excludedWall - a.excludedWall) +
+        (b.modeled.cpuOverheadSeconds - a.modeled.cpuOverheadSeconds);
+    s.gpuBusySeconds = b.modeled.gpuSeconds - a.modeled.gpuSeconds;
+    s.gpuUtilSeconds =
+        b.modeled.gpuUtilSeconds - a.modeled.gpuUtilSeconds;
+    s.xferSeconds = b.modeled.xferSeconds - a.modeled.xferSeconds;
+    return s;
+}
+
+PhaseTracker::PhaseTracker(device::Session &session) : session_(session)
+{
+}
+
+PhaseTracker::Scope::Scope(PhaseTracker &tracker, Phase phase)
+    : tracker_(tracker), phase_(phase),
+      start_(tracker.session_.snapshot())
+{
+}
+
+PhaseTracker::Scope::~Scope()
+{
+    tracker_.add(phase_,
+                 sliceBetween(start_, tracker_.session_.snapshot()));
+}
+
+void
+PhaseTracker::add(Phase p, const power::ActivitySlice &slice)
+{
+    phases_[static_cast<int>(p)] += slice;
+}
+
+const power::ActivitySlice &
+PhaseTracker::phase(Phase p) const
+{
+    return phases_[static_cast<int>(p)];
+}
+
+power::ActivitySlice
+PhaseTracker::total() const
+{
+    power::ActivitySlice t;
+    for (const auto &s : phases_)
+        t += s;
+    return t;
+}
+
+ProfileNode &
+ProfileNode::child(const std::string &child_name)
+{
+    for (auto &c : children)
+        if (c->name == child_name)
+            return *c;
+    children.push_back(std::make_unique<ProfileNode>());
+    children.back()->name = child_name;
+    return *children.back();
+}
+
+Profiler::Profiler(device::Session &session) : session_(session)
+{
+    root_.name = "total";
+    stack_.push_back(&root_);
+}
+
+Profiler::Scope::Scope(Profiler &profiler, const std::string &name)
+    : profiler_(profiler), start_(profiler.session_.snapshot())
+{
+    ProfileNode &node = profiler_.stack_.back()->child(name);
+    profiler_.stack_.push_back(&node);
+}
+
+Profiler::Scope::~Scope()
+{
+    ProfileNode *node = profiler_.stack_.back();
+    node->slice += sliceBetween(start_, profiler_.session_.snapshot());
+    ++node->calls;
+    profiler_.stack_.pop_back();
+}
+
+namespace {
+
+void
+renderNode(const ProfileNode &node, double parent_seconds, int depth,
+           std::ostringstream &out)
+{
+    const double secs = node.slice.seconds();
+    for (int i = 0; i < depth; ++i)
+        out << "  ";
+    out << node.name << "  " << secs << "s";
+    if (node.calls > 0)
+        out << "  (" << node.calls << " calls)";
+    if (parent_seconds > 0.0)
+        out << "  [" << 100.0 * secs / parent_seconds << "%]";
+    out << "\n";
+    for (const auto &c : node.children)
+        renderNode(*c, secs, depth + 1, out);
+}
+
+} // namespace
+
+std::string
+Profiler::report() const
+{
+    std::ostringstream out;
+    double total = 0.0;
+    for (const auto &c : root_.children)
+        total += c->slice.seconds();
+    out << "profile (total " << total << "s)\n";
+    for (const auto &c : root_.children)
+        renderNode(*c, total, 1, out);
+    return out.str();
+}
+
+} // namespace profiling
+} // namespace gnnbench

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Runtime profiling infrastructure.
+ *
+ * Two levels, matching the paper's methodology:
+ *  - PhaseTracker gives the coarse 4-phase accounting (data loading,
+ *    sampling, data movement, model training) used by the runtime-
+ *    breakdown figures;
+ *  - Profiler is a pyinstrument-style hierarchical scoped profiler
+ *    used for the per-function drill-downs.
+ *
+ * Both measure *virtual* time through device::Session snapshots so
+ * modeled GPU kernels and transfers are accounted consistently.
+ */
+
+#ifndef GNNBENCH_PROFILING_PROFILER_H
+#define GNNBENCH_PROFILING_PROFILER_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnnbench/device/session.h"
+#include "gnnbench/power/power.h"
+
+namespace gnnbench {
+namespace profiling {
+
+/** The four runtime phases of sampling-based GNN training (Fig. 2). */
+enum class Phase : int
+{
+    DataLoading = 0,
+    Sampling = 1,
+    DataMovement = 2,
+    Training = 3,
+    Other = 4,
+};
+
+constexpr int kNumPhases = 5;
+
+/** Printable phase name. */
+const char *phaseName(Phase p);
+
+/** Compute the activity delta between two session snapshots. */
+power::ActivitySlice sliceBetween(const device::Session::Snapshot &a,
+                                  const device::Session::Snapshot &b);
+
+/** Per-phase activity accounting for one training run. */
+class PhaseTracker
+{
+  public:
+    explicit PhaseTracker(device::Session &session);
+
+    /** RAII scope attributing its duration to one phase. */
+    class Scope
+    {
+      public:
+        Scope(PhaseTracker &tracker, Phase phase);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        PhaseTracker &tracker_;
+        Phase phase_;
+        device::Session::Snapshot start_;
+    };
+
+    /** Open a phase scope. */
+    Scope track(Phase p) { return Scope(*this, p); }
+
+    /** Directly add a slice to a phase (used by async pipelines). */
+    void add(Phase p, const power::ActivitySlice &slice);
+
+    /** Accumulated activity of one phase. */
+    const power::ActivitySlice &phase(Phase p) const;
+
+    /** Sum over all phases. */
+    power::ActivitySlice total() const;
+
+    device::Session &session() { return session_; }
+
+  private:
+    device::Session &session_;
+    std::array<power::ActivitySlice, kNumPhases> phases_;
+};
+
+/** One node of the hierarchical profile tree. */
+struct ProfileNode
+{
+    std::string name;
+    int64_t calls = 0;
+    power::ActivitySlice slice;
+    std::vector<std::unique_ptr<ProfileNode>> children;
+
+    /** Find or create the child with the given name. */
+    ProfileNode &child(const std::string &child_name);
+};
+
+/** pyinstrument-style scoped call-tree profiler. */
+class Profiler
+{
+  public:
+    explicit Profiler(device::Session &session);
+
+    /** RAII scope; nest scopes to build the tree. */
+    class Scope
+    {
+      public:
+        Scope(Profiler &profiler, const std::string &name);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Profiler &profiler_;
+        device::Session::Snapshot start_;
+    };
+
+    Scope scope(const std::string &name) { return Scope(*this, name); }
+
+    /** The root of the recorded tree. */
+    const ProfileNode &root() const { return root_; }
+
+    /** Render the tree as an indented text report. */
+    std::string report() const;
+
+  private:
+    device::Session &session_;
+    ProfileNode root_;
+    std::vector<ProfileNode *> stack_;
+};
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_PROFILER_H

@@ -1,0 +1,156 @@
+#include "gnnbench/profiling/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace profiling {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GNNBENCH_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GNNBENCH_CHECK(cells.size() == headers_.size(),
+                   "table row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '\"')
+            out += '\"';
+        out += c;
+    }
+    out += '\"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << csvEscape(row[c]);
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    GNNBENCH_CHECK(out.is_open(), "cannot open '", path,
+                   "' for writing");
+    out << renderCsv();
+    GNNBENCH_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+std::string
+fmtFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtJoules(double joules)
+{
+    char buf[64];
+    if (joules >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2f kJ", joules / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f J", joules);
+    return buf;
+}
+
+std::string
+fmtCount(int64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace profiling
+} // namespace gnnbench

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text-table rendering used by every benchmark binary to print the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef GNNBENCH_PROFILING_REPORT_H
+#define GNNBENCH_PROFILING_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace gnnbench {
+namespace profiling {
+
+/** A fixed-column text table with auto-sized columns. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Render as RFC-4180-style CSV (quoting cells as needed). */
+    std::string renderCsv() const;
+
+    /** Write the CSV rendering to @p path (fatal on I/O failure). */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "12.3 ms" / "4.56 s" style duration formatting. */
+std::string fmtSeconds(double seconds);
+
+/** Fixed-precision decimal formatting. */
+std::string fmtFixed(double value, int precision = 2);
+
+/** "1.23 kJ" / "45.6 J" energy formatting. */
+std::string fmtJoules(double joules);
+
+/** Thousands-separated integer formatting. */
+std::string fmtCount(int64_t value);
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_REPORT_H

@@ -1,0 +1,81 @@
+#include "gnnbench/pygx/data.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace gnnbench {
+namespace pygx {
+
+OomError::OomError(uint64_t requested, uint64_t budget)
+    : requested_(requested), budget_(budget)
+{
+    std::ostringstream oss;
+    oss << "CUDA out of memory: tried to allocate " << requested
+        << " bytes with " << budget << " bytes budget";
+    message_ = oss.str();
+}
+
+Data::Data(const graph::CooGraph &coo)
+    : numNodes_(coo.numNodes), src_(coo.src), dst_(coo.dst)
+{
+}
+
+namespace {
+
+/**
+ * torch.sort-style COO -> adjacency conversion: argsort the key
+ * endpoint with a comparison sort (O(E log E), like PyG's
+ * SparseTensor conversion), then segment into indptr.  Deliberately
+ * not the counting sort dglx uses.
+ */
+std::unique_ptr<graph::CsrGraph>
+sortConvert(NodeId num_nodes, const std::vector<NodeId> &key,
+            const std::vector<NodeId> &other)
+{
+    std::vector<EdgeId> order(key.size());
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](EdgeId a, EdgeId b) {
+                         return key[a] < key[b];
+                     });
+    auto out = std::make_unique<graph::CsrGraph>();
+    out->numRows = num_nodes;
+    out->numCols = num_nodes;
+    out->indptr.assign(num_nodes + 1, 0);
+    out->indices.resize(key.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        out->indices[i] = other[order[i]];
+        ++out->indptr[key[order[i]] + 1];
+    }
+    for (NodeId r = 0; r < num_nodes; ++r)
+        out->indptr[r + 1] += out->indptr[r];
+    return out;
+}
+
+} // namespace
+
+const graph::CsrGraph &
+Data::csc() const
+{
+    if (!csc_)
+        csc_ = sortConvert(numNodes_, dst_, src_);
+    return *csc_;
+}
+
+const graph::CsrGraph &
+Data::csr() const
+{
+    if (!csr_)
+        csr_ = sortConvert(numNodes_, src_, dst_);
+    return *csr_;
+}
+
+uint64_t
+Data::structureBytes() const
+{
+    return (src_.size() + dst_.size()) * sizeof(NodeId);
+}
+
+} // namespace pygx
+} // namespace gnnbench

@@ -1,0 +1,20 @@
+#include "gnnbench/pygx/dataloader.h"
+
+namespace gnnbench {
+namespace pygx {
+
+LoadedData
+DataLoader::load(const graph::Dataset &dataset)
+{
+    LoadedData out;
+    out.data = std::make_shared<Data>(dataset.graph);
+    out.features = dataset.features.clone();
+    out.labels = dataset.labels;
+    out.trainIdx = dataset.trainIdx;
+    out.valIdx = dataset.valIdx;
+    out.testIdx = dataset.testIdx;
+    return out;
+}
+
+} // namespace pygx
+} // namespace gnnbench

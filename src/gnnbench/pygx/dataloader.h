@@ -1,0 +1,45 @@
+/**
+ * @file
+ * pygx data loader.
+ *
+ * PyG's loader only wraps the raw arrays in a lightweight Data object
+ * (edge_index + tensors), deferring format conversion to whoever
+ * needs it — the reason its loader wins Figure 3.
+ */
+
+#ifndef GNNBENCH_PYGX_DATALOADER_H
+#define GNNBENCH_PYGX_DATALOADER_H
+
+#include <memory>
+
+#include "gnnbench/graph/datasets.h"
+#include "gnnbench/pygx/data.h"
+
+namespace gnnbench {
+namespace pygx {
+
+/** A dataset materialized as pygx-native objects. */
+struct LoadedData
+{
+    std::shared_ptr<Data> data;
+    core::Tensor features;
+    std::vector<int32_t> labels;
+    std::vector<NodeId> trainIdx;
+    std::vector<NodeId> valIdx;
+    std::vector<NodeId> testIdx;
+
+    uint64_t featureBytes() const { return features.bytes(); }
+};
+
+/** The pygx data-loading entry point (Figure 3 workload). */
+class DataLoader
+{
+  public:
+    /** Wrap raw arrays in a Data object (cheap, lazy formats). */
+    static LoadedData load(const graph::Dataset &dataset);
+};
+
+} // namespace pygx
+} // namespace gnnbench
+
+#endif // GNNBENCH_PYGX_DATALOADER_H

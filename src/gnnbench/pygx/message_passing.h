@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The pygx 'MessagePassing' interface and sampled-batch containers.
+ *
+ * PyG expresses layers through a gather-and-scatter MessagePassing
+ * base class operating on edge_index arrays; samplers hand models
+ * edge lists rather than adjacency blocks.  pygx mirrors both: the
+ * batch types below carry edge arrays, and MessagePassing provides
+ * the (materializing) propagate primitive unfused layers build on.
+ */
+
+#ifndef GNNBENCH_PYGX_MESSAGE_PASSING_H
+#define GNNBENCH_PYGX_MESSAGE_PASSING_H
+
+#include <string>
+#include <vector>
+
+#include "gnnbench/pygx/scatter.h"
+
+namespace gnnbench {
+namespace pygx {
+
+/** An induced subgraph as PyG's subgraph() returns it: edge_index
+ *  over locally relabeled nodes. */
+struct EdgeBatch
+{
+    std::vector<NodeId> nodes;  ///< global ids (position = local id)
+    std::vector<NodeId> src;    ///< local source endpoints
+    std::vector<NodeId> dst;    ///< local destination endpoints
+
+    NodeId numNodes() const
+    {
+        return static_cast<NodeId>(nodes.size());
+    }
+    EdgeId numEdges() const
+    {
+        return static_cast<EdgeId>(src.size());
+    }
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+/** One sampled bipartite layer, PyG NeighborLoader style. */
+struct LayerBatch
+{
+    /** Global ids of sources; dstNodes is a prefix of srcNodes. */
+    std::vector<NodeId> srcNodes;
+    std::vector<NodeId> dstNodes;
+    std::vector<NodeId> eSrc;  ///< local src endpoint per edge
+    std::vector<NodeId> eDst;  ///< local dst endpoint per edge
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+/** Output of the pygx neighbor sampler for one seed batch. */
+struct NeighborBatch
+{
+    std::vector<NodeId> seeds;
+    /** layers[0] is the input-side layer (applied first). */
+    std::vector<LayerBatch> layers;
+
+    const std::vector<NodeId> &
+    inputNodes() const
+    {
+        return layers.front().srcNodes;
+    }
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+/** Gather-and-scatter message passing base class (PyG style). */
+class MessagePassing
+{
+  public:
+    explicit MessagePassing(std::string name) : name_(std::move(name)) {}
+    virtual ~MessagePassing() = default;
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    /**
+     * Unfused propagate: materialize messages x[src], optionally
+     * weight them, scatter-reduce onto @p out_rows destinations.
+     * @param aggr one of "sum", "mean", "max".
+     * @throws OomError when the E x F materialization exceeds the
+     * device budget at full dataset scale.
+     */
+    core::Tensor propagate(const std::vector<NodeId> &src,
+                           const std::vector<NodeId> &dst,
+                           NodeId out_rows, const core::Tensor &x,
+                           const core::Tensor *edge_weight,
+                           const std::string &aggr,
+                           const KernelCtx &ctx) const;
+
+  private:
+    std::string name_;
+};
+
+} // namespace pygx
+} // namespace gnnbench
+
+#endif // GNNBENCH_PYGX_MESSAGE_PASSING_H

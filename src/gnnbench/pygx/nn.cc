@@ -1,0 +1,498 @@
+#include "gnnbench/pygx/nn.h"
+
+#include <cmath>
+
+namespace gnnbench {
+namespace pygx {
+
+namespace ag = core::ag;
+using core::Tensor;
+
+const char *
+convKindName(ConvKind kind)
+{
+    switch (kind) {
+      case ConvKind::Gcn:
+        return "GCNConv";
+      case ConvKind::Gcn2:
+        return "GCN2Conv";
+      case ConvKind::Cheb:
+        return "ChebConv";
+      case ConvKind::Sage:
+        return "SAGEConv";
+      case ConvKind::Gat:
+        return "GATConv";
+      case ConvKind::Gatv2:
+        return "GATv2Conv";
+      case ConvKind::Tag:
+        return "TAGConv";
+      case ConvKind::Sg:
+        return "SGConv";
+    }
+    return "?";
+}
+
+const std::vector<ConvKind> &
+allConvKinds()
+{
+    static const std::vector<ConvKind> kinds = {
+        ConvKind::Gcn, ConvKind::Gcn2, ConvKind::Cheb, ConvKind::Sage,
+        ConvKind::Gat, ConvKind::Gatv2, ConvKind::Tag, ConvKind::Sg};
+    return kinds;
+}
+
+std::vector<float>
+gcnNormCsc(const graph::CsrGraph &csc)
+{
+    std::vector<float> inv_sqrt(csc.numRows);
+    for (NodeId v = 0; v < csc.numRows; ++v)
+        inv_sqrt[v] =
+            1.0f /
+            std::sqrt(static_cast<float>(csc.degree(v)) + 1.0f);
+    std::vector<float> w(csc.numEdges());
+    EdgeId e = 0;
+    for (NodeId d = 0; d < csc.numRows; ++d)
+        for (EdgeId i = csc.indptr[d]; i < csc.indptr[d + 1]; ++i, ++e)
+            w[e] = inv_sqrt[d] * inv_sqrt[csc.indices[i]];
+    return w;
+}
+
+std::vector<float>
+selfScaleCsc(const graph::CsrGraph &csc)
+{
+    std::vector<float> s(csc.numRows);
+    for (NodeId v = 0; v < csc.numRows; ++v)
+        s[v] = 1.0f / (static_cast<float>(csc.degree(v)) + 1.0f);
+    return s;
+}
+
+std::vector<float>
+gcnNormEdges(const std::vector<NodeId> &src,
+             const std::vector<NodeId> &dst, NodeId num_nodes,
+             std::vector<float> *self_scale)
+{
+    std::vector<float> deg(num_nodes, 0.0f);
+    for (NodeId d : dst)
+        deg[d] += 1.0f;
+    std::vector<float> inv_sqrt(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v)
+        inv_sqrt[v] = 1.0f / std::sqrt(deg[v] + 1.0f);
+    std::vector<float> w(src.size());
+    for (size_t e = 0; e < src.size(); ++e)
+        w[e] = inv_sqrt[src[e]] * inv_sqrt[dst[e]];
+    if (self_scale) {
+        self_scale->resize(num_nodes);
+        for (NodeId v = 0; v < num_nodes; ++v)
+            (*self_scale)[v] = 1.0f / (deg[v] + 1.0f);
+    }
+    return w;
+}
+
+Conv::Conv(std::string name, bool trainable)
+    : name_(std::move(name)), trainable_(trainable)
+{
+}
+
+Var
+Conv::addParam(Tensor t)
+{
+    params_.push_back(ag::leaf(std::move(t), trainable_));
+    return params_.back();
+}
+
+uint64_t
+Conv::paramBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &p : params_)
+        bytes += p->value.bytes();
+    return bytes;
+}
+
+namespace {
+
+/**
+ * Fused multiply by the symmetric-normalized adjacency with self
+ * loops.  PyG recomputes gcn_norm each forward (cached=False default),
+ * so the weight arrays are rebuilt here every call.  The symmetric
+ * structure + symmetric weight function lets backward reuse the same
+ * csc and weights.
+ */
+Var
+propagateNormFused(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    const graph::CsrGraph &csc = data.csc();
+    auto w = std::make_shared<std::vector<float>>();
+    std::vector<float> self;
+    runPrep(ctx, static_cast<double>(csc.numEdges()), [&] {
+        *w = gcnNormCsc(csc);
+        self = selfScaleCsc(csc);
+    });
+    Var agg = spmmVar(csc, w->data(), borrow(csc), w, x, ctx);
+    return addVar(agg, rowScaleVar(x, std::move(self), ctx), ctx);
+}
+
+/** Identity-prefix row selection (dst features from src features). */
+Var
+dstRows(const Var &x_src, size_t num_dst)
+{
+    std::vector<NodeId> rows(num_dst);
+    for (size_t i = 0; i < num_dst; ++i)
+        rows[i] = static_cast<NodeId>(i);
+    return ag::gatherRows(x_src, std::move(rows));
+}
+
+} // namespace
+
+GcnConv::GcnConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+                 bool trainable)
+    : Conv("GCNConv", trainable),
+      weight_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      bias_(addParam(Tensor::zeros(1, out_dim)))
+{
+}
+
+Var
+GcnConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    Var xw = gemmVar(x, weight_, ctx);
+    return addBiasVar(propagateNormFused(data, xw, ctx), bias_, ctx);
+}
+
+Var
+GcnConv::forwardBatch(const EdgeBatch &batch, const Var &x,
+                      const KernelCtx &ctx)
+{
+    Var xw = gemmVar(x, weight_, ctx);
+    std::vector<float> self;
+    auto w = std::make_shared<std::vector<float>>();
+    runPrep(ctx, static_cast<double>(batch.src.size()), [&] {
+        *w = gcnNormEdges(batch.src, batch.dst, batch.numNodes(),
+                          &self);
+    });
+    // Backward swaps src and dst; on the symmetric induced batch the
+    // weight function is symmetric so the same array serves.
+    Var agg = propagateVar(borrow(batch.src), borrow(batch.dst), w,
+                           batch.numNodes(), batch.numNodes(), xw,
+                           ctx);
+    Var h = addVar(agg, rowScaleVar(xw, std::move(self), ctx), ctx);
+    return addBiasVar(h, bias_, ctx);
+}
+
+Gcn2Conv::Gcn2Conv(int64_t dim, float alpha, float beta, core::Rng &rng,
+                   bool trainable)
+    : Conv("GCN2Conv", trainable),
+      weight_(addParam(Tensor::glorot(dim, dim, rng))), alpha_(alpha),
+      beta_(beta)
+{
+}
+
+Var
+Gcn2Conv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    GNNBENCH_CHECK(x0_ != nullptr,
+                   "GCN2Conv: call setInitial() before forward");
+    GNNBENCH_CHECK(x0_->value.sameShape(x->value),
+                   "GCN2Conv: initial features shape mismatch");
+    Var p = propagateNormFused(data, x, ctx);
+    Var h = addVar(scaleVar(p, 1.0f - alpha_, ctx), scaleVar(x0_, alpha_, ctx), ctx);
+    return addVar(scaleVar(h, 1.0f - beta_, ctx),
+                   scaleVar(gemmVar(h, weight_, ctx), beta_, ctx), ctx);
+}
+
+ChebConv::ChebConv(int64_t in_dim, int64_t out_dim, int k,
+                   core::Rng &rng, bool trainable)
+    : Conv("ChebConv", trainable), k_(k)
+{
+    GNNBENCH_CHECK(k >= 1, "ChebConv order must be >= 1");
+    for (int i = 0; i < k; ++i)
+        weights_.push_back(
+            addParam(Tensor::glorot(in_dim, out_dim, rng)));
+    bias_ = addParam(Tensor::zeros(1, out_dim));
+}
+
+Var
+ChebConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    // No fused kernel: every hop materializes E x F messages through
+    // gather/scatter (the OOM path of the paper's Observation 3).
+    std::vector<float> self;
+    auto w = std::make_shared<std::vector<float>>();
+    runPrep(ctx, static_cast<double>(data.numEdges()), [&] {
+        *w = gcnNormEdges(data.edgeSrc(), data.edgeDst(),
+                          data.numNodes(), &self);
+    });
+    auto hop = [&](const Var &v) {
+        Var agg = propagateVar(borrow(data.edgeSrc()),
+                               borrow(data.edgeDst()), w,
+                               data.numNodes(), data.numNodes(), v,
+                               ctx);
+        return addVar(agg, rowScaleVar(v, self, ctx), ctx);
+    };
+    Var out = gemmVar(x, weights_[0], ctx);
+    Var t_prev2 = x;
+    Var t_prev1;
+    if (k_ > 1) {
+        t_prev1 = scaleVar(hop(x), -1.0f, ctx);
+        out = addVar(out, gemmVar(t_prev1, weights_[1], ctx), ctx);
+    }
+    for (int i = 2; i < k_; ++i) {
+        Var t = addVar(scaleVar(hop(t_prev1), -2.0f, ctx),
+                        scaleVar(t_prev2, -1.0f, ctx), ctx);
+        out = addVar(out, gemmVar(t, weights_[i], ctx), ctx);
+        t_prev2 = t_prev1;
+        t_prev1 = t;
+    }
+    return addBiasVar(out, bias_, ctx);
+}
+
+SageConv::SageConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+                   bool trainable)
+    : Conv("SAGEConv", trainable),
+      selfWeight_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      neighWeight_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      bias_(addParam(Tensor::zeros(1, out_dim)))
+{
+}
+
+namespace {
+
+/** Mean weights per csc edge (1/in-degree of the row). */
+std::shared_ptr<std::vector<float>>
+meanWeightsCsc(const graph::CsrGraph &csc)
+{
+    auto w = std::make_shared<std::vector<float>>(csc.numEdges());
+    EdgeId e = 0;
+    for (NodeId d = 0; d < csc.numRows; ++d) {
+        const EdgeId deg = csc.degree(d);
+        const float inv =
+            deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+        for (EdgeId i = 0; i < deg; ++i, ++e)
+            (*w)[e] = inv;
+    }
+    return w;
+}
+
+/** Backward weights: 1/in-degree of the *column* endpoint. */
+std::shared_ptr<std::vector<float>>
+meanWeightsBwd(const graph::CsrGraph &csc)
+{
+    std::vector<float> inv(csc.numRows);
+    for (NodeId d = 0; d < csc.numRows; ++d) {
+        const EdgeId deg = csc.degree(d);
+        inv[d] = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+    }
+    auto w = std::make_shared<std::vector<float>>(csc.numEdges());
+    for (EdgeId e = 0; e < csc.numEdges(); ++e)
+        (*w)[e] = inv[csc.indices[e]];
+    return w;
+}
+
+} // namespace
+
+Var
+SageConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    const graph::CsrGraph &csc = data.csc();
+    std::shared_ptr<std::vector<float>> w_fwd, w_bwd;
+    runPrep(ctx, static_cast<double>(csc.numEdges()), [&] {
+        w_fwd = meanWeightsCsc(csc);
+        w_bwd = meanWeightsBwd(csc);
+    });
+    Var agg =
+        spmmVar(csc, w_fwd->data(), borrow(csc), w_bwd, x, ctx);
+    Var h = addVar(gemmVar(x, selfWeight_, ctx),
+                    gemmVar(agg, neighWeight_, ctx), ctx);
+    return addBiasVar(h, bias_, ctx);
+}
+
+Var
+SageConv::forwardLayer(const LayerBatch &layer, const Var &x_src,
+                       const KernelCtx &ctx)
+{
+    const NodeId num_dst = static_cast<NodeId>(layer.dstNodes.size());
+    const NodeId num_src = static_cast<NodeId>(layer.srcNodes.size());
+    // Mean aggregation = unweighted scatter-sum + per-dst scaling,
+    // so the backward swap stays weight-free.
+    Var agg = propagateVar(borrow(layer.eSrc), borrow(layer.eDst),
+                           nullptr, num_dst, num_src, x_src, ctx);
+    std::vector<float> inv(num_dst, 0.0f);
+    for (NodeId d : layer.eDst)
+        inv[d] += 1.0f;
+    for (auto &v : inv)
+        v = v > 0.0f ? 1.0f / v : 0.0f;
+    agg = rowScaleVar(agg, std::move(inv), ctx);
+    Var x_dst = dstRows(x_src, layer.dstNodes.size());
+    Var h = addVar(gemmVar(x_dst, selfWeight_, ctx),
+                    gemmVar(agg, neighWeight_, ctx), ctx);
+    return addBiasVar(h, bias_, ctx);
+}
+
+Var
+SageConv::forwardBatch(const EdgeBatch &batch, const Var &x,
+                       const KernelCtx &ctx)
+{
+    const NodeId n = batch.numNodes();
+    Var agg = propagateVar(borrow(batch.src), borrow(batch.dst),
+                           nullptr, n, n, x, ctx);
+    std::vector<float> inv(n, 0.0f);
+    for (NodeId d : batch.dst)
+        inv[d] += 1.0f;
+    for (auto &v : inv)
+        v = v > 0.0f ? 1.0f / v : 0.0f;
+    agg = rowScaleVar(agg, std::move(inv), ctx);
+    Var h = addVar(gemmVar(x, selfWeight_, ctx),
+                    gemmVar(agg, neighWeight_, ctx), ctx);
+    return addBiasVar(h, bias_, ctx);
+}
+
+GatConv::GatConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+                 bool trainable)
+    : Conv("GATConv", trainable), MessagePassing("GATConv"),
+      weight_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      attnL_(addParam(Tensor::glorot(out_dim, 1, rng))),
+      attnR_(addParam(Tensor::glorot(out_dim, 1, rng)))
+{
+    GNNBENCH_CHECK(!trainable,
+                   "pygx GATConv is inference-only (Figure 5 path)");
+}
+
+Var
+GatConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    const auto &src = data.edgeSrc();
+    const auto &dst = data.edgeDst();
+    Var z = gemmVar(x, weight_, ctx);
+    Var al = gemmVar(z, attnL_, ctx);
+    Var ar = gemmVar(z, attnR_, ctx);
+    // Unfused per-edge pipeline: gather endpoint scores, softmax via
+    // three scatter passes, gather E x F messages, weight, scatter.
+    Tensor alpha_dst = gather(al->value, dst, ctx);
+    Tensor alpha_src = gather(ar->value, src, ctx);
+    Tensor logits, scores;
+    runPrep(ctx, static_cast<double>(alpha_dst.numel()) * 2, [&] {
+        logits = core::ops::add(alpha_dst, alpha_src);
+        scores = core::ops::leakyRelu(logits, 0.2f);
+    });
+    Tensor att =
+        scatterSoftmax(scores, dst, data.numNodes(), ctx);
+    Tensor msgs = gather(z->value, src, ctx);  // E x F materialized
+    msgs = mulEdgeScalar(msgs, att, ctx);
+    Tensor out = scatterSum(msgs, dst, data.numNodes(), ctx);
+    return ag::constant(std::move(out));
+}
+
+Gatv2Conv::Gatv2Conv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+                     bool trainable)
+    : Conv("GATv2Conv", trainable), MessagePassing("GATv2Conv"),
+      weightL_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      weightR_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      attn_(addParam(Tensor::glorot(out_dim, 1, rng)))
+{
+    GNNBENCH_CHECK(!trainable,
+                   "pygx GATv2Conv is inference-only (Figure 5 path)");
+}
+
+Var
+Gatv2Conv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    const auto &src = data.edgeSrc();
+    const auto &dst = data.edgeDst();
+    Var zl = gemmVar(x, weightL_, ctx);
+    Var zr = gemmVar(x, weightR_, ctx);
+    // GATv2 has no fused path at all: two E x F gathers plus the
+    // E x F message tensor — the earliest layer to OOM in Figure 5.
+    Tensor e_dst = gather(zl->value, dst, ctx);
+    Tensor e_src = gather(zr->value, src, ctx);
+    // The E x F sum and activation are themselves materializing
+    // kernels; check and account them like the gathers.
+    checkMaterialization(e_dst.bytes(), ctx);
+    Tensor pre, scores;
+    runPrep(ctx, static_cast<double>(e_dst.numel()) * 3, [&] {
+        pre = core::ops::leakyRelu(core::ops::add(e_dst, e_src),
+                                   0.2f);
+        scores = core::ops::matmul(pre, attn_->value);
+    });
+    Tensor att =
+        scatterSoftmax(scores, dst, data.numNodes(), ctx);
+    Tensor msgs = mulEdgeScalar(e_src, att, ctx);
+    Tensor out = scatterSum(msgs, dst, data.numNodes(), ctx);
+    return ag::constant(std::move(out));
+}
+
+TagConv::TagConv(int64_t in_dim, int64_t out_dim, int k, core::Rng &rng,
+                 bool trainable)
+    : Conv("TAGConv", trainable), k_(k)
+{
+    GNNBENCH_CHECK(k >= 0, "TAGConv order must be >= 0");
+    for (int i = 0; i <= k; ++i)
+        weights_.push_back(
+            addParam(Tensor::glorot(in_dim, out_dim, rng)));
+    bias_ = addParam(Tensor::zeros(1, out_dim));
+}
+
+Var
+TagConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    Var out = gemmVar(x, weights_[0], ctx);
+    Var xk = x;
+    for (int i = 1; i <= k_; ++i) {
+        xk = propagateNormFused(data, xk, ctx);
+        out = addVar(out, gemmVar(xk, weights_[i], ctx), ctx);
+    }
+    return addBiasVar(out, bias_, ctx);
+}
+
+SgConv::SgConv(int64_t in_dim, int64_t out_dim, int k, core::Rng &rng,
+               bool trainable)
+    : Conv("SGConv", trainable), k_(k),
+      weight_(addParam(Tensor::glorot(in_dim, out_dim, rng))),
+      bias_(addParam(Tensor::zeros(1, out_dim)))
+{
+    GNNBENCH_CHECK(k >= 1, "SGConv order must be >= 1");
+}
+
+Var
+SgConv::forward(const Data &data, const Var &x, const KernelCtx &ctx)
+{
+    Var xk = x;
+    for (int i = 0; i < k_; ++i)
+        xk = propagateNormFused(data, xk, ctx);
+    return addBiasVar(gemmVar(xk, weight_, ctx), bias_, ctx);
+}
+
+std::unique_ptr<Conv>
+makeConv(ConvKind kind, int64_t in_dim, int64_t out_dim, core::Rng &rng,
+         bool trainable)
+{
+    switch (kind) {
+      case ConvKind::Gcn:
+        return std::make_unique<GcnConv>(in_dim, out_dim, rng,
+                                         trainable);
+      case ConvKind::Gcn2:
+        return std::make_unique<Gcn2Conv>(out_dim, 0.1f, 0.5f, rng,
+                                          trainable);
+      case ConvKind::Cheb:
+        return std::make_unique<ChebConv>(in_dim, out_dim, 3, rng,
+                                          trainable);
+      case ConvKind::Sage:
+        return std::make_unique<SageConv>(in_dim, out_dim, rng,
+                                          trainable);
+      case ConvKind::Gat:
+        return std::make_unique<GatConv>(in_dim, out_dim, rng, false);
+      case ConvKind::Gatv2:
+        return std::make_unique<Gatv2Conv>(in_dim, out_dim, rng,
+                                           false);
+      case ConvKind::Tag:
+        return std::make_unique<TagConv>(in_dim, out_dim, 3, rng,
+                                         trainable);
+      case ConvKind::Sg:
+        return std::make_unique<SgConv>(in_dim, out_dim, 2, rng,
+                                        trainable);
+    }
+    GNNBENCH_ASSERT(false, "unknown conv kind");
+    __builtin_unreachable();
+}
+
+} // namespace pygx
+} // namespace gnnbench

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The pygx 'nn' module: the same eight convolution layers as dglx,
+ * built PyG-style.
+ *
+ * GCN-family layers (GCN, GCN2, SAGE, TAG, SG) use the torch_sparse
+ * fused spmm; ChebConv, GATConv and GATv2Conv have *no* fused kernel
+ * (as in PyG v2.0.4) and materialize per-edge feature tensors through
+ * the gather-and-scatter MessagePassing path — which is why they OOM
+ * on large graphs in the paper's Figure 5.  Sampled-batch forwards
+ * (used by the end-to-end models) follow PyG's official examples and
+ * use edge_index gather/scatter.
+ */
+
+#ifndef GNNBENCH_PYGX_NN_H
+#define GNNBENCH_PYGX_NN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnnbench/pygx/message_passing.h"
+
+namespace gnnbench {
+namespace pygx {
+
+using core::ag::Var;
+
+/** The eight benchmarked convolution kinds (same set as dglx). */
+enum class ConvKind
+{
+    Gcn,
+    Gcn2,
+    Cheb,
+    Sage,
+    Gat,
+    Gatv2,
+    Tag,
+    Sg,
+};
+
+const char *convKindName(ConvKind kind);
+const std::vector<ConvKind> &allConvKinds();
+
+/** Parameter-registry base class (mirrors dglx::Conv). */
+class Conv
+{
+  public:
+    Conv(std::string name, bool trainable);
+    virtual ~Conv() = default;
+
+    /** Full-graph forward over a Data object. */
+    virtual Var forward(const Data &data, const Var &x,
+                        const KernelCtx &ctx) = 0;
+
+    const std::string &name() const { return name_; }
+    const std::vector<Var> &params() const { return params_; }
+    uint64_t paramBytes() const;
+
+  protected:
+    Var addParam(core::Tensor t);
+
+    std::string name_;
+    bool trainable_;
+    std::vector<Var> params_;
+};
+
+/** GCN layer; fused spmm on full graphs, edge_index on batches. */
+class GcnConv : public Conv
+{
+  public:
+    GcnConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+            bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+    /** edge_index forward over an induced batch (official example
+     *  path for ClusterGCN / GraphSAINT training). */
+    Var forwardBatch(const EdgeBatch &batch, const Var &x,
+                     const KernelCtx &ctx);
+
+  private:
+    Var weight_;
+    Var bias_;
+};
+
+/** GCNII layer (fused path). */
+class Gcn2Conv : public Conv
+{
+  public:
+    Gcn2Conv(int64_t dim, float alpha, float beta, core::Rng &rng,
+             bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+    void setInitial(const Var &x0) { x0_ = x0; }
+
+  private:
+    Var weight_;
+    Var x0_;
+    float alpha_;
+    float beta_;
+};
+
+/** Chebyshev convolution — *no* fused kernel in PyG: each hop runs
+ *  through materializing gather/scatter (OOM risk on large graphs). */
+class ChebConv : public Conv
+{
+  public:
+    ChebConv(int64_t in_dim, int64_t out_dim, int k, core::Rng &rng,
+             bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+  private:
+    int k_;
+    std::vector<Var> weights_;
+    Var bias_;
+};
+
+/** GraphSAGE layer; fused on full graphs, edge_index on batches. */
+class SageConv : public Conv
+{
+  public:
+    SageConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+             bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+    /** NeighborLoader bipartite layer forward. */
+    Var forwardLayer(const LayerBatch &layer, const Var &x_src,
+                     const KernelCtx &ctx);
+
+    /** edge_index forward over an induced batch. */
+    Var forwardBatch(const EdgeBatch &batch, const Var &x,
+                     const KernelCtx &ctx);
+
+  private:
+    Var selfWeight_;
+    Var neighWeight_;
+    Var bias_;
+};
+
+/** GAT layer — unfused; materializes E x F messages.
+ *  Inference-only. */
+class GatConv : public Conv, protected MessagePassing
+{
+  public:
+    GatConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+            bool trainable = false);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+  private:
+    Var weight_;
+    Var attnL_;
+    Var attnR_;
+};
+
+/** GATv2 layer — unfused; materializes ~3 E x F tensors.
+ *  Inference-only. */
+class Gatv2Conv : public Conv, protected MessagePassing
+{
+  public:
+    Gatv2Conv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
+              bool trainable = false);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+  private:
+    Var weightL_;
+    Var weightR_;
+    Var attn_;
+};
+
+/** Topology-adaptive GCN (fused path). */
+class TagConv : public Conv
+{
+  public:
+    TagConv(int64_t in_dim, int64_t out_dim, int k, core::Rng &rng,
+            bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+  private:
+    int k_;
+    std::vector<Var> weights_;
+    Var bias_;
+};
+
+/** Simplified GCN (fused path). */
+class SgConv : public Conv
+{
+  public:
+    SgConv(int64_t in_dim, int64_t out_dim, int k, core::Rng &rng,
+           bool trainable = true);
+
+    Var forward(const Data &data, const Var &x,
+                const KernelCtx &ctx) override;
+
+  private:
+    int k_;
+    Var weight_;
+    Var bias_;
+};
+
+/** Same factory contract as dglx::makeConv. */
+std::unique_ptr<Conv> makeConv(ConvKind kind, int64_t in_dim,
+                               int64_t out_dim, core::Rng &rng,
+                               bool trainable);
+
+/// @name edge-weight helpers shared with the models
+/// @{
+
+/** In-degree (+1) based symmetric GCN weights per csc edge. */
+std::vector<float> gcnNormCsc(const graph::CsrGraph &csc);
+
+/** 1/(deg+1) self scales from a csc. */
+std::vector<float> selfScaleCsc(const graph::CsrGraph &csc);
+
+/** Per-edge symmetric GCN weights for an edge list (computes degrees
+ *  by counting dst endpoints). */
+std::vector<float> gcnNormEdges(const std::vector<NodeId> &src,
+                                const std::vector<NodeId> &dst,
+                                NodeId num_nodes,
+                                std::vector<float> *self_scale);
+
+/// @}
+
+} // namespace pygx
+} // namespace gnnbench
+
+#endif // GNNBENCH_PYGX_NN_H

@@ -1,0 +1,339 @@
+#include "gnnbench/pygx/sampler.h"
+
+#include <unordered_map>
+
+namespace gnnbench {
+namespace pygx {
+
+namespace {
+
+/**
+ * Interpreted-style induced-subgraph extraction (PyG's
+ * torch_geometric.utils.subgraph over Python data structures):
+ * hash-map relabeling and per-edge list appends, charging the
+ * modeled interpreter cost per elementary step.
+ */
+EdgeBatch
+extractInducedPy(const graph::CsrGraph &csr, std::vector<NodeId> nodes,
+                 const PyOverheadModel &overhead,
+                 device::Session *session)
+{
+    EdgeBatch out;
+    out.nodes = std::move(nodes);
+    std::unordered_map<NodeId, NodeId> local;
+    local.reserve(out.nodes.size() * 2);
+    // The relabeling kernels themselves run in C extensions
+    // (torch_geometric.utils.subgraph -> torch ops); the interpreter
+    // cost is the Python glue around them: a few ops per node plus a
+    // small per-scanned-edge factor for the mask construction.
+    int64_t ops = 3 * static_cast<int64_t>(out.nodes.size());
+    for (size_t i = 0; i < out.nodes.size(); ++i)
+        local.emplace(out.nodes[i], static_cast<NodeId>(i));
+    int64_t scanned = 0;
+    for (size_t i = 0; i < out.nodes.size(); ++i) {
+        const NodeId u = out.nodes[i];
+        scanned += csr.indptr[u + 1] - csr.indptr[u];
+        for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e) {
+            const auto it = local.find(csr.indices[e]);
+            if (it != local.end()) {
+                out.src.push_back(static_cast<NodeId>(i));
+                out.dst.push_back(it->second);
+            }
+        }
+    }
+    ops += scanned / 4;
+    overhead.charge(session, ops);
+    return out;
+}
+
+/**
+ * C-extension-style induced extraction (PyG routes ClusterLoader and
+ * SAINT subgraph construction through torch / torch_sparse C++ ops):
+ * flat dense relabeling array, edge_index output.  Only the Python
+ * glue around the call is charged.
+ */
+EdgeBatch
+extractInducedFast(const graph::CsrGraph &csc,
+                   std::vector<NodeId> nodes,
+                   std::vector<NodeId> &local_scratch,
+                   const PyOverheadModel &overhead,
+                   device::Session *session, int64_t glue_ops)
+{
+    EdgeBatch out;
+    out.nodes = std::move(nodes);
+    for (size_t i = 0; i < out.nodes.size(); ++i)
+        local_scratch[out.nodes[i]] = static_cast<NodeId>(i);
+    for (size_t i = 0; i < out.nodes.size(); ++i) {
+        const NodeId u = out.nodes[i];
+        for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e) {
+            const NodeId lv = local_scratch[csc.indices[e]];
+            if (lv != -1) {
+                out.src.push_back(lv);
+                out.dst.push_back(static_cast<NodeId>(i));
+            }
+        }
+    }
+    for (NodeId v : out.nodes)
+        local_scratch[v] = -1;
+    overhead.charge(session, glue_ops);
+    return out;
+}
+
+} // namespace
+
+NeighborSampler::NeighborSampler(const Data &data,
+                                 std::vector<int> fanouts,
+                                 core::Rng rng,
+                                 device::Session *session)
+    : data_(data), fanouts_(std::move(fanouts)), rng_(rng),
+      session_(session)
+{
+    GNNBENCH_CHECK(!fanouts_.empty(), "neighbor sampler needs fanouts");
+    // NeighborLoader requires CSC; trigger the (slow, comparison-sort)
+    // conversion now so the cost lands where PyG pays it.
+    data_.csc();
+}
+
+NeighborBatch
+NeighborSampler::sample(const std::vector<NodeId> &seeds)
+{
+    GNNBENCH_CHECK(!seeds.empty(), "empty seed batch");
+    NeighborBatch out;
+    out.seeds = seeds;
+    out.layers.resize(fanouts_.size());
+    const graph::CsrGraph &csc = data_.csc();
+
+    std::vector<NodeId> frontier = seeds;
+    int64_t ops = 0;
+    for (size_t l = fanouts_.size(); l-- > 0;) {
+        const int fanout = fanouts_[l];
+        LayerBatch &layer = out.layers[l];
+        layer.dstNodes = frontier;
+        layer.srcNodes = frontier;
+        // Hash-map relabeling (Python dict), rebuilt per layer.
+        std::unordered_map<NodeId, NodeId> local;
+        local.reserve(frontier.size() * 4);
+        for (size_t i = 0; i < frontier.size(); ++i) {
+            local.emplace(frontier[i], static_cast<NodeId>(i));
+            ops += 2;
+        }
+        for (size_t d = 0; d < frontier.size(); ++d) {
+            const NodeId u = frontier[d];
+            const EdgeId deg = csc.degree(u);
+            const NodeId *nbrs = csc.rowBegin(u);
+            // Per-node neighbor-list copy into a fresh list; the
+            // copy itself is one C call (random.sample), so only a
+            // fractional per-element interpreter cost applies.
+            std::vector<NodeId> cand(nbrs, nbrs + deg);
+            ops += 5 + deg / 16;
+            const EdgeId take =
+                std::min<EdgeId>(deg, static_cast<EdgeId>(fanout));
+            for (EdgeId i = 0; i < take; ++i) {
+                const EdgeId j =
+                    i + static_cast<EdgeId>(
+                            rng_.uniformInt(deg - i));
+                std::swap(cand[i], cand[j]);
+                const NodeId v = cand[i];
+                auto [it, inserted] = local.emplace(
+                    v,
+                    static_cast<NodeId>(layer.srcNodes.size()));
+                if (inserted)
+                    layer.srcNodes.push_back(v);
+                layer.eSrc.push_back(it->second);
+                layer.eDst.push_back(static_cast<NodeId>(d));
+                ops += 6;  // dict lookup + appends per sampled edge
+            }
+        }
+        frontier = layer.srcNodes;
+    }
+    overhead_.charge(session_, ops);
+    return out;
+}
+
+ClusterSampler::ClusterSampler(const Data &data, int32_t num_parts,
+                               core::Rng rng, device::Session *session)
+    : data_(data), rng_(rng), session_(session)
+{
+    // ClusterData: CSC conversion + METIS partitioning, both one-time.
+    const graph::CsrGraph &csc = data_.csc();
+    partition_ = graph::partitionGraph(csc, num_parts, rng_);
+    // Python-side: lists of node ids per cluster.
+    members_.resize(num_parts);
+    for (NodeId v = 0; v < data.numNodes(); ++v)
+        members_[partition_.assignment[v]].push_back(v);
+    overhead_.charge(session_, 6 * static_cast<int64_t>(
+                                       data.numNodes()));
+}
+
+EdgeBatch
+ClusterSampler::sample(int32_t clusters_per_batch)
+{
+    GNNBENCH_CHECK(clusters_per_batch > 0 &&
+                       clusters_per_batch <= partition_.numParts,
+                   "bad clusters_per_batch");
+    auto chosen = rng_.sampleWithoutReplacement(partition_.numParts,
+                                                clusters_per_batch);
+    // Batch assembly: ClusterLoader's collate slices each chosen
+    // cluster's node range and concatenates them with torch calls
+    // (~2 per cluster plus ~20 fixed), then the C-extension
+    // submatrix extraction runs.
+    overhead_.chargeTorchCalls(
+        session_, 20 + 2 * static_cast<int64_t>(chosen.size()));
+    std::vector<NodeId> nodes;
+    int64_t ops = 0;
+    for (NodeId c : chosen) {
+        for (NodeId v : members_[c]) {
+            nodes.push_back(v);
+            ops += 1;
+        }
+    }
+    if (localScratch_.empty())
+        localScratch_.assign(data_.numNodes(), -1);
+    return extractInducedFast(data_.csc(), std::move(nodes),
+                              localScratch_, overhead_, session_,
+                              ops);
+}
+
+SaintRwSampler::SaintRwSampler(const Data &data, int32_t num_roots,
+                               int32_t walk_length, core::Rng rng,
+                               device::Session *session)
+    : data_(data), numRoots_(num_roots), walkLength_(walk_length),
+      rng_(rng), session_(session)
+{
+    GNNBENCH_CHECK(num_roots > 0 && walk_length >= 0,
+                   "bad random walk parameters");
+    data_.csc();
+}
+
+EdgeBatch
+SaintRwSampler::sample()
+{
+    // The walks themselves run in C++ in PyG (torch_cluster), so only
+    // batch assembly pays interpreter overhead.
+    const graph::CsrGraph &csc = data_.csc();
+    if (localScratch_.empty())
+        localScratch_.assign(data_.numNodes(), -1);
+    std::vector<NodeId> nodes;
+    auto visit = [&](NodeId v) {
+        if (localScratch_[v] == -1) {
+            localScratch_[v] = 1;
+            nodes.push_back(v);
+        }
+    };
+    for (int32_t r = 0; r < numRoots_; ++r) {
+        NodeId cur = static_cast<NodeId>(
+            rng_.uniformInt(data_.numNodes()));
+        visit(cur);
+        for (int32_t s = 0; s < walkLength_; ++s) {
+            const EdgeId deg = csc.degree(cur);
+            if (deg == 0)
+                break;
+            cur = csc.rowBegin(cur)[rng_.uniformInt(deg)];
+            visit(cur);
+        }
+    }
+    // Fixed per-batch Python glue only (~10 torch calls): both the
+    // walks and the extraction kernels run in C extensions for
+    // SAINT.  The walk's visit marks are overwritten by the
+    // extraction's relabeling (same node set) and reset there.
+    overhead_.chargeTorchCalls(session_, 10);
+    return extractInducedFast(csc, std::move(nodes), localScratch_,
+                              overhead_, session_, 200);
+}
+
+} // namespace pygx
+} // namespace gnnbench
+
+namespace gnnbench {
+namespace pygx {
+
+SaintNodeSampler::SaintNodeSampler(const Data &data, NodeId budget,
+                                   core::Rng rng,
+                                   device::Session *session)
+    : data_(data), budget_(budget), rng_(rng), session_(session)
+{
+    GNNBENCH_CHECK(budget > 0 && budget <= data.numNodes(),
+                   "bad node-sampler budget");
+    const graph::CsrGraph &csc = data_.csc();
+    degreeCdf_.resize(data.numNodes());
+    double acc = 0.0;
+    for (NodeId v = 0; v < data.numNodes(); ++v) {
+        acc += static_cast<double>(csc.degree(v)) + 1.0;
+        degreeCdf_[v] = acc;
+    }
+}
+
+EdgeBatch
+SaintNodeSampler::sample()
+{
+    if (localScratch_.empty())
+        localScratch_.assign(data_.numNodes(), -1);
+    const double total = degreeCdf_.back();
+    std::vector<NodeId> nodes;
+    nodes.reserve(budget_);
+    for (NodeId i = 0; i < budget_; ++i) {
+        const double r = rng_.uniform() * total;
+        const NodeId v = static_cast<NodeId>(
+            std::lower_bound(degreeCdf_.begin(), degreeCdf_.end(),
+                             r) -
+            degreeCdf_.begin());
+        if (localScratch_[v] == -1) {
+            localScratch_[v] = 1;
+            nodes.push_back(v);
+        }
+    }
+    overhead_.chargeTorchCalls(session_, 8);
+    return extractInducedFast(data_.csc(), std::move(nodes),
+                              localScratch_, overhead_, session_,
+                              100);
+}
+
+SaintEdgeSampler::SaintEdgeSampler(const Data &data, EdgeId budget,
+                                   core::Rng rng,
+                                   device::Session *session)
+    : data_(data), budget_(budget), rng_(rng), session_(session)
+{
+    GNNBENCH_CHECK(budget > 0, "bad edge-sampler budget");
+    // p_e proportional to 1/deg(u) + 1/deg(v), over edge_index order.
+    const graph::CsrGraph &csc = data_.csc();
+    edgeCdf_.resize(data.numEdges());
+    double acc = 0.0;
+    for (EdgeId e = 0; e < data.numEdges(); ++e) {
+        const double du =
+            static_cast<double>(csc.degree(data.edgeSrc()[e])) + 1.0;
+        const double dv =
+            static_cast<double>(csc.degree(data.edgeDst()[e])) + 1.0;
+        acc += 1.0 / du + 1.0 / dv;
+        edgeCdf_[e] = acc;
+    }
+}
+
+EdgeBatch
+SaintEdgeSampler::sample()
+{
+    if (localScratch_.empty())
+        localScratch_.assign(data_.numNodes(), -1);
+    const double total = edgeCdf_.back();
+    std::vector<NodeId> nodes;
+    auto visit = [&](NodeId v) {
+        if (localScratch_[v] == -1) {
+            localScratch_[v] = 1;
+            nodes.push_back(v);
+        }
+    };
+    for (EdgeId i = 0; i < budget_; ++i) {
+        const double r = rng_.uniform() * total;
+        const EdgeId e = static_cast<EdgeId>(
+            std::lower_bound(edgeCdf_.begin(), edgeCdf_.end(), r) -
+            edgeCdf_.begin());
+        visit(data_.edgeSrc()[e]);
+        visit(data_.edgeDst()[e]);
+    }
+    overhead_.chargeTorchCalls(session_, 8);
+    return extractInducedFast(data_.csc(), std::move(nodes),
+                              localScratch_, overhead_, session_,
+                              100);
+}
+
+} // namespace pygx
+} // namespace gnnbench

@@ -1,0 +1,124 @@
+#include "gnnbench/sampling/subgraph.h"
+
+namespace gnnbench {
+namespace sampling {
+
+uint64_t
+Block::structureBytes() const
+{
+    return srcNodes.size() * sizeof(NodeId) +
+           dstNodes.size() * sizeof(NodeId) +
+           csc.indptr.size() * sizeof(EdgeId) +
+           csc.indices.size() * sizeof(NodeId);
+}
+
+void
+Block::validate() const
+{
+    GNNBENCH_CHECK(dstNodes.size() <= srcNodes.size(),
+                   "block: more dst than src nodes");
+    for (size_t i = 0; i < dstNodes.size(); ++i)
+        GNNBENCH_CHECK(srcNodes[i] == dstNodes[i],
+                       "block: dst nodes must prefix src nodes");
+    GNNBENCH_CHECK(csc.numRows ==
+                       static_cast<NodeId>(dstNodes.size()),
+                   "block: csc rows != |dst|");
+    GNNBENCH_CHECK(csc.numCols ==
+                       static_cast<NodeId>(srcNodes.size()),
+                   "block: csc cols != |src|");
+    csc.validate();
+}
+
+uint64_t
+NeighborSample::structureBytes() const
+{
+    uint64_t bytes = seeds.size() * sizeof(NodeId);
+    for (const auto &b : blocks)
+        bytes += b.structureBytes();
+    return bytes;
+}
+
+void
+NeighborSample::validate() const
+{
+    GNNBENCH_CHECK(!blocks.empty(), "neighbor sample without blocks");
+    for (const auto &b : blocks)
+        b.validate();
+    // Layer wiring: layer l's dst nodes are layer l+1's src nodes,
+    // and the last layer's dst nodes are the seeds.
+    for (size_t l = 0; l + 1 < blocks.size(); ++l)
+        GNNBENCH_CHECK(blocks[l].dstNodes == blocks[l + 1].srcNodes,
+                       "neighbor sample: layer wiring broken at ", l);
+    GNNBENCH_CHECK(blocks.back().dstNodes == seeds,
+                   "neighbor sample: seeds mismatch");
+}
+
+NodeId
+LayerSample::isolatedDstCount() const
+{
+    NodeId isolated = 0;
+    for (NodeId d = 0; d < csc.numRows; ++d)
+        if (csc.degree(d) == 0)
+            ++isolated;
+    return isolated;
+}
+
+uint64_t
+LayerSample::structureBytes() const
+{
+    return (srcNodes.size() + dstNodes.size()) * sizeof(NodeId) +
+           csc.indptr.size() * sizeof(EdgeId) +
+           csc.indices.size() * sizeof(NodeId) +
+           edgeWeights.size() * sizeof(float);
+}
+
+void
+LayerSample::validate() const
+{
+    GNNBENCH_CHECK(csc.numRows ==
+                       static_cast<NodeId>(dstNodes.size()),
+                   "layer sample: csc rows != |dst|");
+    GNNBENCH_CHECK(csc.numCols ==
+                       static_cast<NodeId>(srcNodes.size()),
+                   "layer sample: csc cols != |src|");
+    GNNBENCH_CHECK(edgeWeights.size() ==
+                       static_cast<size_t>(csc.numEdges()),
+                   "layer sample: one weight per edge required");
+    for (float w : edgeWeights)
+        GNNBENCH_CHECK(w > 0.0f, "layer sample: weights positive");
+    csc.validate();
+}
+
+void
+LayerWiseSample::validate() const
+{
+    GNNBENCH_CHECK(!layers.empty(), "layer-wise sample empty");
+    for (const auto &l : layers)
+        l.validate();
+    for (size_t l = 0; l + 1 < layers.size(); ++l)
+        GNNBENCH_CHECK(layers[l].dstNodes == layers[l + 1].srcNodes,
+                       "layer-wise sample: wiring broken at ", l);
+    GNNBENCH_CHECK(layers.back().dstNodes == seeds,
+                   "layer-wise sample: seeds mismatch");
+}
+
+uint64_t
+InducedSample::structureBytes() const
+{
+    return nodes.size() * sizeof(NodeId) +
+           adj.indptr.size() * sizeof(EdgeId) +
+           adj.indices.size() * sizeof(NodeId);
+}
+
+void
+InducedSample::validate() const
+{
+    GNNBENCH_CHECK(adj.numRows == adj.numCols &&
+                       adj.numRows ==
+                           static_cast<NodeId>(nodes.size()),
+                   "induced sample: adjacency/node count mismatch");
+    adj.validate();
+}
+
+} // namespace sampling
+} // namespace gnnbench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Framework-independent sampled-structure types.
+ *
+ * Both frameworks produce the same logical structures from sampling —
+ * layered bipartite blocks for neighbor sampling (DGL's "MFG"s /
+ * PyG's adjacency lists) and induced subgraphs for ClusterGCN /
+ * GraphSAINT — they just build them with very different machinery.
+ * Keeping the output types shared lets the models and tests treat the
+ * samplers interchangeably.
+ */
+
+#ifndef GNNBENCH_SAMPLING_SUBGRAPH_H
+#define GNNBENCH_SAMPLING_SUBGRAPH_H
+
+#include <vector>
+
+#include "gnnbench/graph/csr.h"
+
+namespace gnnbench {
+namespace sampling {
+
+/**
+ * One bipartite message-flow block: messages flow from srcNodes to
+ * dstNodes.  dstNodes is always a prefix of srcNodes (every target
+ * node also appears as a source so self information is available),
+ * matching DGL block semantics.
+ */
+struct Block
+{
+    /** Global ids of source nodes; the first dstNodes.size() entries
+     *  equal dstNodes. */
+    std::vector<NodeId> srcNodes;
+    /** Global ids of destination (target) nodes. */
+    std::vector<NodeId> dstNodes;
+    /**
+     * In-adjacency of the block: numRows == |dst|, numCols == |src|,
+     * row d lists the local src indices sampled for destination d.
+     */
+    graph::CsrGraph csc;
+
+    /** Bytes of index structure (for transfer modeling). */
+    uint64_t structureBytes() const;
+
+    /** Check all block invariants; fatal on violation. */
+    void validate() const;
+};
+
+/** Output of a neighbor sampler for one mini-batch of seeds. */
+struct NeighborSample
+{
+    std::vector<NodeId> seeds;
+    /** blocks[0] is the input-side layer (applied first). */
+    std::vector<Block> blocks;
+
+    /** The nodes whose features must be fetched. */
+    const std::vector<NodeId> &
+    inputNodes() const
+    {
+        return blocks.front().srcNodes;
+    }
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+/**
+ * One layer of a *layer-wise* sample (FastGCN / LADIES): unlike
+ * neighbor-sampled blocks, source and destination sets are sampled
+ * independently, so dstNodes is NOT a prefix of srcNodes and
+ * destinations can end up isolated (FastGCN's known sparsity issue).
+ * Edges carry importance weights 1/(q(v) * t) for unbiased estimates.
+ */
+struct LayerSample
+{
+    std::vector<NodeId> srcNodes;  ///< sampled source set (global)
+    std::vector<NodeId> dstNodes;  ///< destination set (global)
+    /** In-adjacency: rows = dst, cols index srcNodes. */
+    graph::CsrGraph csc;
+    /** Importance weight per edge, aligned with csc traversal. */
+    std::vector<float> edgeWeights;
+
+    /** Destinations with no sampled in-neighbor. */
+    NodeId isolatedDstCount() const;
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+/** Output of a layer-wise sampler for one mini-batch of seeds. */
+struct LayerWiseSample
+{
+    std::vector<NodeId> seeds;
+    /** layers[0] is the input-side layer (applied first). */
+    std::vector<LayerSample> layers;
+
+    const std::vector<NodeId> &
+    inputNodes() const
+    {
+        return layers.front().srcNodes;
+    }
+
+    void validate() const;
+};
+
+/** Output of ClusterGCN / GraphSAINT samplers: an induced subgraph. */
+struct InducedSample
+{
+    /** Global ids of the subgraph's nodes (position = local id). */
+    std::vector<NodeId> nodes;
+    /** Local induced adjacency (square). */
+    graph::CsrGraph adj;
+
+    uint64_t structureBytes() const;
+
+    void validate() const;
+};
+
+} // namespace sampling
+} // namespace gnnbench
+
+#endif // GNNBENCH_SAMPLING_SUBGRAPH_H

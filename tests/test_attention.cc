@@ -1,0 +1,248 @@
+/** Gradient checks and training tests for the dglx attention ops
+ *  (edge softmax, u_add_v, fused GATv2 scoring, weighted
+ *  aggregation) and the GAT / GATv2 layers built from them. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gnnbench/core/optim.h"
+#include "gnnbench/dglx/nn.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+
+namespace gnnbench {
+namespace dglx {
+namespace {
+
+namespace ag = core::ag;
+using core::Tensor;
+
+graph::CsrGraph
+smallCsc(NodeId n, EdgeId m, uint64_t seed)
+{
+    core::Rng rng(seed);
+    return graph::cooToCsc(
+        graph::symmetrize(graph::rmat(n, m, rng), false));
+}
+
+/** Finite-difference gradient check against a scalar loss. */
+void
+checkGradient(const Tensor &leaf_value,
+              const std::function<ag::Var(const ag::Var &)> &build,
+              float tol = 3e-2f)
+{
+    ag::Var v = ag::leaf(leaf_value.clone(), true);
+    ag::Var loss = build(v);
+    ag::backward(loss);
+    const Tensor analytic = v->grad.clone();
+    ASSERT_FALSE(analytic.empty());
+    const float eps = 1e-2f;
+    for (int64_t i = 0; i < leaf_value.rows(); ++i) {
+        for (int64_t j = 0; j < leaf_value.cols(); ++j) {
+            Tensor plus = leaf_value.clone();
+            plus(i, j) += eps;
+            Tensor minus = leaf_value.clone();
+            minus(i, j) -= eps;
+            const float fp =
+                build(ag::leaf(std::move(plus), false))->value(0, 0);
+            const float fm =
+                build(ag::leaf(std::move(minus), false))
+                    ->value(0, 0);
+            const float numeric = (fp - fm) / (2 * eps);
+            ASSERT_NEAR(analytic(i, j), numeric,
+                        tol * std::max(1.0f, std::fabs(numeric)))
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+/** Deterministic weighted scalarization of any Var. */
+ag::Var
+toScalar(const ag::Var &v)
+{
+    Tensor w(v->value.rows(), v->value.cols());
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.data()[i] = 0.05f * static_cast<float>((i % 5) + 1);
+    ag::Var weighted = ag::mul(v, ag::constant(std::move(w)));
+    Tensor ones_l = Tensor::full(1, v->value.rows(), 1.0f);
+    Tensor ones_r = Tensor::full(v->value.cols(), 1, 1.0f);
+    return ag::matmul(
+        ag::matmul(ag::constant(std::move(ones_l)), weighted),
+        ag::constant(std::move(ones_r)));
+}
+
+TEST(AttentionOps, SegmentAndScatterSumsAreAdjoint)
+{
+    // <segmentSumRows(x), y> == <x, gsddmmAdd-style expansion of y>:
+    // verified through the gradcheck of gsddmmAddVar below; here we
+    // check shapes and a hand case.
+    graph::CooGraph coo;
+    coo.numNodes = 3;
+    coo.addEdge(1, 0);
+    coo.addEdge(2, 0);
+    coo.addEdge(0, 2);
+    auto csc = graph::cooToCsc(coo);
+    KernelCtx ctx;
+    Tensor per_edge(3, 1);
+    per_edge(0, 0) = 1;
+    per_edge(1, 0) = 2;
+    per_edge(2, 0) = 4;
+    Tensor by_dst = segmentSumRows(csc, per_edge, ctx);
+    // dst 0 has edges {1->0, 2->0} (rows 0,1 of csc order).
+    EXPECT_EQ(by_dst(0, 0), 3.0f);
+    EXPECT_EQ(by_dst(2, 0), 4.0f);
+    Tensor by_src = scatterSumCols(csc, per_edge, ctx);
+    // src sums: node 1 and 2 feed dst 0; node 0 feeds dst 2.
+    EXPECT_EQ(by_src(1, 0) + by_src(2, 0), 3.0f);
+    EXPECT_EQ(by_src(0, 0), 4.0f);
+}
+
+TEST(AttentionOps, GsddmmAddGradcheck)
+{
+    auto csc = smallCsc(10, 40, 1);
+    core::Rng rng(2);
+    Tensor a = Tensor::randn(10, 2, rng);
+    Tensor b = Tensor::randn(10, 2, rng);
+    KernelCtx ctx;
+    checkGradient(a, [&](const ag::Var &v) {
+        return toScalar(gsddmmAddVar(borrow(csc), v,
+                                     ag::constant(b.clone()), ctx));
+    });
+    checkGradient(b, [&](const ag::Var &v) {
+        return toScalar(gsddmmAddVar(borrow(csc),
+                                     ag::constant(a.clone()), v,
+                                     ctx));
+    });
+}
+
+TEST(AttentionOps, EdgeSoftmaxGradcheck)
+{
+    auto csc = smallCsc(8, 32, 3);
+    core::Rng rng(4);
+    Tensor scores = Tensor::randn(csc.numEdges(), 1, rng);
+    KernelCtx ctx;
+    checkGradient(scores, [&](const ag::Var &v) {
+        return toScalar(edgeSoftmaxVar(borrow(csc), v, ctx));
+    });
+}
+
+TEST(AttentionOps, GspmmEdgeScalarGradcheck)
+{
+    auto csc = smallCsc(9, 36, 5);
+    core::Rng rng(6);
+    Tensor x = Tensor::randn(9, 3, rng);
+    Tensor att =
+        Tensor::uniform(csc.numEdges(), 1, rng, 0.1f, 1.0f);
+    KernelCtx ctx;
+    checkGradient(x, [&](const ag::Var &v) {
+        return toScalar(gspmmEdgeScalarVar(
+            borrow(csc), v, ag::constant(att.clone()), ctx));
+    });
+    checkGradient(att, [&](const ag::Var &v) {
+        return toScalar(gspmmEdgeScalarVar(
+            borrow(csc), ag::constant(x.clone()), v, ctx));
+    });
+}
+
+TEST(AttentionOps, AttnV2Gradcheck)
+{
+    auto csc = smallCsc(7, 28, 7);
+    core::Rng rng(8);
+    Tensor zl = Tensor::randn(7, 3, rng);
+    Tensor zr = Tensor::randn(7, 3, rng);
+    Tensor a = Tensor::randn(1, 3, rng);
+    KernelCtx ctx;
+    checkGradient(zl, [&](const ag::Var &v) {
+        return toScalar(gsddmmAttnV2Var(
+            borrow(csc), v, ag::constant(zr.clone()),
+            ag::constant(a.clone()), 0.2f, ctx));
+    });
+    checkGradient(zr, [&](const ag::Var &v) {
+        return toScalar(gsddmmAttnV2Var(
+            borrow(csc), ag::constant(zl.clone()), v,
+            ag::constant(a.clone()), 0.2f, ctx));
+    });
+    checkGradient(a, [&](const ag::Var &v) {
+        return toScalar(gsddmmAttnV2Var(
+            borrow(csc), ag::constant(zl.clone()),
+            ag::constant(zr.clone()), v, 0.2f, ctx));
+    });
+}
+
+class GatTraining : public ::testing::TestWithParam<ConvKind>
+{
+};
+
+TEST_P(GatTraining, ReducesLoss)
+{
+    // End-to-end: attention layer + linear head must fit a
+    // community-labeled graph.
+    core::Rng rng(9);
+    graph::CooGraph coo =
+        graph::symmetrize(graph::rmat(150, 900, rng), false);
+    Graph g(coo);
+    auto labels = graph::communityLabels(coo, 3, rng, 0.0);
+    Tensor x = Tensor::randn(150, 6, rng);
+    for (NodeId v = 0; v < 150; ++v)
+        x(v, labels[v] * 2) += 2.0f;
+
+    core::Rng wrng(10);
+    auto conv = makeConv(GetParam(), 6, 3, wrng, true);
+    core::Adam opt(conv->params(), 0.02f);
+    KernelCtx ctx;
+
+    float first = 0, last = 0;
+    for (int step = 0; step < 40; ++step) {
+        ag::Var out =
+            conv->forward(g, ag::constant(x.clone()), ctx);
+        ag::Var loss =
+            ag::nllLoss(ag::logSoftmax(out), labels, {});
+        if (step == 0)
+            first = loss->value(0, 0);
+        last = loss->value(0, 0);
+        opt.zeroGrad();
+        ag::backward(loss);
+        opt.step();
+    }
+    EXPECT_LT(last, 0.7f * first) << convKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AttentionKinds, GatTraining,
+                         ::testing::Values(ConvKind::Gat,
+                                           ConvKind::Gatv2),
+                         [](const auto &info) {
+                             return convKindName(info.param);
+                         });
+
+TEST(AttentionOps, AttentionSumsToOneAfterTraining)
+{
+    // Attention weights remain a distribution per destination even
+    // after gradient updates (softmax invariant).
+    auto csc = smallCsc(20, 120, 11);
+    core::Rng rng(12);
+    ag::Var scores = ag::leaf(
+        Tensor::randn(csc.numEdges(), 1, rng), true);
+    KernelCtx ctx;
+    for (int step = 0; step < 3; ++step) {
+        ag::Var att = edgeSoftmaxVar(borrow(csc), scores, ctx);
+        for (NodeId d = 0; d < csc.numRows; ++d) {
+            if (csc.degree(d) == 0)
+                continue;
+            double z = 0;
+            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1];
+                 ++e)
+                z += att->value(e, 0);
+            ASSERT_NEAR(z, 1.0, 1e-4);
+        }
+        ag::Var loss = toScalar(att);
+        scores->zeroGrad();
+        ag::backward(loss);
+        core::ops::axpy(scores->value, scores->grad, -0.1f);
+    }
+}
+
+} // namespace
+} // namespace dglx
+} // namespace gnnbench

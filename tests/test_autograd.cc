@@ -1,0 +1,247 @@
+/** Tests for the reverse-mode autograd tape, including numeric
+ *  finite-difference gradient checks on every differentiable op. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gnnbench/core/autograd.h"
+
+namespace gnnbench {
+namespace core {
+namespace ag {
+namespace {
+
+/**
+ * Finite-difference check: builds the graph twice per perturbed
+ * entry via @p build (leaf -> scalar loss) and compares the analytic
+ * gradient at @p leaf_value against central differences.
+ */
+void
+checkGradient(const Tensor &leaf_value,
+              const std::function<Var(const Var &)> &build,
+              float tol = 2e-2f)
+{
+    Var leaf_var = leaf(leaf_value.clone(), true);
+    Var loss = build(leaf_var);
+    backward(loss);
+    const Tensor analytic = leaf_var->grad.clone();
+    ASSERT_FALSE(analytic.empty());
+
+    const float eps = 1e-2f;
+    for (int64_t i = 0; i < leaf_value.rows(); ++i) {
+        for (int64_t j = 0; j < leaf_value.cols(); ++j) {
+            Tensor plus = leaf_value.clone();
+            plus(i, j) += eps;
+            Tensor minus = leaf_value.clone();
+            minus(i, j) -= eps;
+            const float f_plus =
+                build(leaf(std::move(plus), false))->value(0, 0);
+            const float f_minus =
+                build(leaf(std::move(minus), false))->value(0, 0);
+            const float numeric = (f_plus - f_minus) / (2 * eps);
+            ASSERT_NEAR(analytic(i, j), numeric,
+                        tol * std::max(1.0f, std::fabs(numeric)))
+                << "grad mismatch at (" << i << "," << j << ")";
+        }
+    }
+}
+
+/** Reduce any tensor Var to a scalar via a fixed weighted sum. */
+Var
+toScalar(const Var &v)
+{
+    Tensor w(v->value.rows(), v->value.cols());
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.data()[i] = 0.1f * static_cast<float>((i % 7) + 1);
+    Var weighted = mul(v, constant(std::move(w)));
+    // Sum all entries: ones^T (weighted ones-column trick).
+    Tensor ones_l(1, v->value.rows());
+    ones_l.fill(1.0f);
+    Tensor ones_r(v->value.cols(), 1);
+    ones_r.fill(1.0f);
+    return matmul(matmul(constant(std::move(ones_l)), weighted),
+                  constant(std::move(ones_r)));
+}
+
+TEST(Autograd, BackwardRequiresScalarRoot)
+{
+    Var x = leaf(Tensor::full(2, 2, 1.0f), true);
+    Var y = relu(x);
+    EXPECT_DEATH(backward(y), "scalar");
+}
+
+TEST(Autograd, LeafAccumulatesAcrossUses)
+{
+    // loss = sum(x) + sum(x) -> grad = 2 everywhere.
+    Var x = leaf(Tensor::full(1, 3, 1.0f), true);
+    Var s = toScalar(add(x, x));
+    backward(s);
+    EXPECT_GT(x->grad.maxAbs(), 0.0f);
+    // grad of add is double the single-use grad.
+    Var x2 = leaf(Tensor::full(1, 3, 1.0f), true);
+    backward(toScalar(x2));
+    for (int64_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(x->grad(0, j), 2.0f * x2->grad(0, j), 1e-5f);
+}
+
+TEST(Autograd, ConstantsGetNoGradient)
+{
+    Var c = constant(Tensor::full(2, 2, 1.0f));
+    Var x = leaf(Tensor::full(2, 2, 1.0f), true);
+    backward(toScalar(mul(x, c)));
+    EXPECT_TRUE(c->grad.empty());
+    EXPECT_FALSE(x->grad.empty());
+}
+
+TEST(AutogradGradcheck, Matmul)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn(3, 4, rng);
+    Tensor w = Tensor::randn(4, 2, rng);
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(matmul(v, constant(w.clone())));
+    });
+    // And w.r.t. the weight operand.
+    checkGradient(w, [&](const Var &v) {
+        return toScalar(matmul(constant(x.clone()), v));
+    });
+}
+
+TEST(AutogradGradcheck, AddBias)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn(3, 4, rng);
+    Tensor b = Tensor::randn(1, 4, rng);
+    checkGradient(b, [&](const Var &v) {
+        return toScalar(addBias(constant(x.clone()), v));
+    });
+}
+
+TEST(AutogradGradcheck, ReluAwayFromKink)
+{
+    Rng rng(3);
+    Tensor x = Tensor::randn(3, 3, rng);
+    // Push values away from 0 so finite differences are valid.
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.data()[i] += (x.data()[i] >= 0 ? 0.5f : -0.5f);
+    checkGradient(x,
+                  [&](const Var &v) { return toScalar(relu(v)); });
+}
+
+TEST(AutogradGradcheck, EluAndLeakyRelu)
+{
+    Rng rng(4);
+    Tensor x = Tensor::randn(2, 3, rng);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.data()[i] += (x.data()[i] >= 0 ? 0.5f : -0.5f);
+    checkGradient(x, [&](const Var &v) { return toScalar(elu(v)); });
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(leakyRelu(v, 0.2f));
+    });
+}
+
+TEST(AutogradGradcheck, MulAndScale)
+{
+    Rng rng(5);
+    Tensor x = Tensor::randn(2, 4, rng);
+    Tensor y = Tensor::randn(2, 4, rng);
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(mul(v, constant(y.clone())));
+    });
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(scale(v, -1.7f));
+    });
+}
+
+TEST(AutogradGradcheck, LogSoftmaxNll)
+{
+    Rng rng(6);
+    Tensor x = Tensor::randn(4, 3, rng);
+    std::vector<int32_t> labels = {0, 2, 1, 2};
+    checkGradient(x, [&](const Var &v) {
+        return nllLoss(logSoftmax(v), labels, {});
+    });
+    // Row-selected variant.
+    checkGradient(x, [&](const Var &v) {
+        return nllLoss(logSoftmax(v), labels, {1, 3});
+    });
+}
+
+TEST(AutogradGradcheck, GatherRows)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn(5, 3, rng);
+    std::vector<NodeId> idx = {4, 0, 0, 2};
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(gatherRows(v, idx));
+    });
+}
+
+TEST(AutogradGradcheck, RowScale)
+{
+    Rng rng(8);
+    Tensor x = Tensor::randn(3, 4, rng);
+    std::vector<float> s = {0.5f, -1.0f, 2.0f};
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(rowScale(v, s));
+    });
+}
+
+TEST(AutogradGradcheck, ConcatCols)
+{
+    Rng rng(9);
+    Tensor a = Tensor::randn(3, 2, rng);
+    Tensor b = Tensor::randn(3, 3, rng);
+    checkGradient(a, [&](const Var &v) {
+        return toScalar(concatCols(v, constant(b.clone())));
+    });
+    checkGradient(b, [&](const Var &v) {
+        return toScalar(concatCols(constant(a.clone()), v));
+    });
+}
+
+TEST(Autograd, DropoutBackwardUsesMask)
+{
+    Rng rng(10);
+    Var x = leaf(Tensor::full(20, 20, 1.0f), true);
+    Var y = dropout(x, 0.5f, rng);
+    backward(toScalar(y));
+    // Gradient must vanish exactly where the output was dropped.
+    for (int64_t i = 0; i < y->value.numel(); ++i) {
+        if (y->value.data()[i] == 0.0f)
+            EXPECT_EQ(x->grad.data()[i], 0.0f);
+        else
+            EXPECT_NE(x->grad.data()[i], 0.0f);
+    }
+}
+
+TEST(Autograd, DiamondGraphGradient)
+{
+    // loss = sum((x + x) * x): grad via two paths must combine.
+    Rng rng(11);
+    Tensor x = Tensor::randn(2, 2, rng);
+    checkGradient(x, [&](const Var &v) {
+        return toScalar(mul(add(v, v), v));
+    });
+}
+
+TEST(Autograd, CustomOpViaMakeOp)
+{
+    // y = 3x through makeOp with hand-written backward.
+    Var x = leaf(Tensor::full(1, 2, 2.0f), true);
+    Var y = makeOp("triple", ops::scale(x->value, 3.0f), {x},
+                   [x](Node &n) {
+                       x->accumulateGrad(ops::scale(n.grad, 3.0f));
+                   });
+    backward(toScalar(y));
+    // d/dx of weighted sum w . 3x = 3w; w = 0.1*((i%7)+1).
+    EXPECT_NEAR(x->grad(0, 0), 3.0f * 0.1f, 1e-5f);
+    EXPECT_NEAR(x->grad(0, 1), 3.0f * 0.2f, 1e-5f);
+}
+
+} // namespace
+} // namespace ag
+} // namespace core
+} // namespace gnnbench

@@ -1,0 +1,145 @@
+/** Tests for the Table-1 dataset registry and synthesis. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gnnbench/graph/datasets.h"
+
+namespace gnnbench {
+namespace graph {
+namespace {
+
+TEST(Datasets, TableHasSixEntries)
+{
+    EXPECT_EQ(datasetTable().size(), 6u);
+    EXPECT_EQ(datasetNames().front(), "ppi");
+    EXPECT_EQ(datasetNames().back(), "ogbn-products");
+}
+
+TEST(Datasets, Table1StatisticsMatchPaper)
+{
+    const auto &reddit = datasetInfo("reddit");
+    EXPECT_EQ(reddit.numNodes, 232965);
+    EXPECT_EQ(reddit.numEdges, 114615892);
+    EXPECT_EQ(reddit.numFeatures, 602);
+    EXPECT_EQ(reddit.numClasses, 41);
+    const auto &ppi = datasetInfo("ppi");
+    EXPECT_EQ(ppi.numNodes, 14755);
+    EXPECT_EQ(ppi.numClasses, 121);
+    const auto &products = datasetInfo("ogbn-products");
+    EXPECT_EQ(products.numNodes, 2449029);
+    EXPECT_NEAR(products.trainFrac, 0.08, 1e-9);
+}
+
+TEST(Datasets, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(datasetInfo("Reddit").name, "reddit");
+    EXPECT_EQ(datasetInfo("PPI").name, "ppi");
+}
+
+TEST(Datasets, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(datasetInfo("imaginary"), "unknown dataset");
+}
+
+TEST(Datasets, LoadMatchesScaledStatistics)
+{
+    Dataset ds = loadDataset("ppi");  // full scale
+    EXPECT_EQ(ds.numNodes(), datasetInfo("ppi").numNodes);
+    // Edge count within 15% of the target (dedup + symmetrize).
+    const double target = datasetInfo("ppi").numEdges;
+    EXPECT_NEAR(ds.numEdges() / target, 1.0, 0.15);
+    EXPECT_EQ(ds.features.rows(), ds.numNodes());
+    EXPECT_EQ(ds.features.cols(), 50);
+    EXPECT_EQ(ds.labels.size(), static_cast<size_t>(ds.numNodes()));
+}
+
+TEST(Datasets, ScaledLoadShrinks)
+{
+    Dataset ds = loadDataset("reddit", 1.0);  // default 1/64
+    const auto &info = datasetInfo("reddit");
+    EXPECT_NEAR(static_cast<double>(ds.numNodes()),
+                info.numNodes / 64.0, info.numNodes / 64.0 * 0.02);
+    // Mean degree preserved within a factor.
+    const double full_mean_deg =
+        static_cast<double>(info.numEdges) / info.numNodes;
+    const double scaled_mean_deg =
+        static_cast<double>(ds.numEdges()) / ds.numNodes();
+    EXPECT_GT(scaled_mean_deg, 0.5 * full_mean_deg);
+}
+
+TEST(Datasets, SplitsArePartition)
+{
+    Dataset ds = loadDataset("flickr", 0.1);
+    std::set<NodeId> seen;
+    for (const auto *idx : {&ds.trainIdx, &ds.valIdx, &ds.testIdx})
+        for (NodeId v : *idx) {
+            EXPECT_TRUE(seen.insert(v).second)
+                << "node in two splits";
+        }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(ds.numNodes()));
+    // Fractions near the published ones.
+    EXPECT_NEAR(static_cast<double>(ds.trainIdx.size()) /
+                    ds.numNodes(),
+                0.50, 0.02);
+}
+
+TEST(Datasets, DeterministicInSeed)
+{
+    Dataset a = loadDataset("ppi", 0.1, 7);
+    Dataset b = loadDataset("ppi", 0.1, 7);
+    EXPECT_EQ(a.graph.src, b.graph.src);
+    EXPECT_EQ(a.labels, b.labels);
+    Dataset c = loadDataset("ppi", 0.1, 8);
+    EXPECT_NE(a.graph.src, c.graph.src);
+}
+
+TEST(Datasets, GraphIsSymmetric)
+{
+    Dataset ds = loadDataset("ppi", 0.1);
+    std::set<std::pair<NodeId, NodeId>> edges;
+    for (size_t i = 0; i < ds.graph.src.size(); ++i)
+        edges.insert({ds.graph.src[i], ds.graph.dst[i]});
+    for (auto [u, v] : edges)
+        ASSERT_TRUE(edges.count({v, u}));
+}
+
+TEST(Datasets, FeaturesCorrelateWithLabels)
+{
+    // Same-class nodes share a centroid component: their features
+    // should be closer on average than cross-class pairs.
+    Dataset ds = loadDataset("flickr", 0.05);
+    auto dist = [&](NodeId a, NodeId b) {
+        double d = 0;
+        for (int64_t j = 0; j < ds.features.cols(); ++j) {
+            const double diff =
+                ds.features(a, j) - ds.features(b, j);
+            d += diff * diff;
+        }
+        return d;
+    };
+    double same = 0, cross = 0;
+    int64_t same_n = 0, cross_n = 0;
+    for (NodeId a = 0; a < std::min<NodeId>(200, ds.numNodes());
+         ++a) {
+        for (NodeId b = a + 1;
+             b < std::min<NodeId>(200, ds.numNodes()); ++b) {
+            if (ds.labels[a] == ds.labels[b]) {
+                same += dist(a, b);
+                ++same_n;
+            } else {
+                cross += dist(a, b);
+                ++cross_n;
+            }
+        }
+    }
+    ASSERT_GT(same_n, 0);
+    ASSERT_GT(cross_n, 0);
+    EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+} // namespace
+} // namespace graph
+} // namespace gnnbench

@@ -1,0 +1,102 @@
+/** End-to-end determinism: every benchmark quantity that is not a
+ *  wall-clock measurement must be bit-identical across runs with the
+ *  same seed (the property that makes the suite reproducible). */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/models/clustergcn.h"
+#include "gnnbench/models/graphsage.h"
+#include "gnnbench/models/graphsaint.h"
+
+namespace gnnbench {
+namespace models {
+namespace {
+
+TrainConfig
+config(Framework fw)
+{
+    TrainConfig cfg;
+    cfg.framework = fw;
+    cfg.epochs = 2;
+    cfg.hiddenDim = 16;
+    cfg.batchSize = 128;
+    cfg.numParts = 20;
+    cfg.clustersPerBatch = 5;
+    cfg.saintRoots = 100;
+    cfg.seed = 77;
+    return cfg;
+}
+
+using ModelFn = TrainResult (*)(const graph::Dataset &,
+                                const TrainConfig &);
+
+struct Case
+{
+    const char *name;
+    ModelFn fn;
+    Framework fw;
+};
+
+class Determinism : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(Determinism, LossTrajectoriesIdentical)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 5);
+    const Case &c = GetParam();
+    TrainResult a = c.fn(ds, config(c.fw));
+    TrainResult b = c.fn(ds, config(c.fw));
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (size_t e = 0; e < a.epochs.size(); ++e) {
+        EXPECT_EQ(a.epochs[e].loss, b.epochs[e].loss)
+            << "epoch " << e;
+        EXPECT_EQ(a.epochs[e].correct, b.epochs[e].correct);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, Determinism,
+    ::testing::Values(
+        Case{"sage_dgl", &trainGraphSage, Framework::Dglx},
+        Case{"sage_pyg", &trainGraphSage, Framework::Pygx},
+        Case{"cluster_dgl", &trainClusterGcn, Framework::Dglx},
+        Case{"cluster_pyg", &trainClusterGcn, Framework::Pygx},
+        Case{"saint_dgl", &trainGraphSaint, Framework::Dglx},
+        Case{"saint_pyg", &trainGraphSaint, Framework::Pygx}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(Determinism, DatasetRegenerationIdentical)
+{
+    // Same name/scale/seed anywhere, any time: identical dataset.
+    graph::Dataset a = graph::loadDataset("yelp", 0.3, 123);
+    graph::Dataset b = graph::loadDataset("yelp", 0.3, 123);
+    EXPECT_EQ(a.graph.src, b.graph.src);
+    EXPECT_EQ(a.graph.dst, b.graph.dst);
+    EXPECT_EQ(a.labels, b.labels);
+    for (int64_t i = 0; i < a.features.numel(); ++i)
+        ASSERT_EQ(a.features.data()[i], b.features.data()[i]);
+}
+
+TEST(Determinism, ModeledTimesIdenticalAcrossRuns)
+{
+    // GPU-mode phase times are mostly modeled; the modeled parts
+    // (gpu, transfer, overhead seconds) must match exactly.
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 9);
+    TrainConfig cfg = config(Framework::Dglx);
+    cfg.mode = RunMode::GPU;
+    TrainResult a = trainGraphSage(ds, cfg);
+    TrainResult b = trainGraphSage(ds, cfg);
+    for (int p = 0; p < profiling::kNumPhases; ++p) {
+        EXPECT_EQ(a.phases[p].gpuBusySeconds,
+                  b.phases[p].gpuBusySeconds)
+            << "phase " << p;
+        EXPECT_EQ(a.phases[p].xferSeconds, b.phases[p].xferSeconds);
+        EXPECT_EQ(a.phases[p].gpuUtilSeconds,
+                  b.phases[p].gpuUtilSeconds);
+    }
+}
+
+} // namespace
+} // namespace models
+} // namespace gnnbench

@@ -1,0 +1,199 @@
+/** Tests for the dglx CPU samplers: structural invariants and
+ *  statistical sanity, plus determinism. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/graph/generate.h"
+
+namespace gnnbench {
+namespace dglx {
+namespace {
+
+Graph
+makeGraph(NodeId n, EdgeId m, uint64_t seed)
+{
+    core::Rng rng(seed);
+    return Graph(graph::symmetrize(graph::rmat(n, m, rng), false));
+}
+
+TEST(NeighborSampler, BlockInvariantsHold)
+{
+    Graph g = makeGraph(500, 3000, 1);
+    NeighborSampler sampler(g, {25, 10}, core::Rng(2));
+    std::vector<NodeId> seeds = {1, 5, 9, 100, 499};
+    auto smp = sampler.sample(seeds);
+    smp.validate();
+    EXPECT_EQ(smp.blocks.size(), 2u);
+    EXPECT_EQ(smp.seeds, seeds);
+}
+
+TEST(NeighborSampler, FanoutBound)
+{
+    Graph g = makeGraph(400, 4000, 3);
+    NeighborSampler sampler(g, {25, 10}, core::Rng(4));
+    auto smp = sampler.sample({0, 1, 2, 3, 4, 5, 6, 7});
+    // Seed-side block (last) uses fanout 10; input-side uses 25.
+    const auto &seed_blk = smp.blocks[1];
+    for (NodeId d = 0; d < seed_blk.csc.numRows; ++d)
+        EXPECT_LE(seed_blk.csc.degree(d), 10);
+    const auto &in_blk = smp.blocks[0];
+    for (NodeId d = 0; d < in_blk.csc.numRows; ++d)
+        EXPECT_LE(in_blk.csc.degree(d), 25);
+}
+
+TEST(NeighborSampler, TakesAllWhenDegreeBelowFanout)
+{
+    // Path graph: 0-1-2; degree <= 2 < fanout.
+    graph::CooGraph coo;
+    coo.numNodes = 3;
+    coo.addEdge(0, 1);
+    coo.addEdge(1, 2);
+    Graph g(graph::symmetrize(coo, false));
+    NeighborSampler sampler(g, {5}, core::Rng(5));
+    auto smp = sampler.sample({1});
+    EXPECT_EQ(smp.blocks[0].csc.degree(0), 2);  // both neighbors
+}
+
+TEST(NeighborSampler, SampledEdgesExistInGraph)
+{
+    Graph g = makeGraph(300, 2400, 6);
+    NeighborSampler sampler(g, {5, 5}, core::Rng(7));
+    auto smp = sampler.sample({10, 20, 30});
+    for (const auto &blk : smp.blocks) {
+        for (NodeId d = 0; d < blk.csc.numRows; ++d) {
+            const NodeId gd = blk.dstNodes[d];
+            std::set<NodeId> nbrs(g.csc().rowBegin(gd),
+                                  g.csc().rowEnd(gd));
+            for (EdgeId e = blk.csc.indptr[d];
+                 e < blk.csc.indptr[d + 1]; ++e) {
+                const NodeId gs = blk.srcNodes[blk.csc.indices[e]];
+                ASSERT_TRUE(nbrs.count(gs))
+                    << gs << " not a neighbor of " << gd;
+            }
+        }
+    }
+}
+
+TEST(NeighborSampler, NoReplacementWithinNode)
+{
+    Graph g = makeGraph(200, 4000, 8);
+    NeighborSampler sampler(g, {10}, core::Rng(9));
+    auto smp = sampler.sample({0, 1, 2, 3, 4});
+    const auto &blk = smp.blocks[0];
+    for (NodeId d = 0; d < blk.csc.numRows; ++d) {
+        std::set<NodeId> seen;
+        for (EdgeId e = blk.csc.indptr[d]; e < blk.csc.indptr[d + 1];
+             ++e)
+            ASSERT_TRUE(seen.insert(blk.csc.indices[e]).second)
+                << "duplicate sampled neighbor";
+    }
+}
+
+TEST(NeighborSampler, DeterministicInRng)
+{
+    Graph g = makeGraph(300, 2000, 10);
+    NeighborSampler a(g, {5, 5}, core::Rng(11));
+    NeighborSampler b(g, {5, 5}, core::Rng(11));
+    auto sa = a.sample({1, 2, 3});
+    auto sb = b.sample({1, 2, 3});
+    EXPECT_EQ(sa.blocks[0].srcNodes, sb.blocks[0].srcNodes);
+    EXPECT_EQ(sa.blocks[0].csc.indices, sb.blocks[0].csc.indices);
+}
+
+TEST(ClusterSampler, CoversAllNodesAcrossClusters)
+{
+    Graph g = makeGraph(600, 3600, 12);
+    ClusterSampler sampler(g, 20, core::Rng(13));
+    // Sampling all clusters at once must cover every node.
+    auto smp = sampler.sample(20);
+    smp.validate();
+    EXPECT_EQ(smp.nodes.size(), 600u);
+}
+
+TEST(ClusterSampler, InducedMatchesReference)
+{
+    Graph g = makeGraph(400, 2400, 14);
+    ClusterSampler sampler(g, 16, core::Rng(15));
+    auto smp = sampler.sample(4);
+    smp.validate();
+    graph::CsrGraph ref =
+        graph::inducedSubgraph(g.csr(), smp.nodes);
+    EXPECT_EQ(smp.adj.indptr, ref.indptr);
+    EXPECT_EQ(smp.adj.indices, ref.indices);
+}
+
+TEST(ClusterSampler, PartitionIsStoredOnce)
+{
+    Graph g = makeGraph(500, 3000, 16);
+    ClusterSampler sampler(g, 10, core::Rng(17));
+    EXPECT_EQ(sampler.numParts(), 10);
+    EXPECT_EQ(sampler.partition().assignment.size(), 500u);
+}
+
+TEST(SaintRwSampler, SubgraphSizeBounded)
+{
+    Graph g = makeGraph(1000, 8000, 18);
+    SaintRwSampler sampler(g, 50, 2, core::Rng(19));
+    auto smp = sampler.sample();
+    smp.validate();
+    EXPECT_LE(smp.nodes.size(), 150u);  // roots * (len + 1)
+    EXPECT_GE(smp.nodes.size(), 50u);   // at least the roots
+}
+
+TEST(SaintRwSampler, WalksFollowEdges)
+{
+    Graph g = makeGraph(500, 4000, 20);
+    SaintRwSampler sampler(g, 30, 3, core::Rng(21));
+    auto smp = sampler.sample();
+    // The induced adjacency only contains edges of the base graph
+    // (checked against the reference extractor).
+    graph::CsrGraph ref =
+        graph::inducedSubgraph(g.csr(), smp.nodes);
+    EXPECT_EQ(smp.adj.indices, ref.indices);
+}
+
+TEST(SaintNodeSampler, BudgetRespected)
+{
+    Graph g = makeGraph(800, 6400, 22);
+    SaintNodeSampler sampler(g, 100, core::Rng(23));
+    auto smp = sampler.sample();
+    smp.validate();
+    EXPECT_LE(smp.nodes.size(), 100u);
+    EXPECT_GT(smp.nodes.size(), 30u);  // duplicates removed only
+}
+
+TEST(SaintNodeSampler, PrefersHighDegreeNodes)
+{
+    // Star + isolated satellites: the hub must be sampled near
+    // always, isolated nodes rarely.
+    graph::CooGraph coo;
+    coo.numNodes = 100;
+    for (NodeId v = 1; v < 50; ++v)
+        coo.addEdge(0, v);
+    Graph g(graph::symmetrize(coo, false));
+    int hub_hits = 0;
+    SaintNodeSampler sampler(g, 10, core::Rng(24));
+    for (int t = 0; t < 50; ++t) {
+        auto smp = sampler.sample();
+        for (NodeId v : smp.nodes)
+            hub_hits += (v == 0);
+    }
+    EXPECT_GT(hub_hits, 35);
+}
+
+TEST(SaintEdgeSampler, EndpointsInduced)
+{
+    Graph g = makeGraph(600, 4800, 25);
+    SaintEdgeSampler sampler(g, 200, core::Rng(26));
+    auto smp = sampler.sample();
+    smp.validate();
+    EXPECT_LE(smp.nodes.size(), 400u);
+    EXPECT_GT(smp.nodes.size(), 50u);
+}
+
+} // namespace
+} // namespace dglx
+} // namespace gnnbench

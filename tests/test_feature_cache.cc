@@ -1,0 +1,82 @@
+/** Tests for the degree-ordered GPU feature cache. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/dglx/feature_cache.h"
+
+namespace gnnbench {
+namespace dglx {
+namespace {
+
+TEST(FeatureCache, CachesHottestNodes)
+{
+    device::Session session;
+    // Degrees 0..9; capacity for exactly 3 rows of 16 floats.
+    std::vector<EdgeId> degrees = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    FeatureCache cache(degrees, 16, 3 * 16 * 4, session);
+    EXPECT_EQ(cache.cachedNodes(), 3);
+    EXPECT_TRUE(cache.isCached(9));
+    EXPECT_TRUE(cache.isCached(8));
+    EXPECT_TRUE(cache.isCached(7));
+    EXPECT_FALSE(cache.isCached(0));
+}
+
+TEST(FeatureCache, GatherSplitsHitsAndMisses)
+{
+    device::Session session;
+    std::vector<EdgeId> degrees = {10, 1, 1, 1};
+    FeatureCache cache(degrees, 8, 8 * 4, session);  // 1 row
+    auto stats = cache.gather({0, 1, 2});
+    EXPECT_EQ(stats.hitBytes, 8 * 4u);
+    EXPECT_EQ(stats.missBytes, 2 * 8 * 4u);
+    EXPECT_NEAR(stats.hitRate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(FeatureCache, ChargesTransfersAndKernels)
+{
+    device::Session session;
+    std::vector<EdgeId> degrees(100, 1);
+    degrees[0] = 100;
+    const auto before = session.snapshot();
+    FeatureCache cache(degrees, 64, 50 * 64 * 4, session);
+    const auto after_fill = session.snapshot();
+    // Populating the cache crossed PCIe.
+    EXPECT_GT(after_fill.modeled.xferSeconds -
+                  before.modeled.xferSeconds,
+              0.0);
+    std::vector<NodeId> nodes;
+    for (NodeId i = 0; i < 100; ++i)
+        nodes.push_back(i);
+    cache.gather(nodes);
+    const auto after_gather = session.snapshot();
+    EXPECT_GT(after_gather.modeled.gpuSeconds, 0.0);   // hits
+    EXPECT_GT(after_gather.modeled.xferSeconds -
+                  after_fill.modeled.xferSeconds,
+              0.0);  // misses
+}
+
+TEST(FeatureCache, ReleasesGpuMemoryOnDestruction)
+{
+    device::Session session;
+    std::vector<EdgeId> degrees(10, 1);
+    {
+        FeatureCache cache(degrees, 4, 10 * 4 * 4, session);
+        EXPECT_GT(session.gpuBytesUsed(), 0u);
+    }
+    EXPECT_EQ(session.gpuBytesUsed(), 0u);
+}
+
+TEST(FeatureCache, TotalsAccumulate)
+{
+    device::Session session;
+    std::vector<EdgeId> degrees = {5, 4, 3, 2, 1};
+    FeatureCache cache(degrees, 4, 2 * 4 * 4, session);
+    cache.gather({0, 4});
+    cache.gather({1, 3});
+    EXPECT_EQ(cache.totals().hitBytes, 2 * 4 * 4u);
+    EXPECT_EQ(cache.totals().missBytes, 2 * 4 * 4u);
+}
+
+} // namespace
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,63 @@
+/** Tests for full-batch GraphSAGE training (Figures 22-24 path). */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/models/fullbatch.h"
+
+namespace gnnbench {
+namespace models {
+namespace {
+
+TEST(FullBatch, CpuRunsBothFrameworks)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 3);
+    for (auto fw : {Framework::Dglx, Framework::Pygx}) {
+        auto r = trainFullBatchSage(ds, fw, RunMode::CPU, 2, 1);
+        EXPECT_GT(r.secondsPerEpoch, 0.0) << frameworkName(fw);
+        EXPECT_GT(r.energyPerEpoch.joules(), 0.0);
+        EXPECT_EQ(r.energyPerEpoch.gpuJoules, 0.0);
+        EXPECT_NEAR(r.energyPerEpoch.seconds, r.secondsPerEpoch,
+                    1e-9);
+    }
+}
+
+TEST(FullBatch, GpuModeChargesGpuEnergy)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 3);
+    auto r = trainFullBatchSage(ds, Framework::Dglx, RunMode::GPU,
+                                2, 1);
+    EXPECT_GT(r.secondsPerEpoch, 0.0);
+    EXPECT_GT(r.energyPerEpoch.gpuJoules, 0.0);
+}
+
+TEST(FullBatch, GpuFasterThanCpu)
+{
+    // The modeled GPU must beat single-core CPU full-batch training
+    // (paper: conv layers up to 70x faster on GPU).
+    graph::Dataset ds = graph::loadDataset("ppi", 0.1, 4);
+    auto cpu = trainFullBatchSage(ds, Framework::Dglx,
+                                  RunMode::CPU, 2, 1);
+    auto gpu = trainFullBatchSage(ds, Framework::Dglx,
+                                  RunMode::GPU, 2, 1);
+    EXPECT_LT(gpu.secondsPerEpoch, cpu.secondsPerEpoch);
+}
+
+TEST(FullBatch, ConfigLabels)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.02, 5);
+    auto r = trainFullBatchSage(ds, Framework::Pygx, RunMode::CPU,
+                                1, 1);
+    EXPECT_EQ(r.config, "PyG-CPU");
+}
+
+TEST(FullBatch, RejectsSamplingModes)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.02, 5);
+    EXPECT_DEATH(trainFullBatchSage(ds, Framework::Dglx,
+                                    RunMode::UVAGPU, 1, 1),
+                 "CPU or GPU");
+}
+
+} // namespace
+} // namespace models
+} // namespace gnnbench

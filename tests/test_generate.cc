@@ -1,0 +1,112 @@
+/** Tests for the synthetic graph generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+
+namespace gnnbench {
+namespace graph {
+namespace {
+
+TEST(Rmat, ProducesRequestedSize)
+{
+    core::Rng rng(1);
+    CooGraph g = rmat(1000, 5000, rng);
+    EXPECT_EQ(g.numNodes, 1000);
+    EXPECT_EQ(g.numEdges(), 5000);
+    g.validate();
+}
+
+TEST(Rmat, Deterministic)
+{
+    core::Rng a(42), b(42);
+    CooGraph ga = rmat(500, 2000, a);
+    CooGraph gb = rmat(500, 2000, b);
+    EXPECT_EQ(ga.src, gb.src);
+    EXPECT_EQ(ga.dst, gb.dst);
+}
+
+TEST(Rmat, SkewedDegreeDistribution)
+{
+    // R-MAT graphs must be far more skewed than Erdos-Renyi:
+    // compare max degree at equal density.
+    core::Rng rng(7);
+    CooGraph r = rmat(2000, 20000, rng);
+    CooGraph e = erdosRenyi(2000, 20000, rng);
+    auto max_deg = [](const CooGraph &g) {
+        auto deg = outDegrees(cooToCsr(g));
+        return *std::max_element(deg.begin(), deg.end());
+    };
+    EXPECT_GT(max_deg(r), 2 * max_deg(e));
+}
+
+TEST(Rmat, NonTrivialNodeCoverage)
+{
+    core::Rng rng(9);
+    CooGraph g = rmat(1000, 10000, rng);
+    std::vector<bool> touched(1000, false);
+    for (size_t i = 0; i < g.src.size(); ++i) {
+        touched[g.src[i]] = true;
+        touched[g.dst[i]] = true;
+    }
+    const auto covered = static_cast<size_t>(
+        std::count(touched.begin(), touched.end(), true));
+    EXPECT_GT(covered, 500u);
+}
+
+TEST(ErdosRenyi, SizeAndRange)
+{
+    core::Rng rng(2);
+    CooGraph g = erdosRenyi(100, 450, rng);
+    EXPECT_EQ(g.numNodes, 100);
+    EXPECT_EQ(g.numEdges(), 450);
+    g.validate();
+}
+
+TEST(CommunityLabels, RangeAndCoverage)
+{
+    core::Rng rng(3);
+    CooGraph g = symmetrize(rmat(2000, 8000, rng), false);
+    auto labels = communityLabels(g, 10, rng, 0.0);
+    ASSERT_EQ(labels.size(), 2000u);
+    std::vector<int> counts(10, 0);
+    for (int32_t l : labels) {
+        ASSERT_GE(l, 0);
+        ASSERT_LT(l, 10);
+        ++counts[l];
+    }
+    // Every class should get some mass.
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(CommunityLabels, TopologyCorrelation)
+{
+    // With zero label noise, adjacent nodes should share labels far
+    // more often than the 1/k random baseline.
+    core::Rng rng(4);
+    CooGraph g = symmetrize(rmat(3000, 15000, rng), false);
+    auto labels = communityLabels(g, 8, rng, 0.0);
+    int64_t same = 0;
+    for (size_t i = 0; i < g.src.size(); ++i)
+        same += (labels[g.src[i]] == labels[g.dst[i]]);
+    const double frac =
+        static_cast<double>(same) / static_cast<double>(g.numEdges());
+    EXPECT_GT(frac, 0.3);  // >> 1/8
+}
+
+TEST(CommunityLabels, SingleClassDegenerate)
+{
+    core::Rng rng(5);
+    CooGraph g = erdosRenyi(50, 100, rng);
+    auto labels = communityLabels(g, 1, rng);
+    for (int32_t l : labels)
+        EXPECT_EQ(l, 0);
+}
+
+} // namespace
+} // namespace graph
+} // namespace gnnbench

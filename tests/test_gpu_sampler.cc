@@ -1,0 +1,104 @@
+/** Tests for the GPU-based and UVA-based neighbor samplers. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/dglx/gpu_sampler.h"
+#include "gnnbench/graph/generate.h"
+
+namespace gnnbench {
+namespace dglx {
+namespace {
+
+Graph
+makeGraph(uint64_t seed)
+{
+    core::Rng rng(seed);
+    return Graph(
+        graph::symmetrize(graph::rmat(500, 5000, rng), false));
+}
+
+TEST(GpuSampler, ProducesValidSamples)
+{
+    Graph g = makeGraph(1);
+    device::Session session;
+    GpuNeighborSampler sampler(g, {25, 10}, core::Rng(2),
+                               GpuNeighborSampler::Mode::GpuResident,
+                               session);
+    auto smp = sampler.sample({1, 2, 3, 4});
+    smp.validate();
+    EXPECT_EQ(smp.blocks.size(), 2u);
+}
+
+TEST(GpuSampler, ExcludesHostWallTime)
+{
+    Graph g = makeGraph(3);
+    device::Session session;
+    GpuNeighborSampler sampler(g, {25, 10}, core::Rng(4),
+                               GpuNeighborSampler::Mode::GpuResident,
+                               session);
+    sampler.sample({0, 1, 2, 3, 4, 5, 6, 7});
+    const auto snap = session.snapshot();
+    EXPECT_GT(snap.excludedWall, 0.0);
+    EXPECT_GT(snap.modeled.gpuSeconds, 0.0);
+    EXPECT_EQ(snap.modeled.xferSeconds, 0.0);
+}
+
+TEST(GpuSampler, UvaSlowerThanGpuResident)
+{
+    // Same graph, same seeds, same rng: the UVA sampler must charge
+    // more modeled time (zero-copy PCIe reads vs device memory).
+    Graph g = makeGraph(5);
+    device::Session s_gpu, s_uva;
+    GpuNeighborSampler gpu(g, {25, 10}, core::Rng(6),
+                           GpuNeighborSampler::Mode::GpuResident,
+                           s_gpu);
+    GpuNeighborSampler uva(g, {25, 10}, core::Rng(6),
+                           GpuNeighborSampler::Mode::Uva, s_uva);
+    std::vector<NodeId> seeds;
+    for (NodeId i = 0; i < 64; ++i)
+        seeds.push_back(i);
+    gpu.sample(seeds);
+    uva.sample(seeds);
+    EXPECT_GT(s_uva.snapshot().modeled.gpuSeconds,
+              s_gpu.snapshot().modeled.gpuSeconds);
+}
+
+TEST(GpuSampler, SameResultsAsCpuSamplerWithSameRng)
+{
+    // The GPU sampler runs the same algorithm; with identical rng
+    // state it must produce identical blocks.
+    Graph g = makeGraph(7);
+    device::Session session;
+    NeighborSampler cpu(g, {5, 5}, core::Rng(8));
+    GpuNeighborSampler gpu(g, {5, 5}, core::Rng(8),
+                           GpuNeighborSampler::Mode::GpuResident,
+                           session);
+    auto a = cpu.sample({10, 20, 30});
+    auto b = gpu.sample({10, 20, 30});
+    EXPECT_EQ(a.blocks[0].srcNodes, b.blocks[0].srcNodes);
+    EXPECT_EQ(a.blocks[0].csc.indices, b.blocks[0].csc.indices);
+}
+
+TEST(GpuSampler, ModeledTimeGrowsWithBatchSize)
+{
+    Graph g = makeGraph(9);
+    device::Session s_small, s_large;
+    GpuNeighborSampler small(g, {10, 10}, core::Rng(10),
+                             GpuNeighborSampler::Mode::GpuResident,
+                             s_small);
+    GpuNeighborSampler large(g, {10, 10}, core::Rng(10),
+                             GpuNeighborSampler::Mode::GpuResident,
+                             s_large);
+    std::vector<NodeId> few = {0, 1};
+    std::vector<NodeId> many;
+    for (NodeId i = 0; i < 256; ++i)
+        many.push_back(i);
+    small.sample(few);
+    large.sample(many);
+    EXPECT_GT(s_large.snapshot().modeled.gpuSeconds,
+              s_small.snapshot().modeled.gpuSeconds);
+}
+
+} // namespace
+} // namespace dglx
+} // namespace gnnbench

@@ -1,0 +1,195 @@
+/** Tests for COO/CSR/CSC structures and conversions. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+
+namespace gnnbench {
+namespace graph {
+namespace {
+
+CooGraph
+triangleWithTail()
+{
+    // 0-1-2 triangle plus 2->3 tail (directed edges as listed).
+    CooGraph g;
+    g.numNodes = 4;
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(2, 3);
+    return g;
+}
+
+TEST(Coo, ValidateAcceptsWellFormed)
+{
+    triangleWithTail().validate();
+}
+
+TEST(Coo, SymmetrizeAddsReverseEdges)
+{
+    CooGraph s = symmetrize(triangleWithTail());
+    EXPECT_EQ(s.numEdges(), 8);
+    // Every edge's reverse must exist.
+    std::set<std::pair<NodeId, NodeId>> edges;
+    for (size_t i = 0; i < s.src.size(); ++i)
+        edges.insert({s.src[i], s.dst[i]});
+    for (auto [u, v] : edges)
+        EXPECT_TRUE(edges.count({v, u})) << u << "->" << v;
+}
+
+TEST(Coo, SymmetrizeDropsSelfLoopWhenAsked)
+{
+    CooGraph g;
+    g.numNodes = 2;
+    g.addEdge(0, 0);
+    g.addEdge(0, 1);
+    EXPECT_EQ(symmetrize(g, true).numEdges(), 3);
+    EXPECT_EQ(symmetrize(g, false).numEdges(), 2);
+}
+
+TEST(Coo, DedupRemovesDuplicates)
+{
+    CooGraph g;
+    g.numNodes = 3;
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    EXPECT_EQ(dedup(g).numEdges(), 2);
+}
+
+TEST(Convert, CsrMatchesEdges)
+{
+    CooGraph g = triangleWithTail();
+    CsrGraph csr = cooToCsr(g);
+    csr.validate();
+    EXPECT_EQ(csr.numEdges(), g.numEdges());
+    EXPECT_EQ(csr.degree(2), 2);  // 2->0 and 2->3
+    EXPECT_EQ(csr.degree(3), 0);
+}
+
+TEST(Convert, CscIsInAdjacency)
+{
+    CooGraph g = triangleWithTail();
+    CsrGraph csc = cooToCsc(g);
+    csc.validate();
+    EXPECT_EQ(csc.degree(3), 1);  // only 2->3 enters 3
+    EXPECT_EQ(*csc.rowBegin(3), 2);
+}
+
+TEST(Convert, TransposeRoundTrip)
+{
+    core::Rng rng(1);
+    CooGraph g = erdosRenyi(50, 300, rng);
+    CsrGraph csr = cooToCsr(g);
+    CsrGraph t2 = csrTranspose(csrTranspose(csr));
+    // Double transpose preserves the multiset of each row.
+    ASSERT_EQ(t2.numEdges(), csr.numEdges());
+    for (NodeId r = 0; r < csr.numRows; ++r) {
+        std::vector<NodeId> a(csr.rowBegin(r), csr.rowEnd(r));
+        std::vector<NodeId> b(t2.rowBegin(r), t2.rowEnd(r));
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b) << "row " << r;
+    }
+}
+
+TEST(Convert, TransposeEqualsCsc)
+{
+    core::Rng rng(2);
+    CooGraph g = erdosRenyi(40, 200, rng);
+    CsrGraph a = csrTranspose(cooToCsr(g));
+    CsrGraph b = cooToCsc(g);
+    ASSERT_EQ(a.indptr, b.indptr);
+    // Row contents equal as multisets.
+    for (NodeId r = 0; r < a.numRows; ++r) {
+        std::vector<NodeId> ra(a.rowBegin(r), a.rowEnd(r));
+        std::vector<NodeId> rb(b.rowBegin(r), b.rowEnd(r));
+        std::sort(ra.begin(), ra.end());
+        std::sort(rb.begin(), rb.end());
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+TEST(Convert, CooCsrRoundTrip)
+{
+    core::Rng rng(3);
+    CooGraph g = dedup(erdosRenyi(30, 150, rng));
+    CooGraph rt = csrToCoo(cooToCsr(g));
+    EXPECT_EQ(rt.numEdges(), g.numEdges());
+    CsrGraph again = cooToCsr(rt);
+    CsrGraph orig = cooToCsr(g);
+    EXPECT_EQ(again.indptr, orig.indptr);
+    EXPECT_EQ(again.indices, orig.indices);
+}
+
+TEST(Convert, DegreesConsistent)
+{
+    core::Rng rng(4);
+    CooGraph g = erdosRenyi(25, 100, rng);
+    CsrGraph csr = cooToCsr(g);
+    auto out_deg = outDegrees(csr);
+    auto in_deg = inDegrees(csr);
+    EdgeId total_out = 0, total_in = 0;
+    for (EdgeId d : out_deg)
+        total_out += d;
+    for (EdgeId d : in_deg)
+        total_in += d;
+    EXPECT_EQ(total_out, g.numEdges());
+    EXPECT_EQ(total_in, g.numEdges());
+}
+
+TEST(Convert, InducedSubgraphTriangle)
+{
+    CooGraph g = symmetrize(triangleWithTail(), false);
+    CsrGraph csr = cooToCsr(g);
+    CsrGraph sub = inducedSubgraph(csr, {0, 1, 2});
+    sub.validate();
+    EXPECT_EQ(sub.numRows, 3);
+    EXPECT_EQ(sub.numEdges(), 6);  // symmetric triangle
+    // Node 3 excluded: no local id 3 anywhere.
+    for (NodeId c : sub.indices)
+        EXPECT_LT(c, 3);
+}
+
+TEST(Convert, InducedSubgraphRelabels)
+{
+    CooGraph g = symmetrize(triangleWithTail(), false);
+    CsrGraph csr = cooToCsr(g);
+    // Order {2, 3}: edge 2<->3 becomes local 0<->1.
+    CsrGraph sub = inducedSubgraph(csr, {2, 3});
+    EXPECT_EQ(sub.numEdges(), 2);
+    EXPECT_EQ(*sub.rowBegin(0), 1);
+    EXPECT_EQ(*sub.rowBegin(1), 0);
+}
+
+TEST(Convert, InducedSubgraphEmptySet)
+{
+    CooGraph g = triangleWithTail();
+    CsrGraph sub = inducedSubgraph(cooToCsr(g), {});
+    EXPECT_EQ(sub.numRows, 0);
+    EXPECT_EQ(sub.numEdges(), 0);
+}
+
+/** Property: induced subgraph of the full node set is the graph. */
+TEST(Convert, InducedSubgraphIdentity)
+{
+    core::Rng rng(5);
+    CooGraph g = dedup(erdosRenyi(20, 80, rng));
+    CsrGraph csr = cooToCsr(g);
+    std::vector<NodeId> all(20);
+    for (NodeId i = 0; i < 20; ++i)
+        all[i] = i;
+    CsrGraph sub = inducedSubgraph(csr, all);
+    EXPECT_EQ(sub.indptr, csr.indptr);
+    EXPECT_EQ(sub.indices, csr.indices);
+}
+
+} // namespace
+} // namespace graph
+} // namespace gnnbench

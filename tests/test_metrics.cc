@@ -1,0 +1,77 @@
+/** Tests for the evaluation metrics. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/core/metrics.h"
+
+namespace gnnbench {
+namespace core {
+namespace metrics {
+namespace {
+
+Tensor
+logitsOf(std::initializer_list<int> preds, int classes)
+{
+    Tensor t(static_cast<int64_t>(preds.size()), classes);
+    int64_t i = 0;
+    for (int p : preds)
+        t(i++, p) = 1.0f;
+    return t;
+}
+
+TEST(Metrics, PerfectPrediction)
+{
+    Tensor logits = logitsOf({0, 1, 2, 1}, 3);
+    auto e = evaluate(logits, {0, 1, 2, 1}, {}, 3);
+    EXPECT_EQ(e.accuracy(), 1.0);
+    EXPECT_EQ(e.macroF1(), 1.0);
+    EXPECT_EQ(e.microF1(), 1.0);
+}
+
+TEST(Metrics, KnownConfusion)
+{
+    // Predictions: 0,0,1,1; truth: 0,1,1,2.
+    Tensor logits = logitsOf({0, 0, 1, 1}, 3);
+    auto e = evaluate(logits, {0, 1, 1, 2}, {}, 3);
+    EXPECT_EQ(e.total, 4);
+    EXPECT_EQ(e.correct, 2);
+    // Class 0: tp=1 fp=1 fn=0 -> p=0.5 r=1 f1=2/3.
+    EXPECT_NEAR(e.perClass[0].precision(), 0.5, 1e-12);
+    EXPECT_NEAR(e.perClass[0].recall(), 1.0, 1e-12);
+    EXPECT_NEAR(e.perClass[0].f1(), 2.0 / 3.0, 1e-12);
+    // Class 1: tp=1 fp=1 fn=1 -> f1 = 0.5.
+    EXPECT_NEAR(e.perClass[1].f1(), 0.5, 1e-12);
+    // Class 2: tp=0 -> f1 = 0.
+    EXPECT_EQ(e.perClass[2].f1(), 0.0);
+    EXPECT_NEAR(e.macroF1(), (2.0 / 3.0 + 0.5 + 0.0) / 3.0, 1e-12);
+    // Single-label micro-F1 equals accuracy.
+    EXPECT_NEAR(e.microF1(), e.accuracy(), 1e-12);
+}
+
+TEST(Metrics, RowSelection)
+{
+    Tensor logits = logitsOf({0, 1, 0}, 2);
+    auto e = evaluate(logits, {1, 1, 0}, {1, 2}, 2);
+    EXPECT_EQ(e.total, 2);
+    EXPECT_EQ(e.correct, 2);
+}
+
+TEST(Metrics, EmptyClassesHandled)
+{
+    Tensor logits = logitsOf({0, 0}, 4);
+    auto e = evaluate(logits, {0, 0}, {}, 4);
+    EXPECT_EQ(e.accuracy(), 1.0);
+    // Untouched classes contribute zero F1 to the macro average.
+    EXPECT_NEAR(e.macroF1(), 0.25, 1e-12);
+}
+
+TEST(Metrics, LabelOutOfRangeIsFatal)
+{
+    Tensor logits = logitsOf({0}, 2);
+    EXPECT_DEATH(evaluate(logits, {5}, {}, 2), "out of range");
+}
+
+} // namespace
+} // namespace metrics
+} // namespace core
+} // namespace gnnbench

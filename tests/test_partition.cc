@@ -1,0 +1,162 @@
+/** Tests for the multilevel graph partitioner. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/graph/partition.h"
+
+namespace gnnbench {
+namespace graph {
+namespace {
+
+CsrGraph
+randomSymmetric(NodeId n, EdgeId m, uint64_t seed)
+{
+    core::Rng rng(seed);
+    return cooToCsr(symmetrize(rmat(n, m, rng), false));
+}
+
+TEST(Partition, AssignsEveryNode)
+{
+    CsrGraph g = randomSymmetric(500, 2500, 1);
+    core::Rng rng(2);
+    auto res = partitionGraph(g, 8, rng);
+    ASSERT_EQ(res.assignment.size(), 500u);
+    for (int32_t p : res.assignment) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, 8);
+    }
+}
+
+TEST(Partition, UsesAllParts)
+{
+    CsrGraph g = randomSymmetric(2000, 10000, 3);
+    core::Rng rng(4);
+    auto res = partitionGraph(g, 16, rng);
+    std::vector<int> sizes(16, 0);
+    for (int32_t p : res.assignment)
+        ++sizes[p];
+    for (int s : sizes)
+        EXPECT_GT(s, 0);
+}
+
+TEST(Partition, RoughlyBalanced)
+{
+    CsrGraph g = randomSymmetric(4000, 20000, 5);
+    core::Rng rng(6);
+    auto res = partitionGraph(g, 10, rng);
+    // Max part within ~2x of the ideal n/k (greedy BFS + refinement).
+    EXPECT_LE(res.maxPartSize, 2 * (4000 / 10));
+}
+
+TEST(Partition, CutBeatsRandomOnRmat)
+{
+    // R-MAT graphs are expander-like, so even METIS leaves a large
+    // cut; the partitioner must still beat a random assignment.
+    CsrGraph g = randomSymmetric(3000, 24000, 7);
+    core::Rng rng(8);
+    auto res = partitionGraph(g, 20, rng);
+    std::vector<int32_t> random_assign(3000);
+    for (auto &p : random_assign)
+        p = static_cast<int32_t>(rng.uniformInt(20));
+    const EdgeId random_cut = countCutEdges(g, random_assign);
+    EXPECT_LT(res.cutEdges, random_cut);
+    EXPECT_EQ(res.cutEdges, countCutEdges(g, res.assignment));
+}
+
+TEST(Partition, RecoversPlantedCommunities)
+{
+    // 20 dense communities with sparse inter-community noise: a
+    // working multilevel partitioner must land near the planted cut
+    // (~5%), far below the ~95% random baseline.
+    core::Rng rng(21);
+    CooGraph coo;
+    coo.numNodes = 3000;
+    for (int c = 0; c < 20; ++c) {
+        for (int i = 0; i < 1500; ++i) {
+            const NodeId u =
+                c * 150 + static_cast<NodeId>(rng.uniformInt(150));
+            const NodeId v =
+                c * 150 + static_cast<NodeId>(rng.uniformInt(150));
+            if (u != v)
+                coo.addEdge(u, v);
+        }
+    }
+    for (int i = 0; i < 1500; ++i)
+        coo.addEdge(static_cast<NodeId>(rng.uniformInt(3000)),
+                    static_cast<NodeId>(rng.uniformInt(3000)));
+    CsrGraph g = cooToCsr(symmetrize(coo, false));
+    core::Rng prng(22);
+    auto res = partitionGraph(g, 20, prng);
+    EXPECT_LT(static_cast<double>(res.cutEdges) / g.numEdges(),
+              0.25);
+}
+
+TEST(Partition, ManyPartsClusterGcnScale)
+{
+    // The ClusterGCN configuration: k = 2000 on a modest graph.
+    CsrGraph g = randomSymmetric(10000, 60000, 9);
+    core::Rng rng(10);
+    auto res = partitionGraph(g, 2000, rng);
+    EXPECT_EQ(res.numParts, 2000);
+    std::vector<int> sizes(2000, 0);
+    for (int32_t p : res.assignment)
+        ++sizes[p];
+    const int used = static_cast<int>(
+        std::count_if(sizes.begin(), sizes.end(),
+                      [](int s) { return s > 0; }));
+    EXPECT_GT(used, 1800);
+}
+
+TEST(Partition, KGreaterThanNodes)
+{
+    CsrGraph g = randomSymmetric(10, 30, 11);
+    core::Rng rng(12);
+    auto res = partitionGraph(g, 64, rng);
+    ASSERT_EQ(res.assignment.size(), 10u);
+    for (int32_t p : res.assignment)
+        ASSERT_LT(p, 64);
+}
+
+TEST(Partition, SinglePartTrivial)
+{
+    CsrGraph g = randomSymmetric(100, 400, 13);
+    core::Rng rng(14);
+    auto res = partitionGraph(g, 1, rng);
+    EXPECT_EQ(res.cutEdges, 0);
+    for (int32_t p : res.assignment)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(Partition, DisconnectedComponentsHandled)
+{
+    // Two disjoint cliques of 5; a 2-way partition should cut zero.
+    CooGraph coo;
+    coo.numNodes = 10;
+    for (NodeId a = 0; a < 5; ++a)
+        for (NodeId b = 0; b < 5; ++b)
+            if (a != b) {
+                coo.addEdge(a, b);
+                coo.addEdge(a + 5, b + 5);
+            }
+    CsrGraph g = cooToCsr(coo);
+    core::Rng rng(15);
+    auto res = partitionGraph(g, 2, rng);
+    EXPECT_EQ(res.cutEdges, 0);
+}
+
+TEST(Partition, DeterministicInRngState)
+{
+    CsrGraph g = randomSymmetric(800, 4000, 16);
+    core::Rng a(17), b(17);
+    auto ra = partitionGraph(g, 8, a);
+    auto rb = partitionGraph(g, 8, b);
+    EXPECT_EQ(ra.assignment, rb.assignment);
+}
+
+} // namespace
+} // namespace graph
+} // namespace gnnbench

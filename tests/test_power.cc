@@ -1,0 +1,161 @@
+/** Tests for the power model, energy meter, and GPS-UP metrics. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/power/energy_meter.h"
+#include "gnnbench/power/gpsup.h"
+
+namespace gnnbench {
+namespace power {
+namespace {
+
+TEST(PowerModel, IdleAndPeakPower)
+{
+    PowerSpec spec;
+    PowerModel m(spec, true);
+    EXPECT_EQ(m.cpuPower(0.0), spec.cpuIdle);
+    EXPECT_EQ(m.cpuPower(1.0), spec.cpuActive);
+    EXPECT_EQ(m.gpuPower(0.0), spec.gpuIdle);
+    EXPECT_EQ(m.gpuPower(1.0), spec.gpuMax);
+    // Utilization is clamped.
+    EXPECT_EQ(m.cpuPower(7.0), spec.cpuActive);
+}
+
+TEST(PowerModel, NoGpuPowerWithoutGpu)
+{
+    PowerModel m(PowerSpec{}, false);
+    EXPECT_EQ(m.gpuPower(1.0), 0.0);
+    ActivitySlice s;
+    s.cpuBusySeconds = 1.0;
+    EXPECT_EQ(m.energyOf(s).gpuJoules, 0.0);
+}
+
+TEST(PowerModel, CpuBusyEnergy)
+{
+    PowerSpec spec;
+    PowerModel m(spec, false);
+    ActivitySlice s;
+    s.cpuBusySeconds = 2.0;
+    const EnergyReport e = m.energyOf(s);
+    EXPECT_NEAR(e.cpuJoules, 2.0 * spec.cpuActive, 1e-9);
+    EXPECT_NEAR(e.avgWatts(), spec.cpuActive, 1e-9);
+}
+
+TEST(PowerModel, GpuKernelEnergyUsesUtilization)
+{
+    PowerSpec spec;
+    PowerModel m(spec, true);
+    ActivitySlice s;
+    s.gpuBusySeconds = 1.0;
+    s.gpuUtilSeconds = 0.5;  // half utilization for the second
+    const EnergyReport e = m.energyOf(s);
+    EXPECT_NEAR(e.gpuJoules,
+                spec.gpuIdle + 0.5 * (spec.gpuMax - spec.gpuIdle),
+                1e-9);
+    // CPU idles while the (synchronous) GPU kernel runs.
+    EXPECT_NEAR(e.cpuJoules, spec.cpuIdle, 1e-9);
+}
+
+TEST(PowerModel, EnergyAdditivity)
+{
+    PowerModel m(PowerSpec{}, true);
+    ActivitySlice a, b;
+    a.cpuBusySeconds = 1.0;
+    b.gpuBusySeconds = 0.5;
+    b.gpuUtilSeconds = 0.4;
+    ActivitySlice both = a;
+    both += b;
+    const EnergyReport ea = m.energyOf(a);
+    const EnergyReport eb = m.energyOf(b);
+    const EnergyReport eboth = m.energyOf(both);
+    EXPECT_NEAR(eboth.joules(), ea.joules() + eb.joules(), 1e-9);
+}
+
+TEST(EnergyMeter, TotalsMatchDirectIntegration)
+{
+    PowerModel m(PowerSpec{}, true);
+    EnergyMeter meter(m, 0.1);
+    ActivitySlice s1, s2;
+    s1.cpuBusySeconds = 0.35;
+    s2.gpuBusySeconds = 0.85;
+    s2.gpuUtilSeconds = 0.6;
+    meter.record(s1);
+    meter.record(s2);
+    ActivitySlice total = s1;
+    total += s2;
+    EXPECT_NEAR(meter.total().joules(), m.energyOf(total).joules(),
+                1e-9);
+    EXPECT_NEAR(meter.elapsedSeconds(), 1.2, 1e-9);
+}
+
+TEST(EnergyMeter, SampledTraceApproximatesTotal)
+{
+    PowerModel m(PowerSpec{}, true);
+    EnergyMeter meter(m, 0.1);  // the paper's 0.1 s interval
+    for (int i = 0; i < 10; ++i) {
+        ActivitySlice s;
+        if (i % 2 == 0)
+            s.cpuBusySeconds = 0.5;
+        else {
+            s.gpuBusySeconds = 0.5;
+            s.gpuUtilSeconds = 0.35;
+        }
+        meter.record(s);
+    }
+    const auto trace = meter.sampledTrace();
+    EXPECT_EQ(trace.size(), 50u);  // 5 s / 0.1 s
+    const EnergyReport sampled = meter.sampledEnergy();
+    EXPECT_NEAR(sampled.joules(), meter.total().joules(),
+                0.05 * meter.total().joules());
+}
+
+TEST(EnergyMeter, TraceTimesMonotone)
+{
+    PowerModel m(PowerSpec{}, false);
+    EnergyMeter meter(m, 0.25);
+    ActivitySlice s;
+    s.cpuBusySeconds = 2.0;
+    meter.record(s);
+    const auto trace = meter.sampledTrace();
+    for (size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GT(trace[i].timeSeconds, trace[i - 1].timeSeconds);
+}
+
+TEST(GpsUp, IdentityHolds)
+{
+    // Powerup == Speedup / Greenup by definition.
+    const auto m = gpsup(10.0, 2000.0, 4.0, 1200.0);
+    EXPECT_NEAR(m.speedup, 2.5, 1e-9);
+    EXPECT_NEAR(m.greenup, 2000.0 / 1200.0, 1e-9);
+    EXPECT_NEAR(m.powerup, m.speedup / m.greenup, 1e-9);
+}
+
+TEST(GpsUp, PowerupBelowOneWhenOptimizedDrawsLess)
+{
+    // Optimized uses half the time and much less than half energy.
+    const auto m = gpsup(10.0, 1000.0, 5.0, 300.0);
+    EXPECT_LT(m.powerup, 1.0);
+    EXPECT_GT(m.greenup, 1.0);
+}
+
+TEST(GpsUp, EnergyReportOverload)
+{
+    EnergyReport base, opt;
+    base.seconds = 8.0;
+    base.cpuJoules = 800.0;
+    opt.seconds = 2.0;
+    opt.cpuJoules = 400.0;
+    const auto m = gpsup(base, opt);
+    EXPECT_NEAR(m.speedup, 4.0, 1e-9);
+    EXPECT_NEAR(m.greenup, 2.0, 1e-9);
+    EXPECT_NEAR(m.powerup, 2.0, 1e-9);
+}
+
+TEST(GpsUp, RejectsNonPositive)
+{
+    EXPECT_DEATH(gpsup(0.0, 1.0, 1.0, 1.0), "non-positive");
+}
+
+} // namespace
+} // namespace power
+} // namespace gnnbench

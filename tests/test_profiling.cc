@@ -1,0 +1,167 @@
+/** Tests for the phase tracker and the hierarchical profiler. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/profiling/profiler.h"
+#include <fstream>
+
+#include "gnnbench/profiling/report.h"
+
+namespace gnnbench {
+namespace profiling {
+namespace {
+
+void
+spin()
+{
+    volatile double x = 0;
+    for (int i = 0; i < 500000; ++i)
+        x += i;
+}
+
+TEST(PhaseTracker, AttributesToPhases)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    {
+        auto s = tracker.track(Phase::Sampling);
+        spin();
+    }
+    {
+        auto s = tracker.track(Phase::Training);
+        session.chargeCpuOverhead(0.5);
+    }
+    EXPECT_GT(tracker.phase(Phase::Sampling).cpuBusySeconds, 0.0);
+    EXPECT_NEAR(tracker.phase(Phase::Training).cpuBusySeconds, 0.5,
+                0.05);
+    EXPECT_EQ(tracker.phase(Phase::DataLoading).seconds(), 0.0);
+}
+
+TEST(PhaseTracker, GpuKernelLandsInGpuSeconds)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    device::KernelDesc d;
+    d.bytes = 672e8;  // 0.1 s at peak
+    {
+        auto s = tracker.track(Phase::Training);
+        session.runKernel(device::DeviceType::GPU, d, [] { spin(); });
+    }
+    const auto &slice = tracker.phase(Phase::Training);
+    EXPECT_NEAR(slice.gpuBusySeconds, 0.1, 0.01);
+    // Host wall time of the emulated kernel must NOT leak into CPU.
+    EXPECT_LT(slice.cpuBusySeconds, 0.05);
+}
+
+TEST(PhaseTracker, TotalSumsPhases)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    {
+        auto s = tracker.track(Phase::Sampling);
+        session.chargeCpuOverhead(0.2);
+    }
+    {
+        auto s = tracker.track(Phase::DataMovement);
+        session.transfer(12ull << 30);
+    }
+    const auto total = tracker.total();
+    EXPECT_NEAR(total.seconds(),
+                tracker.phase(Phase::Sampling).seconds() +
+                    tracker.phase(Phase::DataMovement).seconds(),
+                1e-9);
+}
+
+TEST(Profiler, BuildsNestedTree)
+{
+    device::Session session;
+    Profiler prof(session);
+    {
+        auto outer = prof.scope("epoch");
+        {
+            auto inner = prof.scope("sample");
+            session.chargeCpuOverhead(0.1);
+        }
+        {
+            auto inner = prof.scope("train");
+            session.chargeCpuOverhead(0.3);
+        }
+        {
+            auto inner = prof.scope("sample");
+            session.chargeCpuOverhead(0.1);
+        }
+    }
+    const ProfileNode &root = prof.root();
+    ASSERT_EQ(root.children.size(), 1u);
+    const ProfileNode &epoch = *root.children[0];
+    EXPECT_EQ(epoch.name, "epoch");
+    EXPECT_EQ(epoch.calls, 1);
+    ASSERT_EQ(epoch.children.size(), 2u);  // sample merged, train
+    const ProfileNode &sample = *epoch.children[0];
+    EXPECT_EQ(sample.calls, 2);
+    EXPECT_NEAR(sample.slice.cpuBusySeconds, 0.2, 0.02);
+    EXPECT_NE(prof.report().find("epoch"), std::string::npos);
+}
+
+TEST(Report, TableAlignsAndRenders)
+{
+    Table t({"a", "longer"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Report, CsvRendering)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"with,comma", "2"});
+    t.addRow({"with\"quote", "3"});
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "name,value\n"
+                   "plain,1\n"
+                   "\"with,comma\",2\n"
+                   "\"with\"\"quote\",3\n");
+}
+
+TEST(Report, CsvWriteToFile)
+{
+    Table t({"a"});
+    t.addRow({"x"});
+    const std::string path =
+        std::string(::testing::TempDir()) + "/table.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmtSeconds(0.5), "500.00 ms");
+    EXPECT_EQ(fmtSeconds(2.0), "2.000 s");
+    EXPECT_EQ(fmtSeconds(5e-6), "5.0 us");
+    EXPECT_EQ(fmtJoules(1500.0), "1.50 kJ");
+    EXPECT_EQ(fmtJoules(20.0), "20.00 J");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(12), "12");
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+}
+
+TEST(Report, PhaseNames)
+{
+    EXPECT_STREQ(phaseName(Phase::DataLoading), "data_loading");
+    EXPECT_STREQ(phaseName(Phase::Sampling), "sampling");
+    EXPECT_STREQ(phaseName(Phase::DataMovement), "data_movement");
+    EXPECT_STREQ(phaseName(Phase::Training), "training");
+}
+
+} // namespace
+} // namespace profiling
+} // namespace gnnbench

@@ -1,0 +1,100 @@
+/** Tests for the pygx Data object and lazy format conversion. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/pygx/data.h"
+
+namespace gnnbench {
+namespace pygx {
+namespace {
+
+graph::CooGraph
+smallGraph(uint64_t seed)
+{
+    core::Rng rng(seed);
+    return graph::symmetrize(graph::rmat(80, 400, rng), false);
+}
+
+TEST(PygxData, CheapConstructionKeepsEdgeIndex)
+{
+    graph::CooGraph coo = smallGraph(1);
+    Data d(coo);
+    EXPECT_EQ(d.numNodes(), coo.numNodes);
+    EXPECT_EQ(d.numEdges(), coo.numEdges());
+    EXPECT_EQ(d.edgeSrc(), coo.src);
+    EXPECT_EQ(d.edgeDst(), coo.dst);
+    // Formats are lazy.
+    EXPECT_FALSE(d.cscReady());
+    EXPECT_FALSE(d.csrReady());
+}
+
+TEST(PygxData, LazyCscMatchesCountingSortReference)
+{
+    graph::CooGraph coo = smallGraph(2);
+    Data d(coo);
+    const graph::CsrGraph &csc = d.csc();
+    EXPECT_TRUE(d.cscReady());
+    graph::CsrGraph ref = graph::cooToCsc(coo);
+    EXPECT_EQ(csc.indptr, ref.indptr);
+    // Row contents equal as multisets (sort order may differ).
+    for (NodeId r = 0; r < csc.numRows; ++r) {
+        std::vector<NodeId> a(csc.rowBegin(r), csc.rowEnd(r));
+        std::vector<NodeId> b(ref.rowBegin(r), ref.rowEnd(r));
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b);
+    }
+}
+
+TEST(PygxData, LazyCsrMatchesReference)
+{
+    graph::CooGraph coo = smallGraph(3);
+    Data d(coo);
+    const graph::CsrGraph &csr = d.csr();
+    graph::CsrGraph ref = graph::cooToCsr(coo);
+    EXPECT_EQ(csr.indptr, ref.indptr);
+}
+
+TEST(PygxData, ConversionIsCachedAcrossCalls)
+{
+    Data d(smallGraph(4));
+    const graph::CsrGraph *first = &d.csc();
+    const graph::CsrGraph *second = &d.csc();
+    EXPECT_EQ(first, second);
+}
+
+TEST(PygxData, StructureBytesIsEdgeIndexOnly)
+{
+    graph::CooGraph coo = smallGraph(5);
+    Data d(coo);
+    EXPECT_EQ(d.structureBytes(),
+              2 * coo.src.size() * sizeof(NodeId));
+}
+
+TEST(OomError, CarriesSizes)
+{
+    OomError e(100, 50);
+    EXPECT_EQ(e.requestedBytes(), 100u);
+    EXPECT_EQ(e.budgetBytes(), 50u);
+    EXPECT_NE(std::string(e.what()).find("out of memory"),
+              std::string::npos);
+}
+
+TEST(PyOverheadModel, ChargesSession)
+{
+    device::Session session;
+    PyOverheadModel model;
+    model.charge(&session, 1000000);  // 1e6 ops * 20 ns = 20 ms
+    EXPECT_NEAR(session.snapshot().modeled.cpuOverheadSeconds, 0.02,
+                1e-6);
+    model.charge(nullptr, 100);  // must not crash
+    model.charge(&session, 0);
+}
+
+} // namespace
+} // namespace pygx
+} // namespace gnnbench

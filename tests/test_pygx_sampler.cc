@@ -1,0 +1,163 @@
+/** Tests for the pygx (interpreted-style) samplers. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/pygx/sampler.h"
+
+namespace gnnbench {
+namespace pygx {
+namespace {
+
+graph::CooGraph
+makeCoo(NodeId n, EdgeId m, uint64_t seed)
+{
+    core::Rng rng(seed);
+    return graph::symmetrize(graph::rmat(n, m, rng), false);
+}
+
+TEST(PygxNeighborSampler, BatchInvariantsHold)
+{
+    graph::CooGraph coo = makeCoo(400, 2400, 1);
+    Data data(coo);
+    NeighborSampler sampler(data, {25, 10}, core::Rng(2), nullptr);
+    auto batch = sampler.sample({3, 7, 11});
+    batch.validate();
+    EXPECT_EQ(batch.layers.size(), 2u);
+    EXPECT_EQ(batch.seeds, (std::vector<NodeId>{3, 7, 11}));
+}
+
+TEST(PygxNeighborSampler, ForcesCscConversion)
+{
+    Data data(makeCoo(200, 1000, 3));
+    EXPECT_FALSE(data.cscReady());
+    NeighborSampler sampler(data, {5}, core::Rng(4), nullptr);
+    EXPECT_TRUE(data.cscReady());
+}
+
+TEST(PygxNeighborSampler, FanoutBound)
+{
+    Data data(makeCoo(300, 3000, 5));
+    NeighborSampler sampler(data, {25, 10}, core::Rng(6), nullptr);
+    auto batch = sampler.sample({0, 1, 2, 3});
+    const auto &seed_layer = batch.layers[1];
+    std::vector<int> deg(seed_layer.dstNodes.size(), 0);
+    for (NodeId d : seed_layer.eDst)
+        ++deg[d];
+    for (int v : deg)
+        EXPECT_LE(v, 10);
+}
+
+TEST(PygxNeighborSampler, EdgesExistInGraph)
+{
+    graph::CooGraph coo = makeCoo(250, 1500, 7);
+    Data data(coo);
+    NeighborSampler sampler(data, {8, 8}, core::Rng(8), nullptr);
+    auto batch = sampler.sample({5, 10, 15});
+    std::set<std::pair<NodeId, NodeId>> edges;
+    for (size_t i = 0; i < coo.src.size(); ++i)
+        edges.insert({coo.src[i], coo.dst[i]});
+    for (const auto &layer : batch.layers) {
+        for (size_t e = 0; e < layer.eSrc.size(); ++e) {
+            const NodeId gs = layer.srcNodes[layer.eSrc[e]];
+            const NodeId gd = layer.dstNodes[layer.eDst[e]];
+            ASSERT_TRUE(edges.count({gs, gd}))
+                << gs << "->" << gd;
+        }
+    }
+}
+
+TEST(PygxNeighborSampler, ChargesInterpreterOverhead)
+{
+    device::Session session;
+    Data data(makeCoo(300, 3000, 9));
+    NeighborSampler sampler(data, {25, 10}, core::Rng(10), &session);
+    sampler.sample({0, 1, 2, 3, 4, 5, 6, 7});
+    EXPECT_GT(session.snapshot().modeled.cpuOverheadSeconds, 0.0);
+}
+
+TEST(PygxClusterSampler, CoversAllNodes)
+{
+    Data data(makeCoo(500, 3000, 11));
+    ClusterSampler sampler(data, 10, core::Rng(12), nullptr);
+    auto batch = sampler.sample(10);
+    batch.validate();
+    EXPECT_EQ(batch.nodes.size(), 500u);
+}
+
+TEST(PygxClusterSampler, InducedEdgesAreInternal)
+{
+    graph::CooGraph coo = makeCoo(400, 2400, 13);
+    Data data(coo);
+    ClusterSampler sampler(data, 16, core::Rng(14), nullptr);
+    auto batch = sampler.sample(4);
+    batch.validate();
+    std::set<NodeId> members(batch.nodes.begin(), batch.nodes.end());
+    for (size_t e = 0; e < batch.src.size(); ++e) {
+        ASSERT_TRUE(members.count(batch.nodes[batch.src[e]]));
+        ASSERT_TRUE(members.count(batch.nodes[batch.dst[e]]));
+    }
+}
+
+TEST(PygxSaintRwSampler, SizeBounded)
+{
+    Data data(makeCoo(800, 6000, 15));
+    SaintRwSampler sampler(data, 40, 2, core::Rng(16), nullptr);
+    auto batch = sampler.sample();
+    batch.validate();
+    EXPECT_LE(batch.nodes.size(), 120u);
+    EXPECT_GE(batch.nodes.size(), 40u);
+}
+
+TEST(PygxSaintNodeSampler, BudgetAndValidity)
+{
+    Data data(makeCoo(600, 4800, 21));
+    SaintNodeSampler sampler(data, 150, core::Rng(22), nullptr);
+    auto batch = sampler.sample();
+    batch.validate();
+    EXPECT_LE(batch.nodes.size(), 150u);
+    EXPECT_GT(batch.nodes.size(), 40u);
+}
+
+TEST(PygxSaintEdgeSampler, EndpointsInduced)
+{
+    Data data(makeCoo(500, 4000, 23));
+    SaintEdgeSampler sampler(data, 200, core::Rng(24), nullptr);
+    auto batch = sampler.sample();
+    batch.validate();
+    EXPECT_LE(batch.nodes.size(), 400u);
+    std::set<NodeId> members(batch.nodes.begin(), batch.nodes.end());
+    EXPECT_EQ(members.size(), batch.nodes.size());
+}
+
+TEST(PygxSaintVariants, MatchDglxStatistically)
+{
+    // Same budgets on the same graph: pygx and dglx node samplers
+    // must produce comparable subgraph sizes (same distributions).
+    graph::CooGraph coo = makeCoo(800, 6400, 25);
+    Data data(coo);
+    SaintNodeSampler ps(data, 200, core::Rng(26), nullptr);
+    double p_nodes = 0;
+    for (int t = 0; t < 20; ++t)
+        p_nodes += static_cast<double>(ps.sample().nodes.size());
+    // Degree-proportional sampling with budget 200 after dedup.
+    EXPECT_GT(p_nodes / 20, 80);
+    EXPECT_LT(p_nodes / 20, 200);
+}
+
+TEST(PygxSamplers, DeterministicInRng)
+{
+    Data data(makeCoo(300, 2000, 17));
+    NeighborSampler a(data, {5, 5}, core::Rng(18), nullptr);
+    NeighborSampler b(data, {5, 5}, core::Rng(18), nullptr);
+    auto sa = a.sample({1, 2});
+    auto sb = b.sample({1, 2});
+    EXPECT_EQ(sa.layers[0].srcNodes, sb.layers[0].srcNodes);
+    EXPECT_EQ(sa.layers[0].eSrc, sb.layers[0].eSrc);
+}
+
+} // namespace
+} // namespace pygx
+} // namespace gnnbench

@@ -1,0 +1,147 @@
+/** Tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace core {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.uniformRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(19);
+    auto perm = rng.permutation(100);
+    std::sort(perm.begin(), perm.end());
+    for (NodeId i = 0; i < 100; ++i)
+        EXPECT_EQ(perm[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(23);
+    for (NodeId k : {1, 5, 50, 99, 100}) {
+        auto s = rng.sampleWithoutReplacement(100, k);
+        EXPECT_EQ(s.size(), static_cast<size_t>(k));
+        std::set<NodeId> uniq(s.begin(), s.end());
+        EXPECT_EQ(uniq.size(), static_cast<size_t>(k));
+        for (NodeId v : s) {
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, 100);
+        }
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementUnbiased)
+{
+    // Each element of {0..9} should be chosen ~ k/n of the time.
+    Rng rng(29);
+    std::vector<int> counts(10, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t)
+        for (NodeId v : rng.sampleWithoutReplacement(10, 3))
+            ++counts[v];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The child stream should not replay the parent stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(37);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+} // namespace
+} // namespace core
+} // namespace gnnbench

@@ -1,0 +1,137 @@
+/** Tests for dataset / parameter serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gnnbench/dglx/nn.h"
+#include "gnnbench/io/serialize.h"
+
+namespace gnnbench {
+namespace io {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, TensorRoundTrip)
+{
+    core::Rng rng(1);
+    core::Tensor t = core::Tensor::randn(17, 9, rng);
+    const std::string path = tempPath("tensor.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        writeTensor(out, t);
+    }
+    std::ifstream in(path, std::ios::binary);
+    core::Tensor back = readTensor(in);
+    ASSERT_TRUE(back.sameShape(t));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_EQ(back.data()[i], t.data()[i]);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip)
+{
+    const std::string path = tempPath("empty.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        writeTensor(out, core::Tensor());
+    }
+    std::ifstream in(path, std::ios::binary);
+    core::Tensor back = readTensor(in);
+    EXPECT_EQ(back.numel(), 0);
+}
+
+TEST(Serialize, DatasetRoundTrip)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 3);
+    const std::string path = tempPath("dataset.bin");
+    saveDataset(ds, path);
+    graph::Dataset back = loadDatasetFile(path);
+    EXPECT_EQ(back.info.name, ds.info.name);
+    EXPECT_EQ(back.scale, ds.scale);
+    EXPECT_EQ(back.graph.src, ds.graph.src);
+    EXPECT_EQ(back.graph.dst, ds.graph.dst);
+    EXPECT_EQ(back.labels, ds.labels);
+    EXPECT_EQ(back.trainIdx, ds.trainIdx);
+    ASSERT_TRUE(back.features.sameShape(ds.features));
+    for (int64_t i = 0; i < ds.features.numel(); ++i)
+        ASSERT_EQ(back.features.data()[i], ds.features.data()[i]);
+}
+
+TEST(Serialize, ParamsRoundTrip)
+{
+    core::Rng rng(5);
+    dglx::SageConv conv(8, 4, rng);
+    const std::string path = tempPath("params.bin");
+    saveParams(conv.params(), path);
+
+    // A second model with different init converges to the saved
+    // weights after load.
+    core::Rng rng2(99);
+    dglx::SageConv other(8, 4, rng2);
+    EXPECT_NE(other.params()[0]->value(0, 0),
+              conv.params()[0]->value(0, 0));
+    loadParams(other.params(), path);
+    for (size_t p = 0; p < conv.params().size(); ++p)
+        for (int64_t i = 0; i < conv.params()[p]->value.numel(); ++i)
+            ASSERT_EQ(other.params()[p]->value.data()[i],
+                      conv.params()[p]->value.data()[i]);
+}
+
+TEST(Serialize, RejectsWrongMagic)
+{
+    const std::string path = tempPath("garbage.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a gnnbench file at all............";
+    }
+    EXPECT_DEATH(loadDatasetFile(path), "not a gnnbench dataset");
+    core::Rng rng(6);
+    dglx::GcnConv conv(4, 4, rng);
+    EXPECT_DEATH(loadParams(conv.params(), path),
+                 "not a gnnbench parameter");
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    graph::Dataset ds = graph::loadDataset("ppi", 0.02, 7);
+    const std::string path = tempPath("trunc.bin");
+    saveDataset(ds, path);
+    // Truncate the file to half its size.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<size_t>(in.tellg());
+    in.seekg(0);
+    std::string half(size / 2, '\0');
+    in.read(half.data(), static_cast<std::streamsize>(half.size()));
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(half.data(),
+              static_cast<std::streamsize>(half.size()));
+    out.close();
+    EXPECT_DEATH(loadDatasetFile(path), "truncated");
+}
+
+TEST(Serialize, RejectsShapeMismatch)
+{
+    core::Rng rng(8);
+    dglx::GcnConv small(4, 4, rng);
+    dglx::GcnConv big(16, 16, rng);
+    const std::string path = tempPath("shape.bin");
+    saveParams(small.params(), path);
+    EXPECT_DEATH(loadParams(big.params(), path), "shape mismatch");
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_DEATH(loadDatasetFile(tempPath("does-not-exist.bin")),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace io
+} // namespace gnnbench

@@ -1,0 +1,133 @@
+/** Direct tests for the shared sampled-structure types: invariants,
+ *  byte accounting, and validate() failure modes. */
+
+#include <gtest/gtest.h>
+
+#include "gnnbench/sampling/subgraph.h"
+
+namespace gnnbench {
+namespace sampling {
+namespace {
+
+Block
+makeBlock()
+{
+    // dst = {10, 20}; src = {10, 20, 30}; edges: 10<-30, 20<-10.
+    Block b;
+    b.dstNodes = {10, 20};
+    b.srcNodes = {10, 20, 30};
+    b.csc.numRows = 2;
+    b.csc.numCols = 3;
+    b.csc.indptr = {0, 1, 2};
+    b.csc.indices = {2, 0};
+    return b;
+}
+
+TEST(Block, ValidBlockPasses)
+{
+    makeBlock().validate();
+}
+
+TEST(Block, DstMustPrefixSrc)
+{
+    Block b = makeBlock();
+    b.srcNodes = {20, 10, 30};  // order broken
+    EXPECT_DEATH(b.validate(), "prefix");
+}
+
+TEST(Block, ShapeMismatchFatal)
+{
+    Block b = makeBlock();
+    b.csc.numRows = 3;
+    EXPECT_DEATH(b.validate(), "rows");
+}
+
+TEST(Block, StructureBytesCountsAllArrays)
+{
+    Block b = makeBlock();
+    const uint64_t expected = 3 * sizeof(NodeId) +  // src
+                              2 * sizeof(NodeId) +  // dst
+                              3 * sizeof(EdgeId) +  // indptr
+                              2 * sizeof(NodeId);   // indices
+    EXPECT_EQ(b.structureBytes(), expected);
+}
+
+TEST(NeighborSample, WiringChecked)
+{
+    NeighborSample s;
+    s.seeds = {10, 20};
+    s.blocks.push_back(makeBlock());
+    Block top;
+    top.dstNodes = {10, 20};
+    top.srcNodes = {10, 20};
+    top.csc.numRows = 2;
+    top.csc.numCols = 2;
+    top.csc.indptr = {0, 0, 0};
+    s.blocks.push_back(top);
+    // blocks[0].dst == blocks[1].src fails: {10,20} vs {10,20} ok,
+    // but blocks[1].dst == seeds holds -> valid.
+    s.validate();
+    s.seeds = {10, 30};
+    EXPECT_DEATH(s.validate(), "seeds mismatch");
+}
+
+TEST(InducedSample, SquareRequired)
+{
+    InducedSample s;
+    s.nodes = {1, 2};
+    s.adj.numRows = 2;
+    s.adj.numCols = 3;
+    s.adj.indptr = {0, 0, 0};
+    EXPECT_DEATH(s.validate(), "mismatch");
+}
+
+TEST(LayerSample, IsolatedCountAndWeights)
+{
+    LayerSample l;
+    l.dstNodes = {5, 6, 7};
+    l.srcNodes = {1, 2};
+    l.csc.numRows = 3;
+    l.csc.numCols = 2;
+    l.csc.indptr = {0, 1, 1, 2};  // dst 6 isolated
+    l.csc.indices = {0, 1};
+    l.edgeWeights = {0.5f, 2.0f};
+    l.validate();
+    EXPECT_EQ(l.isolatedDstCount(), 1);
+    l.edgeWeights[1] = 0.0f;
+    EXPECT_DEATH(l.validate(), "positive");
+}
+
+TEST(LayerSample, WeightPerEdgeRequired)
+{
+    LayerSample l;
+    l.dstNodes = {0};
+    l.srcNodes = {0};
+    l.csc.numRows = 1;
+    l.csc.numCols = 1;
+    l.csc.indptr = {0, 1};
+    l.csc.indices = {0};
+    // No weights supplied.
+    EXPECT_DEATH(l.validate(), "weight per edge");
+}
+
+TEST(LayerWiseSample, SeedsChecked)
+{
+    LayerWiseSample s;
+    LayerSample l;
+    l.dstNodes = {3};
+    l.srcNodes = {3};
+    l.csc.numRows = 1;
+    l.csc.numCols = 1;
+    l.csc.indptr = {0, 1};
+    l.csc.indices = {0};
+    l.edgeWeights = {1.0f};
+    s.layers.push_back(l);
+    s.seeds = {3};
+    s.validate();
+    s.seeds = {4};
+    EXPECT_DEATH(s.validate(), "seeds mismatch");
+}
+
+} // namespace
+} // namespace sampling
+} // namespace gnnbench

@@ -1,0 +1,110 @@
+/** Tests for the dense Tensor container. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnnbench/core/tensor.h"
+
+namespace gnnbench {
+namespace core {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.rows(), 0);
+    EXPECT_EQ(t.cols(), 0);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.numel(), 12);
+    for (int64_t i = 0; i < 3; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            EXPECT_EQ(t(i, j), 0.0f);
+}
+
+TEST(Tensor, FillAndAccess)
+{
+    Tensor t = Tensor::full(2, 3, 1.5f);
+    EXPECT_EQ(t.at(1, 2), 1.5f);
+    t(0, 1) = -2.0f;
+    EXPECT_EQ(t.at(0, 1), -2.0f);
+}
+
+TEST(Tensor, RowPointerLayout)
+{
+    Tensor t(3, 5);
+    t(2, 4) = 7.0f;
+    EXPECT_EQ(t.row(2)[4], 7.0f);
+    EXPECT_EQ(t.data()[2 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t = Tensor::full(2, 2, 3.0f);
+    Tensor c = t.clone();
+    c(0, 0) = -1.0f;
+    EXPECT_EQ(t(0, 0), 3.0f);
+}
+
+TEST(Tensor, SumAndMaxAbs)
+{
+    Tensor t(2, 2);
+    t(0, 0) = 1.0f;
+    t(0, 1) = -4.0f;
+    t(1, 0) = 2.0f;
+    EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+    EXPECT_FLOAT_EQ(t.maxAbs(), 4.0f);
+}
+
+TEST(Tensor, RandnMoments)
+{
+    Rng rng(5);
+    Tensor t = Tensor::randn(200, 200, rng, 2.0f);
+    double sum = 0.0, sum2 = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        sum += t.data()[i];
+        sum2 += t.data()[i] * t.data()[i];
+    }
+    const double n = static_cast<double>(t.numel());
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 4.0, 0.15);
+}
+
+TEST(Tensor, UniformWithinBounds)
+{
+    Rng rng(6);
+    Tensor t = Tensor::uniform(50, 50, rng, -2.0f, 3.0f);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        ASSERT_GE(t.data()[i], -2.0f);
+        ASSERT_LT(t.data()[i], 3.0f);
+    }
+}
+
+TEST(Tensor, GlorotLimit)
+{
+    Rng rng(7);
+    Tensor t = Tensor::glorot(64, 64, rng);
+    const float limit = std::sqrt(6.0f / 128.0f);
+    EXPECT_LE(t.maxAbs(), limit);
+}
+
+TEST(Tensor, BytesAccounting)
+{
+    Tensor t(10, 10);
+    EXPECT_EQ(t.bytes(), 400u);
+}
+
+TEST(Tensor, SameShape)
+{
+    EXPECT_TRUE(Tensor(2, 3).sameShape(Tensor(2, 3)));
+    EXPECT_FALSE(Tensor(2, 3).sameShape(Tensor(3, 2)));
+}
+
+} // namespace
+} // namespace core
+} // namespace gnnbench
