@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the threaded parts of gnnbench under ThreadSanitizer and run
+# the tests that exercise them: the parallel substrate, the prefetch
+# pipeline/dataloaders, and the (parallelized) dglx samplers.
+#
+# OpenMP is disabled in this configuration: TSan cannot see libgomp's
+# synchronization and would report false positives through the omp
+# pragmas; every gnnbench-owned thread goes through core/parallel and
+# sampling/prefetch, which is exactly what this script checks.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-tsan"
+
+cmake -S "$repo" -B "$build" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGNNBENCH_SANITIZE=thread \
+    -DGNNBENCH_ENABLE_OPENMP=OFF \
+    -DGNNBENCH_NATIVE=OFF
+
+targets=(test_parallel test_prefetch test_dglx_sampler)
+cmake --build "$build" -j"$(nproc)" --target "${targets[@]}"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+for t in "${targets[@]}"; do
+    echo "== $t (TSan) =="
+    "$build/tests/$t"
+done
+echo "TSan checks passed."

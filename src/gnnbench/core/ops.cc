@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace core {
 namespace ops {
 
 namespace {
+
+using parallel::parallelFor;
+using parallel::parallelReduce;
+
+/** Elements per chunk for flat elementwise loops. */
+constexpr int64_t kElemGrain = 1 << 14;
+
+/** Rows per chunk for rowwise loops, scaled by the row width. */
+int64_t
+rowGrain(int64_t cols)
+{
+    return std::max<int64_t>(1, (1 << 13) / std::max<int64_t>(cols, 1));
+}
+
+/** Columns per chunk for column-blocked accumulation loops. */
+constexpr int64_t kColGrain = 32;
 
 /** Shared shape check for elementwise binary ops. */
 void
@@ -52,18 +70,23 @@ matmulTa(const Tensor &a, const Tensor &b)
                    " vs ", b.rows());
     const int64_t m = a.cols(), k = a.rows(), n = b.cols();
     Tensor c(m, n);
-    for (int64_t kk = 0; kk < k; ++kk) {
-        const float *arow = a.row(kk);
-        const float *brow = b.row(kk);
-        for (int64_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.row(i);
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    // Column-blocked: each chunk owns a disjoint j-range of C (and B),
+    // so the kk-outer accumulation order per element is exactly the
+    // serial order and results are bit-identical at any thread count.
+    parallelFor(0, n, kColGrain, [&](int64_t j0, int64_t j1) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float *arow = a.row(kk);
+            const float *brow = b.row(kk);
+            for (int64_t i = 0; i < m; ++i) {
+                const float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c.row(i);
+                for (int64_t j = j0; j < j1; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -93,9 +116,12 @@ Tensor
 transpose(const Tensor &a)
 {
     Tensor t = Tensor::empty(a.cols(), a.rows());
-    for (int64_t i = 0; i < a.rows(); ++i)
-        for (int64_t j = 0; j < a.cols(); ++j)
-            t(j, i) = a(i, j);
+    parallelFor(0, a.rows(), rowGrain(a.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i)
+                        for (int64_t j = 0; j < a.cols(); ++j)
+                            t(j, i) = a(i, j);
+                });
     return t;
 }
 
@@ -106,8 +132,10 @@ add(const Tensor &a, const Tensor &b)
     Tensor c = a.clone();
     float *cp = c.data();
     const float *bp = b.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        cp[i] += bp[i];
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            cp[i] += bp[i];
+    });
     return c;
 }
 
@@ -118,8 +146,10 @@ sub(const Tensor &a, const Tensor &b)
     Tensor c = a.clone();
     float *cp = c.data();
     const float *bp = b.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        cp[i] -= bp[i];
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            cp[i] -= bp[i];
+    });
     return c;
 }
 
@@ -130,8 +160,10 @@ mul(const Tensor &a, const Tensor &b)
     Tensor c = a.clone();
     float *cp = c.data();
     const float *bp = b.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        cp[i] *= bp[i];
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            cp[i] *= bp[i];
+    });
     return c;
 }
 
@@ -140,8 +172,10 @@ scale(const Tensor &a, float alpha)
 {
     Tensor c = a.clone();
     float *cp = c.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        cp[i] *= alpha;
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            cp[i] *= alpha;
+    });
     return c;
 }
 
@@ -151,8 +185,10 @@ axpy(Tensor &a, const Tensor &b, float alpha)
     checkSameShape(a, b, "axpy");
     float *ap = a.data();
     const float *bp = b.data();
-    for (int64_t i = 0; i < a.numel(); ++i)
-        ap[i] += alpha * bp[i];
+    parallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            ap[i] += alpha * bp[i];
+    });
 }
 
 Tensor
@@ -162,11 +198,14 @@ addBias(const Tensor &a, const Tensor &bias)
                    "addBias: bias must be 1x", a.cols());
     Tensor c = a.clone();
     const float *bp = bias.data();
-    for (int64_t i = 0; i < c.rows(); ++i) {
-        float *crow = c.row(i);
-        for (int64_t j = 0; j < c.cols(); ++j)
-            crow[j] += bp[j];
-    }
+    parallelFor(0, c.rows(), rowGrain(c.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        float *crow = c.row(i);
+                        for (int64_t j = 0; j < c.cols(); ++j)
+                            crow[j] += bp[j];
+                    }
+                });
     return c;
 }
 
@@ -175,11 +214,15 @@ colSum(const Tensor &a)
 {
     Tensor s(1, a.cols());
     float *sp = s.data();
-    for (int64_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        for (int64_t j = 0; j < a.cols(); ++j)
-            sp[j] += arow[j];
-    }
+    // Column-blocked so each chunk accumulates its own disjoint slice
+    // of the output, in the serial (ascending row) order.
+    parallelFor(0, a.cols(), kColGrain, [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < a.rows(); ++i) {
+            const float *arow = a.row(i);
+            for (int64_t j = j0; j < j1; ++j)
+                sp[j] += arow[j];
+        }
+    });
     return s;
 }
 
@@ -188,8 +231,10 @@ relu(const Tensor &a)
 {
     Tensor c = a.clone();
     float *cp = c.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        cp[i] = std::max(cp[i], 0.0f);
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            cp[i] = std::max(cp[i], 0.0f);
+    });
     return c;
 }
 
@@ -200,9 +245,11 @@ reluGrad(const Tensor &x, const Tensor &grad)
     Tensor g = grad.clone();
     float *gp = g.data();
     const float *xp = x.data();
-    for (int64_t i = 0; i < g.numel(); ++i)
-        if (xp[i] <= 0.0f)
-            gp[i] = 0.0f;
+    parallelFor(0, g.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            if (xp[i] <= 0.0f)
+                gp[i] = 0.0f;
+    });
     return g;
 }
 
@@ -211,9 +258,11 @@ elu(const Tensor &a)
 {
     Tensor c = a.clone();
     float *cp = c.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        if (cp[i] < 0.0f)
-            cp[i] = std::expm1(cp[i]);
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            if (cp[i] < 0.0f)
+                cp[i] = std::expm1(cp[i]);
+    });
     return c;
 }
 
@@ -225,9 +274,11 @@ eluGradFromOutput(const Tensor &y, const Tensor &grad)
     float *gp = g.data();
     const float *yp = y.data();
     // d/dx elu(x) = 1 for x > 0 and elu(x) + 1 otherwise.
-    for (int64_t i = 0; i < g.numel(); ++i)
-        if (yp[i] < 0.0f)
-            gp[i] *= yp[i] + 1.0f;
+    parallelFor(0, g.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            if (yp[i] < 0.0f)
+                gp[i] *= yp[i] + 1.0f;
+    });
     return g;
 }
 
@@ -236,9 +287,11 @@ leakyRelu(const Tensor &a, float slope)
 {
     Tensor c = a.clone();
     float *cp = c.data();
-    for (int64_t i = 0; i < c.numel(); ++i)
-        if (cp[i] < 0.0f)
-            cp[i] *= slope;
+    parallelFor(0, c.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            if (cp[i] < 0.0f)
+                cp[i] *= slope;
+    });
     return c;
 }
 
@@ -249,9 +302,11 @@ leakyReluGrad(const Tensor &x, const Tensor &grad, float slope)
     Tensor g = grad.clone();
     float *gp = g.data();
     const float *xp = x.data();
-    for (int64_t i = 0; i < g.numel(); ++i)
-        if (xp[i] < 0.0f)
-            gp[i] *= slope;
+    parallelFor(0, g.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            if (xp[i] < 0.0f)
+                gp[i] *= slope;
+    });
     return g;
 }
 
@@ -278,19 +333,24 @@ Tensor
 logSoftmax(const Tensor &a)
 {
     Tensor y = Tensor::empty(a.rows(), a.cols());
-    for (int64_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *yrow = y.row(i);
-        float mx = arow[0];
-        for (int64_t j = 1; j < a.cols(); ++j)
-            mx = std::max(mx, arow[j]);
-        double z = 0.0;
-        for (int64_t j = 0; j < a.cols(); ++j)
-            z += std::exp(static_cast<double>(arow[j] - mx));
-        const float logz = mx + static_cast<float>(std::log(z));
-        for (int64_t j = 0; j < a.cols(); ++j)
-            yrow[j] = arow[j] - logz;
-    }
+    parallelFor(0, a.rows(), rowGrain(a.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        const float *arow = a.row(i);
+                        float *yrow = y.row(i);
+                        float mx = arow[0];
+                        for (int64_t j = 1; j < a.cols(); ++j)
+                            mx = std::max(mx, arow[j]);
+                        double z = 0.0;
+                        for (int64_t j = 0; j < a.cols(); ++j)
+                            z += std::exp(
+                                static_cast<double>(arow[j] - mx));
+                        const float logz =
+                            mx + static_cast<float>(std::log(z));
+                        for (int64_t j = 0; j < a.cols(); ++j)
+                            yrow[j] = arow[j] - logz;
+                    }
+                });
     return y;
 }
 
@@ -299,18 +359,22 @@ logSoftmaxGrad(const Tensor &y, const Tensor &grad)
 {
     checkSameShape(y, grad, "logSoftmaxGrad");
     Tensor g = Tensor::empty(y.rows(), y.cols());
-    for (int64_t i = 0; i < y.rows(); ++i) {
-        const float *yrow = y.row(i);
-        const float *grow = grad.row(i);
-        float *orow = g.row(i);
-        double gsum = 0.0;
-        for (int64_t j = 0; j < y.cols(); ++j)
-            gsum += grow[j];
-        for (int64_t j = 0; j < y.cols(); ++j) {
-            orow[j] = grow[j] - std::exp(yrow[j]) *
-                                    static_cast<float>(gsum);
-        }
-    }
+    parallelFor(0, y.rows(), rowGrain(y.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        const float *yrow = y.row(i);
+                        const float *grow = grad.row(i);
+                        float *orow = g.row(i);
+                        double gsum = 0.0;
+                        for (int64_t j = 0; j < y.cols(); ++j)
+                            gsum += grow[j];
+                        for (int64_t j = 0; j < y.cols(); ++j) {
+                            orow[j] = grow[j] -
+                                      std::exp(yrow[j]) *
+                                          static_cast<float>(gsum);
+                        }
+                    }
+                });
     return g;
 }
 
@@ -318,21 +382,29 @@ float
 nllLoss(const Tensor &logprob, const std::vector<int32_t> &labels,
         const std::vector<NodeId> &rows)
 {
-    double acc = 0.0;
-    int64_t count = 0;
-    auto add_row = [&](int64_t r) {
+    auto row_term = [&](int64_t r) {
         const int32_t y = labels[r];
         GNNBENCH_ASSERT(y >= 0 && y < logprob.cols(), "label ", y,
                         " out of range");
-        acc -= logprob(r, y);
-        ++count;
+        return -static_cast<double>(logprob(r, y));
     };
+    double acc = 0.0;
+    int64_t count = 0;
     if (rows.empty()) {
-        for (int64_t r = 0; r < logprob.rows(); ++r)
-            add_row(r);
+        count = logprob.rows();
+        acc = parallelReduce(
+            0, logprob.rows(), rowGrain(logprob.cols()), 0.0,
+            [&](int64_t r0, int64_t r1) {
+                double part = 0.0;
+                for (int64_t r = r0; r < r1; ++r)
+                    part += row_term(r);
+                return part;
+            },
+            [](double x, double y) { return x + y; });
     } else {
+        count = static_cast<int64_t>(rows.size());
         for (NodeId r : rows)
-            add_row(r);
+            acc += row_term(r);
     }
     GNNBENCH_CHECK(count > 0, "nllLoss over zero rows");
     return static_cast<float>(acc / count);
@@ -348,8 +420,11 @@ nllLossGrad(const Tensor &logprob, const std::vector<int32_t> &labels,
     GNNBENCH_CHECK(count > 0, "nllLossGrad over zero rows");
     const float scale = -1.0f / static_cast<float>(count);
     if (rows.empty()) {
-        for (int64_t r = 0; r < logprob.rows(); ++r)
-            g(r, labels[r]) = scale;
+        parallelFor(0, logprob.rows(), rowGrain(logprob.cols()),
+                    [&](int64_t r0, int64_t r1) {
+                        for (int64_t r = r0; r < r1; ++r)
+                            g(r, labels[r]) = scale;
+                    });
     } else {
         for (NodeId r : rows)
             g(r, labels[r]) = scale;
@@ -361,11 +436,14 @@ Tensor
 gatherRows(const Tensor &a, const std::vector<NodeId> &idx)
 {
     Tensor out = Tensor::empty(static_cast<int64_t>(idx.size()), a.cols());
-    for (size_t i = 0; i < idx.size(); ++i) {
-        GNNBENCH_ASSERT(idx[i] >= 0 && idx[i] < a.rows(),
-                        "gatherRows index out of range");
-        std::copy_n(a.row(idx[i]), a.cols(), out.row(i));
-    }
+    parallelFor(0, static_cast<int64_t>(idx.size()), rowGrain(a.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        GNNBENCH_ASSERT(idx[i] >= 0 && idx[i] < a.rows(),
+                                        "gatherRows index out of range");
+                        std::copy_n(a.row(idx[i]), a.cols(), out.row(i));
+                    }
+                });
     return out;
 }
 
@@ -376,14 +454,20 @@ scatterAddRows(const Tensor &a, const std::vector<NodeId> &idx,
     GNNBENCH_CHECK(static_cast<int64_t>(idx.size()) == a.rows(),
                    "scatterAddRows: index count mismatch");
     Tensor out(out_rows, a.cols());
-    for (size_t i = 0; i < idx.size(); ++i) {
+    for (size_t i = 0; i < idx.size(); ++i)
         GNNBENCH_ASSERT(idx[i] >= 0 && idx[i] < out_rows,
                         "scatterAddRows index out of range");
-        const float *src = a.row(i);
-        float *dst = out.row(idx[i]);
-        for (int64_t j = 0; j < a.cols(); ++j)
-            dst[j] += src[j];
-    }
+    // Duplicate indices make row-parallel accumulation race, so each
+    // chunk owns a column block instead: disjoint writes, and the
+    // ascending-i accumulation order per element matches serial.
+    parallelFor(0, a.cols(), kColGrain, [&](int64_t j0, int64_t j1) {
+        for (size_t i = 0; i < idx.size(); ++i) {
+            const float *src = a.row(i);
+            float *dst = out.row(idx[i]);
+            for (int64_t j = j0; j < j1; ++j)
+                dst[j] += src[j];
+        }
+    });
     return out;
 }
 
@@ -393,11 +477,14 @@ rowScale(const Tensor &a, const std::vector<float> &s)
     GNNBENCH_CHECK(static_cast<int64_t>(s.size()) == a.rows(),
                    "rowScale: one scalar per row required");
     Tensor c = a.clone();
-    for (int64_t i = 0; i < c.rows(); ++i) {
-        float *crow = c.row(i);
-        for (int64_t j = 0; j < c.cols(); ++j)
-            crow[j] *= s[i];
-    }
+    parallelFor(0, c.rows(), rowGrain(c.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        float *crow = c.row(i);
+                        for (int64_t j = 0; j < c.cols(); ++j)
+                            crow[j] *= s[i];
+                    }
+                });
     return c;
 }
 
@@ -406,10 +493,14 @@ concatCols(const Tensor &a, const Tensor &b)
 {
     GNNBENCH_CHECK(a.rows() == b.rows(), "concatCols: row mismatch");
     Tensor c = Tensor::empty(a.rows(), a.cols() + b.cols());
-    for (int64_t i = 0; i < a.rows(); ++i) {
-        std::copy_n(a.row(i), a.cols(), c.row(i));
-        std::copy_n(b.row(i), b.cols(), c.row(i) + a.cols());
-    }
+    parallelFor(0, a.rows(), rowGrain(c.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        std::copy_n(a.row(i), a.cols(), c.row(i));
+                        std::copy_n(b.row(i), b.cols(),
+                                    c.row(i) + a.cols());
+                    }
+                });
     return c;
 }
 
@@ -420,33 +511,43 @@ splitColsGrad(const Tensor &grad, int64_t a_cols, Tensor *ga, Tensor *gb)
     const int64_t b_cols = grad.cols() - a_cols;
     *ga = Tensor(grad.rows(), a_cols);
     *gb = Tensor(grad.rows(), b_cols);
-    for (int64_t i = 0; i < grad.rows(); ++i) {
-        std::copy_n(grad.row(i), a_cols, ga->row(i));
-        std::copy_n(grad.row(i) + a_cols, b_cols, gb->row(i));
-    }
+    parallelFor(0, grad.rows(), rowGrain(grad.cols()),
+                [&](int64_t r0, int64_t r1) {
+                    for (int64_t i = r0; i < r1; ++i) {
+                        std::copy_n(grad.row(i), a_cols, ga->row(i));
+                        std::copy_n(grad.row(i) + a_cols, b_cols,
+                                    gb->row(i));
+                    }
+                });
 }
 
 int64_t
 countCorrect(const Tensor &logits, const std::vector<int32_t> &labels,
              const std::vector<NodeId> &rows)
 {
-    int64_t correct = 0;
-    auto check_row = [&](int64_t r) {
+    auto row_hit = [&](int64_t r) -> int64_t {
         const float *row = logits.row(r);
         int64_t best = 0;
         for (int64_t j = 1; j < logits.cols(); ++j)
             if (row[j] > row[best])
                 best = j;
-        if (best == labels[r])
-            ++correct;
+        return best == labels[r] ? 1 : 0;
     };
     if (rows.empty()) {
-        for (int64_t r = 0; r < logits.rows(); ++r)
-            check_row(r);
-    } else {
-        for (NodeId r : rows)
-            check_row(r);
+        return parallelReduce(
+            0, logits.rows(), rowGrain(logits.cols()),
+            static_cast<int64_t>(0),
+            [&](int64_t r0, int64_t r1) {
+                int64_t part = 0;
+                for (int64_t r = r0; r < r1; ++r)
+                    part += row_hit(r);
+                return part;
+            },
+            [](int64_t x, int64_t y) { return x + y; });
     }
+    int64_t correct = 0;
+    for (NodeId r : rows)
+        correct += row_hit(r);
     return correct;
 }
 

@@ -8,6 +8,7 @@
 #define GNNBENCH_CORE_TIMER_H
 
 #include <chrono>
+#include <ctime>
 
 namespace gnnbench {
 namespace core {
@@ -31,6 +32,35 @@ class Timer
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
+};
+
+/**
+ * Per-thread CPU-time stopwatch: counts only seconds this thread
+ * actually executed, excluding time spent descheduled.  The prefetch
+ * pipeline uses it for per-worker busy time, so the critical-path
+ * metric stays meaningful even when more workers than cores
+ * time-share the machine.
+ */
+class ThreadCpuTimer
+{
+  public:
+    ThreadCpuTimer() { reset(); }
+
+    void reset() { start_ = now(); }
+
+    double elapsed() const { return now() - start_; }
+
+  private:
+    static double
+    now()
+    {
+        timespec ts{};
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+
+    double start_;
 };
 
 } // namespace core

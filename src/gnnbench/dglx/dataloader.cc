@@ -20,5 +20,134 @@ DataLoader::load(const graph::Dataset &dataset)
     return out;
 }
 
+namespace {
+
+using NeighborProducer =
+    sampling::Prefetcher<sampling::NeighborSample>::Producer;
+
+std::vector<NeighborProducer>
+neighborProducers(
+    const NeighborSampler &proto, core::Rng &rng,
+    std::shared_ptr<const std::vector<std::vector<NodeId>>> batches,
+    int num_workers)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<NeighborProducer> out;
+    out.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        auto sampler = std::make_shared<NeighborSampler>(
+            proto.withRng(rng.fork()));
+        out.push_back([sampler, batches](int64_t i) {
+            return sampler->sample(
+                (*batches)[static_cast<size_t>(i)]);
+        });
+    }
+    return out;
+}
+
+} // namespace
+
+NeighborLoader::NeighborLoader(
+    const NeighborSampler &proto, core::Rng &rng,
+    std::vector<std::vector<NodeId>> seed_batches, int num_workers,
+    int prefetch_depth)
+    : seedBatches_(
+          std::make_shared<const std::vector<std::vector<NodeId>>>(
+              std::move(seed_batches)))
+{
+    prefetcher_ = std::make_unique<
+        sampling::Prefetcher<sampling::NeighborSample>>(
+        neighborProducers(proto, rng, seedBatches_, num_workers),
+        static_cast<int64_t>(seedBatches_->size()), prefetch_depth);
+}
+
+std::optional<sampling::NeighborSample>
+NeighborLoader::next()
+{
+    return prefetcher_->next();
+}
+
+void
+NeighborLoader::shutdown()
+{
+    prefetcher_->shutdown();
+}
+
+const std::vector<double> &
+NeighborLoader::workerBusySeconds()
+{
+    return prefetcher_->workerBusySeconds();
+}
+
+InducedLoader::InducedLoader(std::vector<Producer> producers,
+                             int num_batches, int prefetch_depth)
+{
+    using InducedProducer =
+        sampling::Prefetcher<sampling::InducedSample>::Producer;
+    std::vector<InducedProducer> wrapped;
+    wrapped.reserve(producers.size());
+    for (auto &p : producers)
+        wrapped.push_back([producer = std::move(p)](int64_t) {
+            return producer();
+        });
+    prefetcher_ = std::make_unique<
+        sampling::Prefetcher<sampling::InducedSample>>(
+        std::move(wrapped), num_batches, prefetch_depth);
+}
+
+std::optional<sampling::InducedSample>
+InducedLoader::next()
+{
+    return prefetcher_->next();
+}
+
+void
+InducedLoader::shutdown()
+{
+    prefetcher_->shutdown();
+}
+
+const std::vector<double> &
+InducedLoader::workerBusySeconds()
+{
+    return prefetcher_->workerBusySeconds();
+}
+
+InducedLoader
+makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
+                  int32_t clusters_per_batch, int num_batches,
+                  int num_workers, int prefetch_depth)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<InducedLoader::Producer> producers;
+    producers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        auto sampler = std::make_shared<ClusterSampler>(
+            proto.withRng(rng.fork()));
+        producers.push_back([sampler, clusters_per_batch] {
+            return sampler->sample(clusters_per_batch);
+        });
+    }
+    return InducedLoader(std::move(producers), num_batches,
+                         prefetch_depth);
+}
+
+InducedLoader
+makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
+                  int num_batches, int num_workers,
+                  int prefetch_depth)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<InducedLoader::Producer> producers;
+    producers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        auto sampler = std::make_shared<SaintRwSampler>(
+            proto.withRng(rng.fork()));
+        producers.push_back([sampler] { return sampler->sample(); });
+    }
+    return InducedLoader(std::move(producers), num_batches,
+                         prefetch_depth);
+}
+
 } // namespace dglx
 } // namespace gnnbench

@@ -12,10 +12,14 @@
 #ifndef GNNBENCH_DGLX_DATALOADER_H
 #define GNNBENCH_DGLX_DATALOADER_H
 
+#include <functional>
 #include <memory>
+#include <optional>
 
 #include "gnnbench/dglx/graph.h"
+#include "gnnbench/dglx/sampler.h"
 #include "gnnbench/graph/datasets.h"
+#include "gnnbench/sampling/prefetch.h"
 
 namespace gnnbench {
 namespace dglx {
@@ -40,6 +44,83 @@ class DataLoader
     /** Build the full graph object + feature tensors from raw data. */
     static LoadedData load(const graph::Dataset &dataset);
 };
+
+/**
+ * Multi-worker prefetching neighbor loader — DGL's DataLoader with
+ * num_workers > 0.  Each worker owns a NeighborSampler clone with an
+ * independent RNG stream (forked from @p rng in worker order, so a
+ * fixed seed and worker count reproduce exactly) and samples ahead
+ * of training; next() delivers samples in seed-batch order.
+ */
+class NeighborLoader
+{
+  public:
+    NeighborLoader(const NeighborSampler &proto, core::Rng &rng,
+                   std::vector<std::vector<NodeId>> seed_batches,
+                   int num_workers, int prefetch_depth);
+
+    /** Seed batches in delivery order (for labels/supervision). */
+    const std::vector<std::vector<NodeId>> &
+    seedBatches() const
+    {
+        return *seedBatches_;
+    }
+
+    /** Next sample in batch order; empty when exhausted. */
+    std::optional<sampling::NeighborSample> next();
+
+    /** Drain and join workers (idempotent; the destructor calls it,
+     *  so a loader destroyed mid-epoch shuts down cleanly). */
+    void shutdown();
+
+    /** Per-worker sampling busy seconds (joins workers first). */
+    const std::vector<double> &workerBusySeconds();
+
+  private:
+    std::shared_ptr<const std::vector<std::vector<NodeId>>>
+        seedBatches_;
+    std::unique_ptr<sampling::Prefetcher<sampling::NeighborSample>>
+        prefetcher_;
+};
+
+/**
+ * Multi-worker loader for samplers producing induced subgraphs
+ * (ClusterGCN, GraphSAINT).  Built through the factory helpers below,
+ * which fork one sampler clone per worker.
+ */
+class InducedLoader
+{
+  public:
+    /** Draws one batch on a worker's private sampler clone. */
+    using Producer = std::function<sampling::InducedSample()>;
+
+    InducedLoader(std::vector<Producer> producers, int num_batches,
+                  int prefetch_depth);
+
+    /** Next batch in order; empty when exhausted. */
+    std::optional<sampling::InducedSample> next();
+
+    void shutdown();
+
+    const std::vector<double> &workerBusySeconds();
+
+  private:
+    std::unique_ptr<sampling::Prefetcher<sampling::InducedSample>>
+        prefetcher_;
+};
+
+/** ClusterGCN loader: per-worker ClusterSampler clones (sharing the
+ *  one-time partition) each drawing independent cluster unions. */
+InducedLoader makeClusterLoader(const ClusterSampler &proto,
+                                core::Rng &rng,
+                                int32_t clusters_per_batch,
+                                int num_batches, int num_workers,
+                                int prefetch_depth);
+
+/** GraphSAINT random-walk loader. */
+InducedLoader makeSaintRwLoader(const SaintRwSampler &proto,
+                                core::Rng &rng, int num_batches,
+                                int num_workers, int prefetch_depth);
 
 } // namespace dglx
 } // namespace gnnbench

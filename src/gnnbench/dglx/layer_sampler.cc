@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace dglx {
 
+using core::parallel::chunkSeed;
+using core::parallel::parallelFor;
+using core::parallel::parallelForChunks;
 using sampling::LayerSample;
 using sampling::LayerWiseSample;
 
 namespace {
+
+constexpr int64_t kNodeChunk = 64;  // destination nodes per chunk
+constexpr int64_t kDrawChunk = 256; // i.i.d. CDF draws per chunk
 
 /**
  * Build one bipartite layer between a sampled source set and a
@@ -26,34 +34,59 @@ buildLayer(const Graph &g, std::vector<NodeId> src,
     layer.srcNodes = std::move(src);
     layer.dstNodes = dst;
     const auto t = static_cast<double>(layer.srcNodes.size());
-    for (size_t i = 0; i < layer.srcNodes.size(); ++i)
-        local[layer.srcNodes[i]] = static_cast<NodeId>(i);
+    const auto num_dst = static_cast<int64_t>(dst.size());
+    parallelFor(0, static_cast<int64_t>(layer.srcNodes.size()),
+                kNodeChunk, [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i)
+                        local[layer.srcNodes[i]] =
+                            static_cast<NodeId>(i);
+                });
 
     const graph::CsrGraph &csc = g.csc();
     layer.csc.numRows = static_cast<NodeId>(dst.size());
     layer.csc.numCols = static_cast<NodeId>(layer.srcNodes.size());
     layer.csc.indptr.assign(dst.size() + 1, 0);
-    for (size_t d = 0; d < dst.size(); ++d) {
-        const NodeId u = dst[d];
-        EdgeId kept = 0;
-        for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e) {
-            const NodeId lv = local[csc.indices[e]];
-            if (lv != -1) {
-                layer.csc.indices.push_back(lv);
-                layer.edgeWeights.push_back(static_cast<float>(
-                    1.0 / (q[csc.indices[e]] * t)));
+    // Two passes over the candidate edges, both parallel over the
+    // destinations: count kept edges (self loop included), serial
+    // prefix sum, then fill each destination's disjoint range.
+    parallelFor(0, num_dst, kNodeChunk, [&](int64_t d0, int64_t d1) {
+        for (int64_t d = d0; d < d1; ++d) {
+            const NodeId u = dst[d];
+            EdgeId kept = 0;
+            for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e)
+                if (local[csc.indices[e]] != -1)
+                    ++kept;
+            if (add_self_loops && local[u] != -1)
                 ++kept;
+            layer.csc.indptr[d + 1] = kept;
+        }
+    });
+    for (int64_t d = 0; d < num_dst; ++d)
+        layer.csc.indptr[d + 1] += layer.csc.indptr[d];
+    layer.csc.indices.resize(layer.csc.indptr.back());
+    layer.edgeWeights.resize(layer.csc.indptr.back());
+    parallelFor(0, num_dst, kNodeChunk, [&](int64_t d0, int64_t d1) {
+        for (int64_t d = d0; d < d1; ++d) {
+            const NodeId u = dst[d];
+            EdgeId cursor = layer.csc.indptr[d];
+            for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1];
+                 ++e) {
+                const NodeId lv = local[csc.indices[e]];
+                if (lv != -1) {
+                    layer.csc.indices[cursor] = lv;
+                    layer.edgeWeights[cursor] = static_cast<float>(
+                        1.0 / (q[csc.indices[e]] * t));
+                    ++cursor;
+                }
+            }
+            if (add_self_loops && local[u] != -1) {
+                // LADIES attaches the identity to the sliced
+                // adjacency, guaranteeing no destination is isolated.
+                layer.csc.indices[cursor] = local[u];
+                layer.edgeWeights[cursor] = 1.0f;
             }
         }
-        if (add_self_loops && local[u] != -1) {
-            // LADIES attaches the identity to the sliced adjacency,
-            // guaranteeing no destination is isolated.
-            layer.csc.indices.push_back(local[u]);
-            layer.edgeWeights.push_back(1.0f);
-            ++kept;
-        }
-        layer.csc.indptr[d + 1] = layer.csc.indptr[d] + kept;
-    }
+    });
     for (NodeId v : layer.srcNodes)
         local[v] = -1;
     return layer;
@@ -96,18 +129,32 @@ FastGcnSampler::sample(const std::vector<NodeId> &seeds)
     out.seeds = seeds;
     out.layers.resize(layerSizes_.size());
 
+    const uint64_t base = rng_.next();
     std::vector<NodeId> frontier = seeds;
     for (size_t l = layerSizes_.size(); l-- > 0;) {
         // Draw the layer's source set i.i.d. from q, deduplicated
         // (each layer is independent of the one above — FastGCN's
-        // defining property and the cause of isolated nodes).
+        // defining property and the cause of isolated nodes).  The
+        // draws run in parallel on per-chunk RNG streams; dedup runs
+        // serially in draw order.
+        std::vector<NodeId> draws(layerSizes_[l]);
+        parallelForChunks(
+            0, layerSizes_[l], kDrawChunk,
+            [&](int64_t c, int64_t i0, int64_t i1) {
+                core::Rng crng(chunkSeed(
+                    base, static_cast<uint64_t>(l),
+                    static_cast<uint64_t>(c)));
+                for (int64_t i = i0; i < i1; ++i) {
+                    const double r = crng.uniform();
+                    draws[i] = static_cast<NodeId>(
+                        std::lower_bound(cdf_.begin(), cdf_.end(),
+                                         r) -
+                        cdf_.begin());
+                }
+            });
         std::vector<NodeId> src;
         src.reserve(layerSizes_[l]);
-        for (NodeId i = 0; i < layerSizes_[l]; ++i) {
-            const double r = rng_.uniform();
-            const NodeId v = static_cast<NodeId>(
-                std::lower_bound(cdf_.begin(), cdf_.end(), r) -
-                cdf_.begin());
+        for (NodeId v : draws) {
             if (localId_[v] == -1) {
                 localId_[v] = 1;
                 src.push_back(v);

@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace dglx {
 
+using core::parallel::chunkSeed;
+using core::parallel::parallelFor;
+using core::parallel::parallelForChunks;
 using sampling::Block;
 using sampling::InducedSample;
 using sampling::NeighborSample;
+
+namespace {
+
+// Chunk sizes for the parallel sampler phases.  These fix the work
+// decomposition (and thus the per-chunk RNG streams), so they are part
+// of the determinism contract: outputs depend on the grain, never on
+// the thread count.
+constexpr int64_t kDstChunk = 64;   // destination nodes per chunk
+constexpr int64_t kRootChunk = 64;  // random-walk roots per chunk
+constexpr int64_t kDrawChunk = 256; // i.i.d. CDF draws per chunk
+constexpr int64_t kNodeChunk = 64;  // induced-subgraph nodes per chunk
+
+} // namespace
 
 NeighborSampler::NeighborSampler(const Graph &g, std::vector<int> fanouts,
                                  core::Rng rng)
@@ -29,6 +47,10 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
     out.blocks.resize(fanouts_.size());
 
     const graph::CsrGraph &csc = g_.csc();
+    // One base draw per batch; every chunk of every layer derives its
+    // own stream from it, so the sampled blocks are bit-identical for
+    // any thread count.
+    const uint64_t base = rng_.next();
     std::vector<NodeId> frontier = seeds;
 
     // Walk layers from the seed side inwards; fanouts_[0] is the
@@ -38,51 +60,66 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
         Block &blk = out.blocks[l];
         blk.dstNodes = frontier;
         blk.srcNodes = frontier;
-        for (size_t i = 0; i < blk.srcNodes.size(); ++i)
-            localId_[blk.srcNodes[i]] = static_cast<NodeId>(i);
 
         const NodeId num_dst = static_cast<NodeId>(frontier.size());
         blk.csc.numRows = num_dst;
         blk.csc.indptr.assign(num_dst + 1, 0);
-        blk.csc.indices.reserve(static_cast<size_t>(num_dst) * fanout);
 
+        // Phase A (parallel): fix each destination's edge range up
+        // front (degree capped at the fanout), then sample *global*
+        // neighbor ids into the flat per-range slots — disjoint
+        // writes, one RNG stream per chunk.
         for (NodeId d = 0; d < num_dst; ++d) {
-            const NodeId u = frontier[d];
-            const EdgeId deg = csc.degree(u);
-            const NodeId *nbrs = csc.rowBegin(u);
-            EdgeId taken = 0;
-            if (deg <= fanout) {
-                for (EdgeId i = 0; i < deg; ++i) {
-                    NodeId v = nbrs[i];
-                    if (localId_[v] == -1) {
-                        localId_[v] =
-                            static_cast<NodeId>(blk.srcNodes.size());
-                        blk.srcNodes.push_back(v);
+            const EdgeId deg = csc.degree(frontier[d]);
+            blk.csc.indptr[d + 1] =
+                blk.csc.indptr[d] +
+                std::min<EdgeId>(deg, static_cast<EdgeId>(fanout));
+        }
+        sampledGlobal_.resize(blk.csc.indptr.back());
+        parallelForChunks(
+            0, num_dst, kDstChunk,
+            [&](int64_t c, int64_t d0, int64_t d1) {
+                core::Rng crng(chunkSeed(
+                    base, static_cast<uint64_t>(l),
+                    static_cast<uint64_t>(c)));
+                std::vector<NodeId> scratch;
+                for (int64_t d = d0; d < d1; ++d) {
+                    const NodeId u = frontier[d];
+                    const EdgeId deg = csc.degree(u);
+                    const NodeId *nbrs = csc.rowBegin(u);
+                    NodeId *slot =
+                        sampledGlobal_.data() + blk.csc.indptr[d];
+                    if (deg <= fanout) {
+                        std::copy(nbrs, nbrs + deg, slot);
+                    } else {
+                        // Partial Fisher-Yates over a scratch copy:
+                        // O(deg) copy + O(fanout) swaps.
+                        scratch.assign(nbrs, nbrs + deg);
+                        for (int i = 0; i < fanout; ++i) {
+                            const EdgeId j =
+                                i + static_cast<EdgeId>(
+                                        crng.uniformInt(deg - i));
+                            std::swap(scratch[i], scratch[j]);
+                            slot[i] = scratch[i];
+                        }
                     }
-                    blk.csc.indices.push_back(localId_[v]);
                 }
-                taken = deg;
-            } else {
-                // Partial Fisher-Yates over a scratch copy: O(deg)
-                // copy + O(fanout) swaps, no allocation.
-                neighborScratch_.assign(nbrs, nbrs + deg);
-                for (int i = 0; i < fanout; ++i) {
-                    const EdgeId j =
-                        i + static_cast<EdgeId>(
-                                rng_.uniformInt(deg - i));
-                    std::swap(neighborScratch_[i],
-                              neighborScratch_[j]);
-                    NodeId v = neighborScratch_[i];
-                    if (localId_[v] == -1) {
-                        localId_[v] =
-                            static_cast<NodeId>(blk.srcNodes.size());
-                        blk.srcNodes.push_back(v);
-                    }
-                    blk.csc.indices.push_back(localId_[v]);
-                }
-                taken = fanout;
+            });
+
+        // Phase B (serial): relabel in destination order with the
+        // dense map — first-encounter order, exactly as a fully
+        // serial pass would produce.
+        for (size_t i = 0; i < blk.srcNodes.size(); ++i)
+            localId_[blk.srcNodes[i]] = static_cast<NodeId>(i);
+        blk.csc.indices.resize(sampledGlobal_.size());
+        for (size_t i = 0; i < sampledGlobal_.size(); ++i) {
+            const NodeId v = sampledGlobal_[i];
+            if (localId_[v] == -1) {
+                localId_[v] =
+                    static_cast<NodeId>(blk.srcNodes.size());
+                blk.srcNodes.push_back(v);
             }
-            blk.csc.indptr[d + 1] = blk.csc.indptr[d] + taken;
+            blk.csc.indices[i] = localId_[v];
         }
         blk.csc.numCols = static_cast<NodeId>(blk.srcNodes.size());
 
@@ -102,33 +139,46 @@ ClusterSampler::extractInduced(const graph::CsrGraph &csr,
     InducedSample out;
     out.nodes = std::move(nodes);
     const NodeId k = static_cast<NodeId>(out.nodes.size());
-    for (NodeId i = 0; i < k; ++i)
-        local_id_scratch[out.nodes[i]] = i;
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            local_id_scratch[out.nodes[i]] = static_cast<NodeId>(i);
+    });
 
     out.adj.numRows = k;
     out.adj.numCols = k;
     out.adj.indptr.assign(k + 1, 0);
-    // Two passes over the candidate edges: count, then fill.
-    for (NodeId i = 0; i < k; ++i) {
-        const NodeId u = out.nodes[i];
-        EdgeId cnt = 0;
-        for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e)
-            if (local_id_scratch[csr.indices[e]] != -1)
-                ++cnt;
-        out.adj.indptr[i + 1] = out.adj.indptr[i] + cnt;
-    }
-    out.adj.indices.resize(out.adj.indptr.back());
-    for (NodeId i = 0; i < k; ++i) {
-        const NodeId u = out.nodes[i];
-        EdgeId cursor = out.adj.indptr[i];
-        for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e) {
-            const NodeId lv = local_id_scratch[csr.indices[e]];
-            if (lv != -1)
-                out.adj.indices[cursor++] = lv;
+    // Two passes over the candidate edges, both parallel over the
+    // batch nodes: count into disjoint indptr slots, serial prefix
+    // sum, then fill each node's disjoint cursor range.
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const NodeId u = out.nodes[i];
+            EdgeId cnt = 0;
+            for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1]; ++e)
+                if (local_id_scratch[csr.indices[e]] != -1)
+                    ++cnt;
+            out.adj.indptr[i + 1] = cnt;
         }
-    }
-    for (NodeId v : out.nodes)
-        local_id_scratch[v] = -1;
+    });
+    for (NodeId i = 0; i < k; ++i)
+        out.adj.indptr[i + 1] += out.adj.indptr[i];
+    out.adj.indices.resize(out.adj.indptr.back());
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const NodeId u = out.nodes[i];
+            EdgeId cursor = out.adj.indptr[i];
+            for (EdgeId e = csr.indptr[u]; e < csr.indptr[u + 1];
+                 ++e) {
+                const NodeId lv = local_id_scratch[csr.indices[e]];
+                if (lv != -1)
+                    out.adj.indices[cursor++] = lv;
+            }
+        }
+    });
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            local_id_scratch[out.nodes[i]] = -1;
+    });
     return out;
 }
 
@@ -148,6 +198,13 @@ ClusterSampler::ClusterSampler(const Graph &g, int32_t num_parts,
     std::vector<EdgeId> cursor(memberPtr_.begin(), memberPtr_.end() - 1);
     for (NodeId v = 0; v < g.numNodes(); ++v)
         memberList_[cursor[partition_.assignment[v]]++] = v;
+}
+
+ClusterSampler::ClusterSampler(const ClusterSampler &other, core::Rng rng)
+    : g_(other.g_), rng_(rng), partition_(other.partition_),
+      memberList_(other.memberList_), memberPtr_(other.memberPtr_),
+      localId_(other.g_.numNodes(), -1)
+{
 }
 
 InducedSample
@@ -179,24 +236,45 @@ InducedSample
 SaintRwSampler::sample()
 {
     const graph::CsrGraph &csr = g_.csr();
+    const int32_t steps = walkLength_ + 1;
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): each chunk of roots walks on its own RNG
+    // stream, recording visit sequences into disjoint per-root slots.
+    std::vector<NodeId> visits(static_cast<size_t>(numRoots_) * steps);
+    std::vector<int32_t> visitLen(numRoots_);
+    parallelForChunks(
+        0, numRoots_, kRootChunk,
+        [&](int64_t c, int64_t r0, int64_t r1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t r = r0; r < r1; ++r) {
+                NodeId *slot = visits.data() + r * steps;
+                NodeId cur = static_cast<NodeId>(
+                    crng.uniformInt(g_.numNodes()));
+                int32_t len = 0;
+                slot[len++] = cur;
+                for (int32_t s = 0; s < walkLength_; ++s) {
+                    const EdgeId deg = csr.degree(cur);
+                    if (deg == 0)
+                        break;
+                    cur = csr.rowBegin(cur)[crng.uniformInt(deg)];
+                    slot[len++] = cur;
+                }
+                visitLen[r] = len;
+            }
+        });
+    // Phase B (serial): dedup in root order.
     std::vector<NodeId> nodes;
-    nodes.reserve(static_cast<size_t>(numRoots_) * (walkLength_ + 1));
-    auto visit = [&](NodeId v) {
-        if (localId_[v] == -1) {
-            localId_[v] = static_cast<NodeId>(nodes.size());
-            nodes.push_back(v);
-        }
-    };
+    nodes.reserve(static_cast<size_t>(numRoots_) * steps);
     for (int32_t r = 0; r < numRoots_; ++r) {
-        NodeId cur =
-            static_cast<NodeId>(rng_.uniformInt(g_.numNodes()));
-        visit(cur);
-        for (int32_t s = 0; s < walkLength_; ++s) {
-            const EdgeId deg = csr.degree(cur);
-            if (deg == 0)
-                break;
-            cur = csr.rowBegin(cur)[rng_.uniformInt(deg)];
-            visit(cur);
+        const NodeId *slot = visits.data() +
+                             static_cast<size_t>(r) * steps;
+        for (int32_t s = 0; s < visitLen[r]; ++s) {
+            const NodeId v = slot[s];
+            if (localId_[v] == -1) {
+                localId_[v] = static_cast<NodeId>(nodes.size());
+                nodes.push_back(v);
+            }
         }
     }
     // extractInduced resets localId_, but entries were also set here;
@@ -222,17 +300,37 @@ SaintNodeSampler::SaintNodeSampler(const Graph &g, NodeId budget,
     }
 }
 
+SaintNodeSampler::SaintNodeSampler(const SaintNodeSampler &other,
+                                   core::Rng rng)
+    : g_(other.g_), budget_(other.budget_), rng_(rng),
+      degreeCdf_(other.degreeCdf_), localId_(other.g_.numNodes(), -1)
+{
+}
+
 InducedSample
 SaintNodeSampler::sample()
 {
     const double total = degreeCdf_.back();
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): i.i.d. CDF inversions into per-draw slots.
+    std::vector<NodeId> draws(budget_);
+    parallelForChunks(
+        0, budget_, kDrawChunk,
+        [&](int64_t c, int64_t i0, int64_t i1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t i = i0; i < i1; ++i) {
+                const double r = crng.uniform() * total;
+                draws[i] = static_cast<NodeId>(
+                    std::lower_bound(degreeCdf_.begin(),
+                                     degreeCdf_.end(), r) -
+                    degreeCdf_.begin());
+            }
+        });
+    // Phase B (serial): dedup in draw order.
     std::vector<NodeId> nodes;
     nodes.reserve(budget_);
-    for (NodeId i = 0; i < budget_; ++i) {
-        const double r = rng_.uniform() * total;
-        const NodeId v = static_cast<NodeId>(
-            std::lower_bound(degreeCdf_.begin(), degreeCdf_.end(), r) -
-            degreeCdf_.begin());
+    for (NodeId v : draws) {
         if (localId_[v] == -1) {
             localId_[v] = 1;  // presence marker
             nodes.push_back(v);
@@ -269,11 +367,41 @@ SaintEdgeSampler::SaintEdgeSampler(const Graph &g, EdgeId budget,
     }
 }
 
+SaintEdgeSampler::SaintEdgeSampler(const SaintEdgeSampler &other,
+                                   core::Rng rng)
+    : g_(other.g_), budget_(other.budget_), rng_(rng),
+      edgeCdf_(other.edgeCdf_), localId_(other.g_.numNodes(), -1)
+{
+}
+
 InducedSample
 SaintEdgeSampler::sample()
 {
     const graph::CsrGraph &csr = g_.csr();
     const double total = edgeCdf_.back();
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): draw edges and resolve both endpoints (the
+    // source via indptr search) into per-draw slots.
+    std::vector<NodeId> srcDraw(budget_), dstDraw(budget_);
+    parallelForChunks(
+        0, budget_, kDrawChunk,
+        [&](int64_t c, int64_t i0, int64_t i1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t i = i0; i < i1; ++i) {
+                const double r = crng.uniform() * total;
+                const EdgeId e = static_cast<EdgeId>(
+                    std::lower_bound(edgeCdf_.begin(),
+                                     edgeCdf_.end(), r) -
+                    edgeCdf_.begin());
+                srcDraw[i] = static_cast<NodeId>(
+                    std::upper_bound(csr.indptr.begin(),
+                                     csr.indptr.end(), e) -
+                    csr.indptr.begin() - 1);
+                dstDraw[i] = csr.indices[e];
+            }
+        });
+    // Phase B (serial): dedup endpoints in draw order.
     std::vector<NodeId> nodes;
     auto visit = [&](NodeId v) {
         if (localId_[v] == -1) {
@@ -281,18 +409,9 @@ SaintEdgeSampler::sample()
             nodes.push_back(v);
         }
     };
-    // Map a flat edge id back to its source via indptr search.
     for (EdgeId i = 0; i < budget_; ++i) {
-        const double r = rng_.uniform() * total;
-        const EdgeId e = static_cast<EdgeId>(
-            std::lower_bound(edgeCdf_.begin(), edgeCdf_.end(), r) -
-            edgeCdf_.begin());
-        const NodeId u = static_cast<NodeId>(
-            std::upper_bound(csr.indptr.begin(), csr.indptr.end(),
-                             e) -
-            csr.indptr.begin() - 1);
-        visit(u);
-        visit(csr.indices[e]);
+        visit(srcDraw[i]);
+        visit(dstDraw[i]);
     }
     for (NodeId v : nodes)
         localId_[v] = -1;

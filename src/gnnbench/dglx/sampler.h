@@ -44,13 +44,21 @@ class NeighborSampler
 
     const std::vector<int> &fanouts() const { return fanouts_; }
 
+    /** Clone with an independent RNG stream (prefetch workers). */
+    NeighborSampler
+    withRng(core::Rng rng) const
+    {
+        return NeighborSampler(g_, fanouts_, rng);
+    }
+
   private:
     const Graph &g_;
     std::vector<int> fanouts_;
     core::Rng rng_;
     /** Dense global->local map; entries reset after each layer. */
     std::vector<NodeId> localId_;
-    std::vector<NodeId> neighborScratch_;
+    /** Sampled *global* neighbor ids, one slot per kept edge. */
+    std::vector<NodeId> sampledGlobal_;
 };
 
 /**
@@ -72,7 +80,19 @@ class ClusterSampler
         return partition_;
     }
 
+    /**
+     * Clone with an independent RNG stream, sharing the (expensive)
+     * partition and member buckets (prefetch workers).
+     */
+    ClusterSampler
+    withRng(core::Rng rng) const
+    {
+        return ClusterSampler(*this, rng);
+    }
+
   private:
+    ClusterSampler(const ClusterSampler &other, core::Rng rng);
+
     const Graph &g_;
     core::Rng rng_;
     graph::PartitionResult partition_;
@@ -101,6 +121,13 @@ class SaintRwSampler
 
     sampling::InducedSample sample();
 
+    /** Clone with an independent RNG stream (prefetch workers). */
+    SaintRwSampler
+    withRng(core::Rng rng) const
+    {
+        return SaintRwSampler(g_, numRoots_, walkLength_, rng);
+    }
+
   private:
     const Graph &g_;
     int32_t numRoots_;
@@ -122,7 +149,16 @@ class SaintNodeSampler
 
     sampling::InducedSample sample();
 
+    /** Clone with an independent RNG stream, sharing the CDF. */
+    SaintNodeSampler
+    withRng(core::Rng rng) const
+    {
+        return SaintNodeSampler(*this, rng);
+    }
+
   private:
+    SaintNodeSampler(const SaintNodeSampler &other, core::Rng rng);
+
     const Graph &g_;
     NodeId budget_;
     core::Rng rng_;
@@ -142,7 +178,16 @@ class SaintEdgeSampler
 
     sampling::InducedSample sample();
 
+    /** Clone with an independent RNG stream, sharing the CDF. */
+    SaintEdgeSampler
+    withRng(core::Rng rng) const
+    {
+        return SaintEdgeSampler(*this, rng);
+    }
+
   private:
+    SaintEdgeSampler(const SaintEdgeSampler &other, core::Rng rng);
+
     const Graph &g_;
     EdgeId budget_;
     core::Rng rng_;

@@ -68,11 +68,29 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
+        // num_workers > 0: per-worker sampler clones (sharing the
+        // partition) draw cluster unions ahead of training.
+        std::unique_ptr<dglx::InducedLoader> loader;
+        if (cfg.numWorkers > 0) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<dglx::InducedLoader>(
+                dglx::makeClusterLoader(*sampler, rng, per_batch,
+                                        batches_per_epoch,
+                                        cfg.numWorkers,
+                                        cfg.prefetchDepth));
+        }
         for (int b = 0; b < batches_per_epoch; ++b) {
             sampling::InducedSample smp;
             {
                 auto s = tracker.track(Phase::Sampling);
-                smp = sampler->sample(per_batch);
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    smp = std::move(*got);
+                } else {
+                    smp = sampler->sample(per_batch);
+                }
             }
             core::Tensor x = fetchFeatures(
                 ld.features, smp.nodes, cfg.mode,
@@ -154,11 +172,28 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
+        std::unique_ptr<pygx::EdgeBatchLoader> loader;
+        if (cfg.numWorkers > 0) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<pygx::EdgeBatchLoader>(
+                pygx::makeClusterLoader(*sampler, rng, per_batch,
+                                        batches_per_epoch,
+                                        cfg.numWorkers,
+                                        cfg.prefetchDepth,
+                                        &session));
+        }
         for (int b = 0; b < batches_per_epoch; ++b) {
             pygx::EdgeBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                batch = sampler->sample(per_batch);
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    batch = std::move(*got);
+                } else {
+                    batch = sampler->sample(per_batch);
+                }
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.nodes, cfg.mode,

@@ -98,13 +98,30 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
-        for (auto &seeds :
-             makeBatches(ld.trainIdx, cfg.batchSize, rng)) {
+        auto seed_batches =
+            makeBatches(ld.trainIdx, cfg.batchSize, rng);
+        // Multi-worker prefetching (DGL num_workers > 0): sampling
+        // overlaps training; only the CPU sampler runs detached.
+        std::unique_ptr<dglx::NeighborLoader> loader;
+        if (cfg.numWorkers > 0 && cpu_sampler) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<dglx::NeighborLoader>(
+                *cpu_sampler, rng, seed_batches, cfg.numWorkers,
+                cfg.prefetchDepth);
+        }
+        for (auto &seeds : seed_batches) {
             sampling::NeighborSample smp;
             {
                 auto s = tracker.track(Phase::Sampling);
-                smp = gpu_sampler ? gpu_sampler->sample(seeds)
-                                  : cpu_sampler->sample(seeds);
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    smp = std::move(*got);
+                } else {
+                    smp = gpu_sampler ? gpu_sampler->sample(seeds)
+                                      : cpu_sampler->sample(seeds);
+                }
             }
             // The GPU-resident sampler already produces the blocks in
             // device memory; otherwise the structure must move.
@@ -209,12 +226,29 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
-        for (auto &seeds :
-             makeBatches(ld.trainIdx, cfg.batchSize, rng)) {
+        auto seed_batches =
+            makeBatches(ld.trainIdx, cfg.batchSize, rng);
+        // PyG num_workers > 0: worker clones sample detached and
+        // next() charges their modeled interpreter time here.
+        std::unique_ptr<pygx::NeighborLoader> loader;
+        if (cfg.numWorkers > 0) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<pygx::NeighborLoader>(
+                *sampler, rng, seed_batches, cfg.numWorkers,
+                cfg.prefetchDepth, &session);
+        }
+        for (auto &seeds : seed_batches) {
             pygx::NeighborBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                batch = sampler->sample(seeds);
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    batch = std::move(*got);
+                } else {
+                    batch = sampler->sample(seeds);
+                }
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.inputNodes(), cfg.mode, preloaded,

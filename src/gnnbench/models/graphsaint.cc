@@ -72,11 +72,28 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
+        // num_workers > 0: worker clones walk ahead of training.
+        std::unique_ptr<dglx::InducedLoader> loader;
+        if (cfg.numWorkers > 0) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<dglx::InducedLoader>(
+                dglx::makeSaintRwLoader(*sampler, rng,
+                                        batches_per_epoch,
+                                        cfg.numWorkers,
+                                        cfg.prefetchDepth));
+        }
         for (int b = 0; b < batches_per_epoch; ++b) {
             sampling::InducedSample smp;
             {
                 auto s = tracker.track(Phase::Sampling);
-                smp = sampler->sample();
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    smp = std::move(*got);
+                } else {
+                    smp = sampler->sample();
+                }
             }
             core::Tensor x = fetchFeatures(
                 ld.features, smp.nodes, cfg.mode,
@@ -156,11 +173,28 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
+        std::unique_ptr<pygx::EdgeBatchLoader> loader;
+        if (cfg.numWorkers > 0) {
+            auto s = tracker.track(Phase::Sampling);
+            loader = std::make_unique<pygx::EdgeBatchLoader>(
+                pygx::makeSaintRwLoader(*sampler, rng,
+                                        batches_per_epoch,
+                                        cfg.numWorkers,
+                                        cfg.prefetchDepth,
+                                        &session));
+        }
         for (int b = 0; b < batches_per_epoch; ++b) {
             pygx::EdgeBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                batch = sampler->sample();
+                if (loader) {
+                    auto got = loader->next();
+                    GNNBENCH_CHECK(got.has_value(),
+                                   "prefetch loader exhausted early");
+                    batch = std::move(*got);
+                } else {
+                    batch = sampler->sample();
+                }
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.nodes, cfg.mode,

@@ -70,6 +70,15 @@ struct TrainConfig
     /// Extension: asynchronous pre-fetch overlapping movement with
     /// training (DGL feature the paper mentions but does not plot).
     bool prefetch = false;
+
+    /// Sampler workers of the prefetching dataloader, mirroring
+    /// DGL/PyG num_workers: 0 samples synchronously on the main
+    /// thread (the paper's configuration); N > 0 runs N sampling
+    /// threads ahead of training on the CPU-sampling paths.
+    int numWorkers = 0;
+
+    /// Batches buffered per worker before its producer blocks.
+    int prefetchDepth = 2;
 };
 
 /** Per-epoch training statistics. */

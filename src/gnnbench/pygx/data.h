@@ -109,22 +109,51 @@ struct PyOverheadModel
      *  tensor wrapper construction): a few microseconds per call. */
     double perTorchCallSeconds = 3e-6;
 
+    /**
+     * Modeled seconds charged while no session was attached.  The
+     * prefetching dataloaders run sampler clones with a null session
+     * on worker threads (device::Session is single-threaded); the
+     * consumer drains this and charges it on the main thread.
+     */
+    mutable double accumulatedSeconds = 0.0;
+
     /** Charge @p ops interpreted operations to the session. */
     void
     charge(device::Session *session, int64_t ops) const
     {
-        if (session && ops > 0)
-            session->chargeCpuOverhead(perOpSeconds *
-                                       static_cast<double>(ops));
+        if (ops <= 0)
+            return;
+        chargeSeconds(session,
+                      perOpSeconds * static_cast<double>(ops));
     }
 
     /** Charge @p calls Python-level torch op invocations. */
     void
     chargeTorchCalls(device::Session *session, int64_t calls) const
     {
-        if (session && calls > 0)
-            session->chargeCpuOverhead(
-                perTorchCallSeconds * static_cast<double>(calls));
+        if (calls <= 0)
+            return;
+        chargeSeconds(session, perTorchCallSeconds *
+                                   static_cast<double>(calls));
+    }
+
+    /** Charge to the session, or accumulate when detached. */
+    void
+    chargeSeconds(device::Session *session, double seconds) const
+    {
+        if (session)
+            session->chargeCpuOverhead(seconds);
+        else
+            accumulatedSeconds += seconds;
+    }
+
+    /** Take (and reset) the seconds accumulated while detached. */
+    double
+    drainAccumulated() const
+    {
+        const double s = accumulatedSeconds;
+        accumulatedSeconds = 0.0;
+        return s;
     }
 };
 

@@ -16,5 +16,159 @@ DataLoader::load(const graph::Dataset &dataset)
     return out;
 }
 
+namespace {
+
+using TimedNeighbor = detail::Timed<NeighborBatch>;
+using TimedEdge = detail::Timed<EdgeBatch>;
+
+std::vector<sampling::Prefetcher<TimedNeighbor>::Producer>
+neighborProducers(
+    const NeighborSampler &proto, core::Rng &rng,
+    std::shared_ptr<const std::vector<std::vector<NodeId>>> batches,
+    int num_workers)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<sampling::Prefetcher<TimedNeighbor>::Producer> out;
+    out.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        // Null session: the clone accumulates modeled overhead
+        // instead of charging the (single-threaded) session.
+        auto sampler = std::make_shared<NeighborSampler>(
+            proto.withRng(rng.fork(), nullptr));
+        out.push_back([sampler, batches](int64_t i) {
+            TimedNeighbor t;
+            t.batch = sampler->sample(
+                (*batches)[static_cast<size_t>(i)]);
+            t.modeledSeconds = sampler->takeModeledOverheadSeconds();
+            return t;
+        });
+    }
+    return out;
+}
+
+} // namespace
+
+NeighborLoader::NeighborLoader(
+    const NeighborSampler &proto, core::Rng &rng,
+    std::vector<std::vector<NodeId>> seed_batches, int num_workers,
+    int prefetch_depth, device::Session *session)
+    : seedBatches_(
+          std::make_shared<const std::vector<std::vector<NodeId>>>(
+              std::move(seed_batches))),
+      session_(session)
+{
+    prefetcher_ =
+        std::make_unique<sampling::Prefetcher<TimedNeighbor>>(
+            neighborProducers(proto, rng, seedBatches_, num_workers),
+            static_cast<int64_t>(seedBatches_->size()),
+            prefetch_depth);
+}
+
+std::optional<NeighborBatch>
+NeighborLoader::next()
+{
+    std::optional<TimedNeighbor> t = prefetcher_->next();
+    if (!t)
+        return std::nullopt;
+    if (session_)
+        session_->chargeCpuOverhead(t->modeledSeconds);
+    return std::move(t->batch);
+}
+
+void
+NeighborLoader::shutdown()
+{
+    prefetcher_->shutdown();
+}
+
+const std::vector<double> &
+NeighborLoader::workerBusySeconds()
+{
+    return prefetcher_->workerBusySeconds();
+}
+
+EdgeBatchLoader::EdgeBatchLoader(std::vector<Producer> producers,
+                                 int num_batches, int prefetch_depth,
+                                 device::Session *session)
+    : session_(session)
+{
+    std::vector<sampling::Prefetcher<TimedEdge>::Producer> wrapped;
+    wrapped.reserve(producers.size());
+    for (auto &p : producers)
+        wrapped.push_back([producer = std::move(p)](int64_t) {
+            return producer();
+        });
+    prefetcher_ = std::make_unique<sampling::Prefetcher<TimedEdge>>(
+        std::move(wrapped), num_batches, prefetch_depth);
+}
+
+std::optional<EdgeBatch>
+EdgeBatchLoader::next()
+{
+    std::optional<TimedEdge> t = prefetcher_->next();
+    if (!t)
+        return std::nullopt;
+    if (session_)
+        session_->chargeCpuOverhead(t->modeledSeconds);
+    return std::move(t->batch);
+}
+
+void
+EdgeBatchLoader::shutdown()
+{
+    prefetcher_->shutdown();
+}
+
+const std::vector<double> &
+EdgeBatchLoader::workerBusySeconds()
+{
+    return prefetcher_->workerBusySeconds();
+}
+
+EdgeBatchLoader
+makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
+                  int32_t clusters_per_batch, int num_batches,
+                  int num_workers, int prefetch_depth,
+                  device::Session *session)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<EdgeBatchLoader::Producer> producers;
+    producers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        auto sampler = std::make_shared<ClusterSampler>(
+            proto.withRng(rng.fork(), nullptr));
+        producers.push_back([sampler, clusters_per_batch] {
+            TimedEdge t;
+            t.batch = sampler->sample(clusters_per_batch);
+            t.modeledSeconds = sampler->takeModeledOverheadSeconds();
+            return t;
+        });
+    }
+    return EdgeBatchLoader(std::move(producers), num_batches,
+                           prefetch_depth, session);
+}
+
+EdgeBatchLoader
+makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
+                  int num_batches, int num_workers,
+                  int prefetch_depth, device::Session *session)
+{
+    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    std::vector<EdgeBatchLoader::Producer> producers;
+    producers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+        auto sampler = std::make_shared<SaintRwSampler>(
+            proto.withRng(rng.fork(), nullptr));
+        producers.push_back([sampler] {
+            TimedEdge t;
+            t.batch = sampler->sample();
+            t.modeledSeconds = sampler->takeModeledOverheadSeconds();
+            return t;
+        });
+    }
+    return EdgeBatchLoader(std::move(producers), num_batches,
+                           prefetch_depth, session);
+}
+
 } // namespace pygx
 } // namespace gnnbench

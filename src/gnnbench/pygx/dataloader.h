@@ -10,10 +10,14 @@
 #ifndef GNNBENCH_PYGX_DATALOADER_H
 #define GNNBENCH_PYGX_DATALOADER_H
 
+#include <functional>
 #include <memory>
+#include <optional>
 
 #include "gnnbench/graph/datasets.h"
 #include "gnnbench/pygx/data.h"
+#include "gnnbench/pygx/sampler.h"
+#include "gnnbench/sampling/prefetch.h"
 
 namespace gnnbench {
 namespace pygx {
@@ -38,6 +42,105 @@ class DataLoader
     /** Wrap raw arrays in a Data object (cheap, lazy formats). */
     static LoadedData load(const graph::Dataset &dataset);
 };
+
+namespace detail {
+
+/**
+ * A batch paired with the modeled interpreter seconds its production
+ * cost.  device::Session is single-threaded, so prefetch workers run
+ * sampler clones with a *null* session; the modeled overhead rides
+ * the queue and the consumer charges it on the main thread — exactly
+ * when the training loop would have waited for the worker.
+ */
+template <typename B>
+struct Timed
+{
+    B batch;
+    double modeledSeconds = 0.0;
+};
+
+} // namespace detail
+
+/**
+ * Multi-worker prefetching neighbor loader — PyG's NeighborLoader
+ * with num_workers > 0.  Worker RNG streams fork from @p rng in
+ * worker order; delivery follows seed-batch order.
+ */
+class NeighborLoader
+{
+  public:
+    NeighborLoader(const NeighborSampler &proto, core::Rng &rng,
+                   std::vector<std::vector<NodeId>> seed_batches,
+                   int num_workers, int prefetch_depth,
+                   device::Session *session);
+
+    /** Seed batches in delivery order (for labels/supervision). */
+    const std::vector<std::vector<NodeId>> &
+    seedBatches() const
+    {
+        return *seedBatches_;
+    }
+
+    /** Next batch in order (charges its modeled overhead to the
+     *  session); empty when exhausted. */
+    std::optional<NeighborBatch> next();
+
+    /** Drain and join workers (idempotent; destructor-safe). */
+    void shutdown();
+
+    /** Per-worker sampling busy seconds (joins workers first). */
+    const std::vector<double> &workerBusySeconds();
+
+  private:
+    std::shared_ptr<const std::vector<std::vector<NodeId>>>
+        seedBatches_;
+    device::Session *session_;
+    std::unique_ptr<
+        sampling::Prefetcher<detail::Timed<NeighborBatch>>>
+        prefetcher_;
+};
+
+/**
+ * Multi-worker loader for the pygx samplers producing EdgeBatch
+ * subgraphs (ClusterGCN, GraphSAINT); built via the factories below.
+ */
+class EdgeBatchLoader
+{
+  public:
+    /** Draws one batch on a worker's private (null-session) sampler
+     *  clone and reports its modeled interpreter seconds. */
+    using Producer = std::function<detail::Timed<EdgeBatch>()>;
+
+    EdgeBatchLoader(std::vector<Producer> producers, int num_batches,
+                    int prefetch_depth, device::Session *session);
+
+    /** Next batch in order (charges its modeled overhead). */
+    std::optional<EdgeBatch> next();
+
+    void shutdown();
+
+    const std::vector<double> &workerBusySeconds();
+
+  private:
+    device::Session *session_;
+    std::unique_ptr<sampling::Prefetcher<detail::Timed<EdgeBatch>>>
+        prefetcher_;
+};
+
+/** ClusterGCN loader: per-worker ClusterSampler clones sharing the
+ *  one-time partition. */
+EdgeBatchLoader makeClusterLoader(const ClusterSampler &proto,
+                                  core::Rng &rng,
+                                  int32_t clusters_per_batch,
+                                  int num_batches, int num_workers,
+                                  int prefetch_depth,
+                                  device::Session *session);
+
+/** GraphSAINT random-walk loader. */
+EdgeBatchLoader makeSaintRwLoader(const SaintRwSampler &proto,
+                                  core::Rng &rng, int num_batches,
+                                  int num_workers, int prefetch_depth,
+                                  device::Session *session);
 
 } // namespace pygx
 } // namespace gnnbench

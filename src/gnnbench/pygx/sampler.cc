@@ -2,10 +2,21 @@
 
 #include <unordered_map>
 
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace pygx {
 
+using core::parallel::chunkSeed;
+using core::parallel::parallelFor;
+using core::parallel::parallelForChunks;
+
 namespace {
+
+constexpr int64_t kDstChunk = 64;   // destination nodes per chunk
+constexpr int64_t kRootChunk = 64;  // random-walk roots per chunk
+constexpr int64_t kDrawChunk = 256; // i.i.d. CDF draws per chunk
+constexpr int64_t kNodeChunk = 64;  // induced-subgraph nodes per chunk
 
 /**
  * Interpreted-style induced-subgraph extraction (PyG's
@@ -18,6 +29,8 @@ extractInducedPy(const graph::CsrGraph &csr, std::vector<NodeId> nodes,
                  const PyOverheadModel &overhead,
                  device::Session *session)
 {
+    // Deliberately serial: this path models GIL-bound Python loops,
+    // which cannot use the thread pool.
     EdgeBatch out;
     out.nodes = std::move(nodes);
     std::unordered_map<NodeId, NodeId> local;
@@ -61,20 +74,47 @@ extractInducedFast(const graph::CsrGraph &csc,
 {
     EdgeBatch out;
     out.nodes = std::move(nodes);
-    for (size_t i = 0; i < out.nodes.size(); ++i)
-        local_scratch[out.nodes[i]] = static_cast<NodeId>(i);
-    for (size_t i = 0; i < out.nodes.size(); ++i) {
-        const NodeId u = out.nodes[i];
-        for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e) {
-            const NodeId lv = local_scratch[csc.indices[e]];
-            if (lv != -1) {
-                out.src.push_back(lv);
-                out.dst.push_back(static_cast<NodeId>(i));
+    const auto k = static_cast<int64_t>(out.nodes.size());
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            local_scratch[out.nodes[i]] = static_cast<NodeId>(i);
+    });
+    // Two passes, both parallel over the batch nodes: count kept
+    // edges per node, serial prefix sum, fill disjoint ranges.
+    std::vector<EdgeId> offsets(k + 1, 0);
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const NodeId u = out.nodes[i];
+            EdgeId cnt = 0;
+            for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1]; ++e)
+                if (local_scratch[csc.indices[e]] != -1)
+                    ++cnt;
+            offsets[i + 1] = cnt;
+        }
+    });
+    for (int64_t i = 0; i < k; ++i)
+        offsets[i + 1] += offsets[i];
+    out.src.resize(offsets[k]);
+    out.dst.resize(offsets[k]);
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const NodeId u = out.nodes[i];
+            EdgeId cursor = offsets[i];
+            for (EdgeId e = csc.indptr[u]; e < csc.indptr[u + 1];
+                 ++e) {
+                const NodeId lv = local_scratch[csc.indices[e]];
+                if (lv != -1) {
+                    out.src[cursor] = lv;
+                    out.dst[cursor] = static_cast<NodeId>(i);
+                    ++cursor;
+                }
             }
         }
-    }
-    for (NodeId v : out.nodes)
-        local_scratch[v] = -1;
+    });
+    parallelFor(0, k, kNodeChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            local_scratch[out.nodes[i]] = -1;
+    });
     overhead.charge(session, glue_ops);
     return out;
 }
@@ -103,6 +143,9 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
     out.layers.resize(fanouts_.size());
     const graph::CsrGraph &csc = data_.csc();
 
+    // One base draw per batch; chunk streams derive from it, so the
+    // sampled batches are bit-identical for any thread count.
+    const uint64_t base = rng_.next();
     std::vector<NodeId> frontier = seeds;
     int64_t ops = 0;
     for (size_t l = fanouts_.size(); l-- > 0;) {
@@ -110,30 +153,63 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
         LayerBatch &layer = out.layers[l];
         layer.dstNodes = frontier;
         layer.srcNodes = frontier;
-        // Hash-map relabeling (Python dict), rebuilt per layer.
+        const auto num_dst = static_cast<int64_t>(frontier.size());
+
+        // Phase A (parallel): fix each destination's slot range up
+        // front, then sample *global* neighbor ids into it with one
+        // RNG stream per chunk.  The interpreter-cost model counts
+        // the same "Python" steps the serial loop would run.
+        std::vector<EdgeId> offsets(num_dst + 1, 0);
+        for (int64_t d = 0; d < num_dst; ++d) {
+            const EdgeId deg = csc.degree(frontier[d]);
+            offsets[d + 1] =
+                offsets[d] +
+                std::min<EdgeId>(deg, static_cast<EdgeId>(fanout));
+        }
+        sampledGlobal_.resize(offsets[num_dst]);
+        parallelForChunks(
+            0, num_dst, kDstChunk,
+            [&](int64_t c, int64_t d0, int64_t d1) {
+                core::Rng crng(chunkSeed(
+                    base, static_cast<uint64_t>(l),
+                    static_cast<uint64_t>(c)));
+                for (int64_t d = d0; d < d1; ++d) {
+                    const NodeId u = frontier[d];
+                    const EdgeId deg = csc.degree(u);
+                    const NodeId *nbrs = csc.rowBegin(u);
+                    // Per-node neighbor-list copy into a fresh list;
+                    // the copy itself is one C call (random.sample),
+                    // so only a fractional per-element interpreter
+                    // cost applies (counted in phase B).
+                    std::vector<NodeId> cand(nbrs, nbrs + deg);
+                    const EdgeId take = offsets[d + 1] - offsets[d];
+                    NodeId *slot =
+                        sampledGlobal_.data() + offsets[d];
+                    for (EdgeId i = 0; i < take; ++i) {
+                        const EdgeId j =
+                            i + static_cast<EdgeId>(
+                                    crng.uniformInt(deg - i));
+                        std::swap(cand[i], cand[j]);
+                        slot[i] = cand[i];
+                    }
+                }
+            });
+
+        // Phase B (serial): hash-map relabeling (Python dict) in
+        // destination order — first-encounter order, identical to a
+        // fully serial pass.
         std::unordered_map<NodeId, NodeId> local;
         local.reserve(frontier.size() * 4);
         for (size_t i = 0; i < frontier.size(); ++i) {
             local.emplace(frontier[i], static_cast<NodeId>(i));
             ops += 2;
         }
-        for (size_t d = 0; d < frontier.size(); ++d) {
-            const NodeId u = frontier[d];
-            const EdgeId deg = csc.degree(u);
-            const NodeId *nbrs = csc.rowBegin(u);
-            // Per-node neighbor-list copy into a fresh list; the
-            // copy itself is one C call (random.sample), so only a
-            // fractional per-element interpreter cost applies.
-            std::vector<NodeId> cand(nbrs, nbrs + deg);
-            ops += 5 + deg / 16;
-            const EdgeId take =
-                std::min<EdgeId>(deg, static_cast<EdgeId>(fanout));
-            for (EdgeId i = 0; i < take; ++i) {
-                const EdgeId j =
-                    i + static_cast<EdgeId>(
-                            rng_.uniformInt(deg - i));
-                std::swap(cand[i], cand[j]);
-                const NodeId v = cand[i];
+        layer.eSrc.reserve(offsets[num_dst]);
+        layer.eDst.reserve(offsets[num_dst]);
+        for (int64_t d = 0; d < num_dst; ++d) {
+            ops += 5 + csc.degree(frontier[d]) / 16;
+            for (EdgeId i = offsets[d]; i < offsets[d + 1]; ++i) {
+                const NodeId v = sampledGlobal_[i];
                 auto [it, inserted] = local.emplace(
                     v,
                     static_cast<NodeId>(layer.srcNodes.size()));
@@ -163,6 +239,13 @@ ClusterSampler::ClusterSampler(const Data &data, int32_t num_parts,
         members_[partition_.assignment[v]].push_back(v);
     overhead_.charge(session_, 6 * static_cast<int64_t>(
                                        data.numNodes()));
+}
+
+ClusterSampler::ClusterSampler(const ClusterSampler &other,
+                               core::Rng rng, device::Session *session)
+    : data_(other.data_), rng_(rng), session_(session),
+      partition_(other.partition_), members_(other.members_)
+{
 }
 
 EdgeBatch
@@ -213,23 +296,45 @@ SaintRwSampler::sample()
     const graph::CsrGraph &csc = data_.csc();
     if (localScratch_.empty())
         localScratch_.assign(data_.numNodes(), -1);
+    const int32_t steps = walkLength_ + 1;
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): chunked walks on per-chunk RNG streams,
+    // visit sequences recorded into disjoint per-root slots.
+    std::vector<NodeId> visits(static_cast<size_t>(numRoots_) * steps);
+    std::vector<int32_t> visitLen(numRoots_);
+    parallelForChunks(
+        0, numRoots_, kRootChunk,
+        [&](int64_t c, int64_t r0, int64_t r1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t r = r0; r < r1; ++r) {
+                NodeId *slot = visits.data() + r * steps;
+                NodeId cur = static_cast<NodeId>(
+                    crng.uniformInt(data_.numNodes()));
+                int32_t len = 0;
+                slot[len++] = cur;
+                for (int32_t s = 0; s < walkLength_; ++s) {
+                    const EdgeId deg = csc.degree(cur);
+                    if (deg == 0)
+                        break;
+                    cur = csc.rowBegin(cur)[crng.uniformInt(deg)];
+                    slot[len++] = cur;
+                }
+                visitLen[r] = len;
+            }
+        });
+    // Phase B (serial): dedup in root order.
     std::vector<NodeId> nodes;
-    auto visit = [&](NodeId v) {
-        if (localScratch_[v] == -1) {
-            localScratch_[v] = 1;
-            nodes.push_back(v);
-        }
-    };
+    nodes.reserve(static_cast<size_t>(numRoots_) * steps);
     for (int32_t r = 0; r < numRoots_; ++r) {
-        NodeId cur = static_cast<NodeId>(
-            rng_.uniformInt(data_.numNodes()));
-        visit(cur);
-        for (int32_t s = 0; s < walkLength_; ++s) {
-            const EdgeId deg = csc.degree(cur);
-            if (deg == 0)
-                break;
-            cur = csc.rowBegin(cur)[rng_.uniformInt(deg)];
-            visit(cur);
+        const NodeId *slot =
+            visits.data() + static_cast<size_t>(r) * steps;
+        for (int32_t s = 0; s < visitLen[r]; ++s) {
+            const NodeId v = slot[s];
+            if (localScratch_[v] == -1) {
+                localScratch_[v] = 1;
+                nodes.push_back(v);
+            }
         }
     }
     // Fixed per-batch Python glue only (~10 torch calls): both the
@@ -263,20 +368,40 @@ SaintNodeSampler::SaintNodeSampler(const Data &data, NodeId budget,
     }
 }
 
+SaintNodeSampler::SaintNodeSampler(const SaintNodeSampler &other,
+                                   core::Rng rng,
+                                   device::Session *session)
+    : data_(other.data_), budget_(other.budget_), rng_(rng),
+      session_(session), degreeCdf_(other.degreeCdf_)
+{
+}
+
 EdgeBatch
 SaintNodeSampler::sample()
 {
     if (localScratch_.empty())
         localScratch_.assign(data_.numNodes(), -1);
     const double total = degreeCdf_.back();
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): i.i.d. CDF inversions into per-draw slots.
+    std::vector<NodeId> draws(budget_);
+    parallelForChunks(
+        0, budget_, kDrawChunk,
+        [&](int64_t c, int64_t i0, int64_t i1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t i = i0; i < i1; ++i) {
+                const double r = crng.uniform() * total;
+                draws[i] = static_cast<NodeId>(
+                    std::lower_bound(degreeCdf_.begin(),
+                                     degreeCdf_.end(), r) -
+                    degreeCdf_.begin());
+            }
+        });
+    // Phase B (serial): dedup in draw order.
     std::vector<NodeId> nodes;
     nodes.reserve(budget_);
-    for (NodeId i = 0; i < budget_; ++i) {
-        const double r = rng_.uniform() * total;
-        const NodeId v = static_cast<NodeId>(
-            std::lower_bound(degreeCdf_.begin(), degreeCdf_.end(),
-                             r) -
-            degreeCdf_.begin());
+    for (NodeId v : draws) {
         if (localScratch_[v] == -1) {
             localScratch_[v] = 1;
             nodes.push_back(v);
@@ -308,12 +433,39 @@ SaintEdgeSampler::SaintEdgeSampler(const Data &data, EdgeId budget,
     }
 }
 
+SaintEdgeSampler::SaintEdgeSampler(const SaintEdgeSampler &other,
+                                   core::Rng rng,
+                                   device::Session *session)
+    : data_(other.data_), budget_(other.budget_), rng_(rng),
+      session_(session), edgeCdf_(other.edgeCdf_)
+{
+}
+
 EdgeBatch
 SaintEdgeSampler::sample()
 {
     if (localScratch_.empty())
         localScratch_.assign(data_.numNodes(), -1);
     const double total = edgeCdf_.back();
+    const uint64_t base = rng_.next();
+    // Phase A (parallel): draw edges and record both endpoints.
+    std::vector<NodeId> srcDraw(budget_), dstDraw(budget_);
+    parallelForChunks(
+        0, budget_, kDrawChunk,
+        [&](int64_t c, int64_t i0, int64_t i1) {
+            core::Rng crng(chunkSeed(base, 0,
+                                     static_cast<uint64_t>(c)));
+            for (int64_t i = i0; i < i1; ++i) {
+                const double r = crng.uniform() * total;
+                const EdgeId e = static_cast<EdgeId>(
+                    std::lower_bound(edgeCdf_.begin(),
+                                     edgeCdf_.end(), r) -
+                    edgeCdf_.begin());
+                srcDraw[i] = data_.edgeSrc()[e];
+                dstDraw[i] = data_.edgeDst()[e];
+            }
+        });
+    // Phase B (serial): dedup endpoints in draw order.
     std::vector<NodeId> nodes;
     auto visit = [&](NodeId v) {
         if (localScratch_[v] == -1) {
@@ -322,12 +474,8 @@ SaintEdgeSampler::sample()
         }
     };
     for (EdgeId i = 0; i < budget_; ++i) {
-        const double r = rng_.uniform() * total;
-        const EdgeId e = static_cast<EdgeId>(
-            std::lower_bound(edgeCdf_.begin(), edgeCdf_.end(), r) -
-            edgeCdf_.begin());
-        visit(data_.edgeSrc()[e]);
-        visit(data_.edgeDst()[e]);
+        visit(srcDraw[i]);
+        visit(dstDraw[i]);
     }
     overhead_.chargeTorchCalls(session_, 8);
     return extractInducedFast(data_.csc(), std::move(nodes),

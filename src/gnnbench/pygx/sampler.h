@@ -41,12 +41,32 @@ class NeighborSampler
 
     const std::vector<int> &fanouts() const { return fanouts_; }
 
+    /**
+     * Clone with an independent RNG stream.  Prefetch workers pass a
+     * null session and drain the modeled overhead on the consumer via
+     * takeModeledOverheadSeconds().
+     */
+    NeighborSampler
+    withRng(core::Rng rng, device::Session *session) const
+    {
+        return NeighborSampler(data_, fanouts_, rng, session);
+    }
+
+    /** Modeled interpreter seconds accumulated while detached. */
+    double
+    takeModeledOverheadSeconds() const
+    {
+        return overhead_.drainAccumulated();
+    }
+
   private:
     const Data &data_;
     std::vector<int> fanouts_;
     core::Rng rng_;
     device::Session *session_;
     PyOverheadModel overhead_;
+    /** Sampled *global* neighbor ids, one slot per kept edge. */
+    std::vector<NodeId> sampledGlobal_;
 };
 
 /** PyG ClusterLoader-style sampler. */
@@ -62,7 +82,24 @@ class ClusterSampler
 
     int32_t numParts() const { return partition_.numParts; }
 
+    /** Clone sharing the partition, with its own RNG stream. */
+    ClusterSampler
+    withRng(core::Rng rng, device::Session *session) const
+    {
+        return ClusterSampler(*this, rng, session);
+    }
+
+    /** Modeled interpreter seconds accumulated while detached. */
+    double
+    takeModeledOverheadSeconds() const
+    {
+        return overhead_.drainAccumulated();
+    }
+
   private:
+    ClusterSampler(const ClusterSampler &other, core::Rng rng,
+                   device::Session *session);
+
     const Data &data_;
     core::Rng rng_;
     device::Session *session_;
@@ -82,7 +119,24 @@ class SaintNodeSampler
 
     EdgeBatch sample();
 
+    /** Clone sharing the CDF, with its own RNG stream. */
+    SaintNodeSampler
+    withRng(core::Rng rng, device::Session *session) const
+    {
+        return SaintNodeSampler(*this, rng, session);
+    }
+
+    /** Modeled interpreter seconds accumulated while detached. */
+    double
+    takeModeledOverheadSeconds() const
+    {
+        return overhead_.drainAccumulated();
+    }
+
   private:
+    SaintNodeSampler(const SaintNodeSampler &other, core::Rng rng,
+                     device::Session *session);
+
     const Data &data_;
     NodeId budget_;
     core::Rng rng_;
@@ -101,7 +155,24 @@ class SaintEdgeSampler
 
     EdgeBatch sample();
 
+    /** Clone sharing the CDF, with its own RNG stream. */
+    SaintEdgeSampler
+    withRng(core::Rng rng, device::Session *session) const
+    {
+        return SaintEdgeSampler(*this, rng, session);
+    }
+
+    /** Modeled interpreter seconds accumulated while detached. */
+    double
+    takeModeledOverheadSeconds() const
+    {
+        return overhead_.drainAccumulated();
+    }
+
   private:
+    SaintEdgeSampler(const SaintEdgeSampler &other, core::Rng rng,
+                     device::Session *session);
+
     const Data &data_;
     EdgeId budget_;
     core::Rng rng_;
@@ -120,6 +191,21 @@ class SaintRwSampler
                    device::Session *session);
 
     EdgeBatch sample();
+
+    /** Clone with an independent RNG stream (prefetch workers). */
+    SaintRwSampler
+    withRng(core::Rng rng, device::Session *session) const
+    {
+        return SaintRwSampler(data_, numRoots_, walkLength_, rng,
+                              session);
+    }
+
+    /** Modeled interpreter seconds accumulated while detached. */
+    double
+    takeModeledOverheadSeconds() const
+    {
+        return overhead_.drainAccumulated();
+    }
 
   private:
     const Data &data_;

@@ -5,15 +5,27 @@
 #include <limits>
 #include <string_view>
 
+#include "gnnbench/core/parallel.h"
 #include "gnnbench/core/timer.h"
 
 namespace gnnbench {
 namespace pygx {
 
 using core::Tensor;
+using core::parallel::parallelFor;
 using device::KernelDesc;
 
 namespace {
+
+/** Columns per chunk for column-blocked scatter accumulation. */
+constexpr int64_t kColGrain = 32;
+
+/** Rows per chunk for rowwise kernels, scaled by the row width. */
+int64_t
+rowGrain(int64_t cols)
+{
+    return std::max<int64_t>(1, (1 << 13) / std::max<int64_t>(cols, 1));
+}
 
 KernelDesc
 makeDesc(const char *name, double flops, double bytes, double eff,
@@ -90,8 +102,12 @@ gather(const Tensor &x, const std::vector<NodeId> &idx,
                        ctx.costs.gpuGatherEff, ctx.costs),
               [&] {
                   out = Tensor::empty(e, f);
-                  for (int64_t i = 0; i < e; ++i)
-                      std::copy_n(x.row(idx[i]), f, out.row(i));
+                  parallelFor(0, e, rowGrain(f),
+                              [&](int64_t r0, int64_t r1) {
+                                  for (int64_t i = r0; i < r1; ++i)
+                                      std::copy_n(x.row(idx[i]), f,
+                                                  out.row(i));
+                              });
               });
     return out;
 }
@@ -110,16 +126,23 @@ scatterSum(const Tensor &src, const std::vector<NodeId> &idx,
                        12.0 * e * f + 8.0 * e,
                        ctx.costs.gpuScatterEff, ctx.costs),
               [&] {
-                  // Straightforward indexed accumulation (PyG's CPU
-                  // scatter path: no blocking, read-modify-write per
-                  // edge row).
+                  // Indexed accumulation (PyG's CPU scatter path),
+                  // column-blocked: duplicate destination indices make
+                  // row-parallel writes race, so each chunk owns a
+                  // disjoint feature-column range across all edges.
+                  // Per-element accumulation order stays the serial
+                  // ascending-edge order, so results are bit-identical
+                  // at any thread count.
                   out = Tensor(out_rows, f);
-                  for (int64_t i = 0; i < e; ++i) {
-                      const float *srow = src.row(i);
-                      float *orow = out.row(idx[i]);
-                      for (int64_t j = 0; j < f; ++j)
-                          orow[j] += srow[j];
-                  }
+                  parallelFor(0, f, kColGrain,
+                              [&](int64_t j0, int64_t j1) {
+                                  for (int64_t i = 0; i < e; ++i) {
+                                      const float *srow = src.row(i);
+                                      float *orow = out.row(idx[i]);
+                                      for (int64_t j = j0; j < j1; ++j)
+                                          orow[j] += srow[j];
+                                  }
+                              });
               });
     return out;
 }
@@ -138,15 +161,19 @@ scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
               [&] {
                   for (NodeId i : idx)
                       ++counts[i];
-                  for (int64_t r = 0; r < out.rows(); ++r) {
-                      if (counts[r] == 0)
-                          continue;
-                      const float inv =
-                          1.0f / static_cast<float>(counts[r]);
-                      float *orow = out.row(r);
-                      for (int64_t j = 0; j < out.cols(); ++j)
-                          orow[j] *= inv;
-                  }
+                  parallelFor(
+                      0, out.rows(), rowGrain(out.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                          for (int64_t r = r0; r < r1; ++r) {
+                              if (counts[r] == 0)
+                                  continue;
+                              const float inv =
+                                  1.0f / static_cast<float>(counts[r]);
+                              float *orow = out.row(r);
+                              for (int64_t j = 0; j < out.cols(); ++j)
+                                  orow[j] *= inv;
+                          }
+                      });
               });
     return out;
 }
@@ -168,17 +195,26 @@ scatterMax(const Tensor &src, const std::vector<NodeId> &idx,
         [&] {
             out = Tensor(out_rows, f);
             out.fill(-std::numeric_limits<float>::infinity());
-            std::vector<bool> touched(out_rows, false);
-            for (int64_t i = 0; i < e; ++i) {
-                const float *srow = src.row(i);
-                float *orow = out.row(idx[i]);
-                touched[idx[i]] = true;
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] = std::max(orow[j], srow[j]);
-            }
-            for (NodeId r = 0; r < out_rows; ++r)
-                if (!touched[r])
-                    std::fill_n(out.row(r), f, 0.0f);
+            // Touched flags first (serial, O(E)); the max pass is
+            // column-blocked so concurrent chunks never write the
+            // same element.
+            std::vector<uint8_t> touched(out_rows, 0);
+            for (int64_t i = 0; i < e; ++i)
+                touched[idx[i]] = 1;
+            parallelFor(0, f, kColGrain, [&](int64_t j0, int64_t j1) {
+                for (int64_t i = 0; i < e; ++i) {
+                    const float *srow = src.row(i);
+                    float *orow = out.row(idx[i]);
+                    for (int64_t j = j0; j < j1; ++j)
+                        orow[j] = std::max(orow[j], srow[j]);
+                }
+            });
+            parallelFor(0, out_rows, rowGrain(f),
+                        [&](int64_t r0, int64_t r1) {
+                            for (int64_t r = r0; r < r1; ++r)
+                                if (!touched[r])
+                                    std::fill_n(out.row(r), f, 0.0f);
+                        });
         });
     return out;
 }
@@ -199,32 +235,39 @@ scatterSoftmax(const Tensor &scores, const std::vector<NodeId> &idx,
         [&] {
             out = Tensor::empty(e, h);
             // Three scatter passes (max, exp-sum, normalize) — the
-            // unfused composition PyG's softmax() performs.
+            // unfused composition PyG's softmax() performs.  The two
+            // segment-accumulating passes are column-blocked (chunks
+            // own disjoint head columns of every segment), the final
+            // normalize is row-parallel (disjoint edge rows).
             Tensor mx(num_segments, h);
             mx.fill(-std::numeric_limits<float>::infinity());
-            for (int64_t i = 0; i < e; ++i) {
-                float *m = mx.row(idx[i]);
-                const float *s = scores.row(i);
-                for (int64_t j = 0; j < h; ++j)
-                    m[j] = std::max(m[j], s[j]);
-            }
             Tensor z(num_segments, h);
-            for (int64_t i = 0; i < e; ++i) {
-                float *zr = z.row(idx[i]);
-                const float *m = mx.row(idx[i]);
-                const float *s = scores.row(i);
-                float *o = out.row(i);
-                for (int64_t j = 0; j < h; ++j) {
-                    o[j] = std::exp(s[j] - m[j]);
-                    zr[j] += o[j];
+            parallelFor(0, h, kColGrain, [&](int64_t j0, int64_t j1) {
+                for (int64_t i = 0; i < e; ++i) {
+                    float *m = mx.row(idx[i]);
+                    const float *s = scores.row(i);
+                    for (int64_t j = j0; j < j1; ++j)
+                        m[j] = std::max(m[j], s[j]);
                 }
-            }
-            for (int64_t i = 0; i < e; ++i) {
-                const float *zr = z.row(idx[i]);
-                float *o = out.row(i);
-                for (int64_t j = 0; j < h; ++j)
-                    o[j] = zr[j] > 0.0f ? o[j] / zr[j] : 0.0f;
-            }
+                for (int64_t i = 0; i < e; ++i) {
+                    float *zr = z.row(idx[i]);
+                    const float *m = mx.row(idx[i]);
+                    const float *s = scores.row(i);
+                    float *o = out.row(i);
+                    for (int64_t j = j0; j < j1; ++j) {
+                        o[j] = std::exp(s[j] - m[j]);
+                        zr[j] += o[j];
+                    }
+                }
+            });
+            parallelFor(0, e, rowGrain(h), [&](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                    const float *zr = z.row(idx[i]);
+                    float *o = out.row(i);
+                    for (int64_t j = 0; j < h; ++j)
+                        o[j] = zr[j] > 0.0f ? o[j] / zr[j] : 0.0f;
+                }
+            });
         });
     return out;
 }
@@ -242,12 +285,16 @@ mulEdgeScalar(const Tensor &src, const Tensor &w, const KernelCtx &ctx)
                        ctx.costs),
               [&] {
                   out = src.clone();
-                  for (int64_t i = 0; i < out.rows(); ++i) {
-                      const float we = w(i, 0);
-                      float *orow = out.row(i);
-                      for (int64_t j = 0; j < out.cols(); ++j)
-                          orow[j] *= we;
-                  }
+                  parallelFor(0, out.rows(), rowGrain(out.cols()),
+                              [&](int64_t r0, int64_t r1) {
+                                  for (int64_t i = r0; i < r1; ++i) {
+                                      const float we = w(i, 0);
+                                      float *orow = out.row(i);
+                                      for (int64_t j = 0;
+                                           j < out.cols(); ++j)
+                                          orow[j] *= we;
+                                  }
+                              });
               });
     return out;
 }
@@ -268,17 +315,24 @@ spmm(const graph::CsrGraph &csc, const Tensor &x, const float *w,
               [&] {
                   out = Tensor(csc.numRows, f);
                   // Plain CSR loop — correct, but without the blocked
-                  // and unrolled inner kernel dglx uses.
-                  for (NodeId d = 0; d < csc.numRows; ++d) {
-                      float *orow = out.row(d);
-                      for (EdgeId i = csc.indptr[d];
-                           i < csc.indptr[d + 1]; ++i) {
-                          const float *xrow = x.row(csc.indices[i]);
-                          const float we = w ? w[i] : 1.0f;
-                          for (int64_t j = 0; j < f; ++j)
-                              orow[j] += we * xrow[j];
-                      }
-                  }
+                  // and unrolled inner kernel dglx uses.  Parallel
+                  // over destination rows: each owns its output row.
+                  parallelFor(
+                      0, csc.numRows, rowGrain(f),
+                      [&](int64_t d0, int64_t d1) {
+                          for (NodeId d = static_cast<NodeId>(d0);
+                               d < d1; ++d) {
+                              float *orow = out.row(d);
+                              for (EdgeId i = csc.indptr[d];
+                                   i < csc.indptr[d + 1]; ++i) {
+                                  const float *xrow =
+                                      x.row(csc.indices[i]);
+                                  const float we = w ? w[i] : 1.0f;
+                                  for (int64_t j = 0; j < f; ++j)
+                                      orow[j] += we * xrow[j];
+                              }
+                          }
+                      });
               });
     return out;
 }

@@ -1,5 +1,7 @@
 #include "gnnbench/sampling/subgraph.h"
 
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace sampling {
 
@@ -56,11 +58,16 @@ NeighborSample::validate() const
 NodeId
 LayerSample::isolatedDstCount() const
 {
-    NodeId isolated = 0;
-    for (NodeId d = 0; d < csc.numRows; ++d)
-        if (csc.degree(d) == 0)
-            ++isolated;
-    return isolated;
+    return core::parallel::parallelReduce(
+        0, csc.numRows, 1 << 12, static_cast<NodeId>(0),
+        [&](int64_t d0, int64_t d1) {
+            NodeId part = 0;
+            for (int64_t d = d0; d < d1; ++d)
+                if (csc.degree(static_cast<NodeId>(d)) == 0)
+                    ++part;
+            return part;
+        },
+        [](NodeId a, NodeId b) { return a + b; });
 }
 
 uint64_t

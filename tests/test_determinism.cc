@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include "gnnbench/core/parallel.h"
+#include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/dglx/sampler.h"
 #include "gnnbench/models/clustergcn.h"
 #include "gnnbench/models/graphsage.h"
 #include "gnnbench/models/graphsaint.h"
+#include "gnnbench/pygx/dataloader.h"
+#include "gnnbench/pygx/sampler.h"
 
 namespace gnnbench {
 namespace models {
@@ -94,6 +99,115 @@ TEST(Determinism, ModeledTimesIdenticalAcrossRuns)
         EXPECT_EQ(a.phases[p].xferSeconds, b.phases[p].xferSeconds);
         EXPECT_EQ(a.phases[p].gpuUtilSeconds,
                   b.phases[p].gpuUtilSeconds);
+    }
+}
+
+TEST(Determinism, SamplersIdenticalAcrossThreadCounts)
+{
+    // The parallel substrate's contract: sampler output is
+    // bit-identical for any GNNBENCH_NUM_THREADS (per-chunk RNG
+    // streams, fixed chunk decomposition).
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 5);
+    dglx::LoadedData dgl = dglx::DataLoader::load(ds);
+    pygx::LoadedData pyg = pygx::DataLoader::load(ds);
+    std::vector<NodeId> seeds;
+    for (NodeId v = 0; v < std::min<NodeId>(ds.numNodes(), 200); ++v)
+        seeds.push_back(v);
+
+    const int restore = core::parallel::numThreads();
+    struct Captured
+    {
+        sampling::NeighborSample dglSage;
+        sampling::InducedSample dglSaint;
+        pygx::NeighborBatch pygSage;
+    };
+    std::vector<Captured> runs;
+    for (int t : {1, 4}) {
+        core::parallel::setNumThreads(t);
+        Captured c;
+        dglx::NeighborSampler ns(*dgl.graph, {5, 3}, core::Rng(7));
+        c.dglSage = ns.sample(seeds);
+        dglx::SaintRwSampler rs(*dgl.graph, 50, 2, core::Rng(7));
+        c.dglSaint = rs.sample();
+        device::Session session;
+        pygx::NeighborSampler ps(*pyg.data, {5, 3}, core::Rng(7),
+                                 &session);
+        c.pygSage = ps.sample(seeds);
+        runs.push_back(std::move(c));
+    }
+    core::parallel::setNumThreads(restore);
+
+    const Captured &a = runs[0], &b = runs[1];
+    ASSERT_EQ(a.dglSage.blocks.size(), b.dglSage.blocks.size());
+    for (size_t l = 0; l < a.dglSage.blocks.size(); ++l) {
+        EXPECT_EQ(a.dglSage.blocks[l].srcNodes,
+                  b.dglSage.blocks[l].srcNodes);
+        EXPECT_EQ(a.dglSage.blocks[l].csc.indptr,
+                  b.dglSage.blocks[l].csc.indptr);
+        EXPECT_EQ(a.dglSage.blocks[l].csc.indices,
+                  b.dglSage.blocks[l].csc.indices);
+    }
+    EXPECT_EQ(a.dglSaint.nodes, b.dglSaint.nodes);
+    EXPECT_EQ(a.dglSaint.adj.indptr, b.dglSaint.adj.indptr);
+    EXPECT_EQ(a.dglSaint.adj.indices, b.dglSaint.adj.indices);
+    ASSERT_EQ(a.pygSage.layers.size(), b.pygSage.layers.size());
+    for (size_t l = 0; l < a.pygSage.layers.size(); ++l) {
+        EXPECT_EQ(a.pygSage.layers[l].srcNodes,
+                  b.pygSage.layers[l].srcNodes);
+        EXPECT_EQ(a.pygSage.layers[l].eSrc, b.pygSage.layers[l].eSrc);
+        EXPECT_EQ(a.pygSage.layers[l].eDst, b.pygSage.layers[l].eDst);
+    }
+}
+
+TEST(Determinism, LoaderWorkerCountsStatisticallyEquivalent)
+{
+    // Changing num_workers reassigns RNG streams (like DGL/PyG), so
+    // samples differ — but the sampling distribution must not: the
+    // mean sampled edges per batch stays within a few percent.
+    graph::Dataset ds = graph::loadDataset("ppi", 0.1, 5);
+    dglx::LoadedData dgl = dglx::DataLoader::load(ds);
+    std::vector<NodeId> all(ds.numNodes());
+    for (NodeId v = 0; v < ds.numNodes(); ++v)
+        all[v] = v;
+    core::Rng brng(13);
+    auto batches = makeBatches(all, 128, brng);
+    dglx::NeighborSampler proto(*dgl.graph, {10, 5}, core::Rng(7));
+
+    auto meanEdges = [&](int workers) {
+        core::Rng rng(21);
+        dglx::NeighborLoader loader(proto, rng, batches, workers, 2);
+        double edges = 0.0;
+        int64_t n = 0;
+        while (auto s = loader.next()) {
+            for (const auto &blk : s->blocks)
+                edges += static_cast<double>(blk.csc.numEdges());
+            ++n;
+        }
+        return edges / static_cast<double>(n);
+    };
+    const double m1 = meanEdges(1);
+    const double m4 = meanEdges(4);
+    EXPECT_GT(m1, 0.0);
+    EXPECT_NEAR(m4 / m1, 1.0, 0.05);
+}
+
+TEST(Determinism, PrefetchTrainingRunToRunIdentical)
+{
+    // numWorkers > 0 threads the sampling, but a fixed (seed, worker
+    // count) must still reproduce exactly.
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 5);
+    for (Framework fw : {Framework::Dglx, Framework::Pygx}) {
+        TrainConfig cfg = config(fw);
+        cfg.numWorkers = 2;
+        for (ModelFn fn : {&trainGraphSage, &trainGraphSaint}) {
+            TrainResult a = fn(ds, cfg);
+            TrainResult b = fn(ds, cfg);
+            ASSERT_EQ(a.epochs.size(), b.epochs.size());
+            for (size_t e = 0; e < a.epochs.size(); ++e) {
+                EXPECT_EQ(a.epochs[e].loss, b.epochs[e].loss);
+                EXPECT_EQ(a.epochs[e].correct, b.epochs[e].correct);
+            }
+        }
     }
 }
 
