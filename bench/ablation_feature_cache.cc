@@ -78,6 +78,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
+    bench::writeJsonReport(opts, "ablation_feature_cache",
+                           {{"feature_cache", &table}});
     std::printf(
         "\nExpected shape: movement shrinks monotonically with "
         "cache capacity; even a 25%% cache captures most traffic "

@@ -110,6 +110,8 @@ main(int argc, char **argv)
         run_layerwise("LADIES", ladies);
     }
     table.print();
+    bench::writeJsonReport(opts, "ablation_layer_samplers",
+                           {{"layer_samplers", &table}});
     std::printf(
         "\nExpected shape: FastGCN needs the smallest input frontier "
         "but leaves destinations isolated (its accuracy issue); "

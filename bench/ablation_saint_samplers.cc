@@ -66,6 +66,8 @@ main(int argc, char **argv)
         run("random-walk", [&] { return rw_s.sample(); });
     }
     table.print();
+    bench::writeJsonReport(opts, "ablation_saint_samplers",
+                           {{"saint_samplers", &table}});
     std::printf(
         "\nExpected shape: the random-walk sampler is the cheapest "
         "per batch; node sampling buys density only by concentrating "

@@ -7,6 +7,10 @@
  *   --scale f          multiplier on each dataset's default scale
  *   --epochs n         training epochs for the end-to-end benches
  *   --seed s           RNG seed
+ *   --csv prefix       also write each table to <prefix><table>.csv
+ *   --json path        write the unified run report (Chrome-trace
+ *                      JSON + structured results) and enable tracing
+ *   --workers n        dataloader num_workers for the model benches
  */
 
 #ifndef GNNBENCH_BENCH_COMMON_H
@@ -15,10 +19,13 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gnnbench/graph/datasets.h"
+#include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/report.h"
+#include "gnnbench/profiling/trace.h"
 
 namespace gnnbench {
 namespace bench {
@@ -32,6 +39,11 @@ struct Options
     /** When non-empty, tables are also written to
      *  "<csvPrefix><table>.csv" for machine consumption. */
     std::string csvPrefix;
+    /** When non-empty, the unified run report (trace + results) is
+     *  written here and the trace recorder runs during the bench. */
+    std::string jsonPath;
+    /** Dataloader num_workers for benches that train models. */
+    int numWorkers = 0;
 };
 
 inline std::vector<std::string>
@@ -71,16 +83,66 @@ parseOptions(int argc, char **argv, Options opts = Options{})
             opts.seed = std::stoull(next());
         } else if (arg == "--csv") {
             opts.csvPrefix = next();
+        } else if (arg == "--json") {
+            opts.jsonPath = next();
+        } else if (arg == "--workers") {
+            opts.numWorkers = std::stoi(next());
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--datasets a,b,c] [--scale f] "
-                        "[--epochs n] [--seed s] [--csv prefix]\n",
+                        "[--epochs n] [--seed s] [--csv prefix] "
+                        "[--json path] [--workers n]\n",
                         argv[0]);
             std::exit(0);
         } else {
             GNNBENCH_CHECK(false, "unknown argument ", arg);
         }
     }
+    // Tracing must be live while the bench runs, so --json enables
+    // the process recorder right at option-parse time.
+    if (!opts.jsonPath.empty())
+        profiling::TraceRecorder::global().enable();
     return opts;
+}
+
+/** The parsed options as report key/value pairs. */
+inline std::vector<std::pair<std::string, std::string>>
+optionPairs(const Options &opts)
+{
+    std::string datasets;
+    for (const auto &d : opts.datasets)
+        datasets += (datasets.empty() ? "" : ",") + d;
+    return {{"datasets", datasets},
+            {"scale", std::to_string(opts.scale)},
+            {"epochs", std::to_string(opts.epochs)},
+            {"seed", std::to_string(opts.seed)},
+            {"workers", std::to_string(opts.numWorkers)}};
+}
+
+/**
+ * Write the unified run report to opts.jsonPath (no-op without
+ * --json).  Benches call this once, after all tables are final; the
+ * global trace and metrics snapshots ride along.
+ */
+inline void
+writeJsonReport(
+    const Options &opts, const char *bench_name,
+    std::vector<std::pair<std::string, const profiling::Table *>>
+        tables,
+    std::vector<profiling::RunRecord> runs = {},
+    const profiling::ProfileNode *profile = nullptr)
+{
+    if (opts.jsonPath.empty())
+        return;
+    profiling::RunReportContext ctx;
+    ctx.benchName = bench_name;
+    ctx.options = optionPairs(opts);
+    ctx.runs = std::move(runs);
+    ctx.tables = std::move(tables);
+    ctx.profile = profile;
+    ctx.trace = &profiling::TraceRecorder::global();
+    ctx.metrics = &profiling::MetricsRegistry::global();
+    profiling::writeRunReport(opts.jsonPath, ctx);
+    std::printf("run report written to %s\n", opts.jsonPath.c_str());
 }
 
 /** Print the standard bench banner with the applied scales. */

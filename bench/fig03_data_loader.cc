@@ -50,6 +50,8 @@ main(int argc, char **argv)
                       profiling::fmtFixed(dgl_s / pyg_s, 2) + "x"});
     }
     table.print();
+    bench::writeJsonReport(opts, "fig03_data_loader",
+                           {{"loader_runtime", &table}});
     std::printf("\nExpected shape: DGL/PyG > 1 on every dataset "
                 "(PyG's lazy Data object wins; Observation 1).\n");
     return 0;

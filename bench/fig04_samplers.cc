@@ -194,6 +194,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
+    bench::writeJsonReport(opts, "fig04_samplers",
+                           {{"sampler_runtime", &table}});
     std::printf(
         "\nExpected shape: PyG/DGL > 1 for every sampler; smallest "
         "gap for GraphSAINT (Observation 2).\n");

@@ -55,6 +55,9 @@ main(int argc, char **argv)
         "Figure 5: runtime of eight Conv layers (forward, out=256)",
         opts);
 
+    profiling::Table all({"Dataset", "Layer", "DGL-CPU", "PyG-CPU",
+                          "DGL-GPU", "PyG-GPU", "DGL GPU speedup"});
+
     for (const auto &name : opts.datasets) {
         graph::Dataset ds =
             graph::loadDataset(name, opts.scale, opts.seed);
@@ -153,10 +156,15 @@ main(int argc, char **argv)
                           cell(t_dgl_cpu), cell(t_pyg_cpu),
                           cell(t_dgl_gpu), cell(t_pyg_gpu),
                           speedup});
+            all.addRow({name, dglx::convKindName(kind),
+                        cell(t_dgl_cpu), cell(t_pyg_cpu),
+                        cell(t_dgl_gpu), cell(t_pyg_gpu), speedup});
         }
         table.print();
         std::printf("\n");
     }
+    bench::writeJsonReport(opts, "fig05_conv_layers",
+                           {{"conv_runtime", &all}});
     std::printf(
         "Expected shape: DGL faster than PyG on CPU for all eight "
         "layers; GPU >> CPU; PyG OOM for ChebConv/GATConv/GATv2Conv "

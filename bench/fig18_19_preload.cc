@@ -107,6 +107,10 @@ main(int argc, char **argv)
     std::printf("\n--- Pre-fetch ablation (DGL, paper Sec. 4.3; "
                 "\"improved, albeit a little bit\") ---\n");
     prefetch.print();
+    bench::writeJsonReport(opts, "fig18_19_preload",
+                           {{"speedups", &speedups},
+                            {"breakdown", &breakdown},
+                            {"prefetch", &prefetch}});
     std::printf(
         "\nExpected shape: movement reduced up to ~20x, total up to "
         "~2x (Observation 6); prefetch adds a small extra gain.\n");

@@ -80,6 +80,9 @@ main(int argc, char **argv)
     gpsup_table.print();
     std::printf("\n--- Figure 21: runtime breakdown ---\n");
     breakdown.print();
+    bench::writeJsonReport(opts, "fig20_21_gpu_sampler",
+                           {{"gpsup", &gpsup_table},
+                            {"breakdown", &breakdown}});
     std::printf(
         "\nExpected shape: Speedup > 1 everywhere (paper: up to "
         "~5.5x at full scale); UVA at or slightly below the "

@@ -47,6 +47,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
+    bench::writeJsonReport(opts, "fig22_24_fullbatch",
+                           {{"fullbatch", &table}});
     std::printf(
         "\nExpected shape: DGL-CPU << PyG-CPU; DGL-GPU faster than "
         "PyG-GPU except on the smallest graph; power roughly equal "

@@ -49,6 +49,8 @@ runModelFigure(const char *model_name, const Options &opts,
     profiling::Table power({"Dataset", "Config", "AvgPower"});
     profiling::Table energy({"Dataset", "Config", "Energy"});
 
+    std::vector<profiling::RunRecord> runs;
+
     for (const auto &name : opts.datasets) {
         graph::Dataset ds =
             graph::loadDataset(name, opts.scale, opts.seed);
@@ -58,8 +60,16 @@ runModelFigure(const char *model_name, const Options &opts,
             cfg.mode = mode;
             cfg.epochs = opts.epochs;
             cfg.seed = opts.seed;
+            cfg.numWorkers = opts.numWorkers;
             models::TrainResult r = model(ds, cfg);
             const double total = r.totalSeconds();
+            profiling::RunRecord rec;
+            rec.dataset = name;
+            rec.config = r.config;
+            rec.phases = r.phases;
+            rec.workerPhases = r.workerPhases;
+            rec.energy = r.energy;
+            runs.push_back(std::move(rec));
             const double samp_pct =
                 100.0 * r.phaseSeconds(Phase::Sampling) / total;
             breakdown.addRow(
@@ -83,6 +93,12 @@ runModelFigure(const char *model_name, const Options &opts,
         power.writeCsv(opts.csvPrefix + "power.csv");
         energy.writeCsv(opts.csvPrefix + "energy.csv");
     }
+    writeJsonReport(opts, model_name,
+                    {{"breakdown", &breakdown},
+                     {"total", &totals},
+                     {"power", &power},
+                     {"energy", &energy}},
+                    std::move(runs));
     std::printf("--- Runtime breakdown of %s ---\n", model_name);
     breakdown.print();
     std::printf("\n--- Total runtime of %s ---\n", model_name);

@@ -35,5 +35,7 @@ main(int argc, char **argv)
                       profiling::fmtCount(ds.numEdges())});
     }
     table.print();
+    bench::writeJsonReport(opts, "table1_datasets",
+                           {{"datasets", &table}});
     return 0;
 }

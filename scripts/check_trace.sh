@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-check the unified --json run report: run a small GraphSAGE
+# bench with tracing enabled and validate the emitted document — one
+# JSON file that is both a Perfetto-loadable Chrome trace (lanes for
+# the main thread, the prefetch workers, and the modeled device) and
+# the structured run report under the "gnnbench" key.
+#
+# Usage: check_trace.sh [path-to-fig06_09_graphsage]
+# Without an argument the binary is taken from build/bench/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bench="${1:-$repo/build/bench/fig06_09_graphsage}"
+
+if [ ! -x "$bench" ]; then
+    echo "error: bench binary not found: $bench" >&2
+    echo "build it first (see docs/reproducing.md) or pass its path" >&2
+    exit 1
+fi
+
+out="$(mktemp -t gnnbench_trace.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+
+"$bench" --datasets flickr --scale 0.05 --epochs 1 --workers 2 \
+    --json "$out" >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # also proves the document is valid JSON
+
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+
+lanes = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+assert "main" in lanes, f"no 'main' lane in {sorted(lanes)}"
+assert any("/w" in l for l in lanes), \
+    f"no prefetch-worker lane in {sorted(lanes)}"
+assert any(l in ("gpu (modeled)", "pcie (modeled)") for l in lanes), \
+    f"no modeled-device lane in {sorted(lanes)}"
+assert len(lanes) >= 3, f"expected >= 3 lanes, got {sorted(lanes)}"
+
+complete = [e for e in events if e["ph"] == "X"]
+assert complete, "no complete ('X') events"
+assert all(e["dur"] >= 0 for e in complete), "negative duration"
+
+report = doc["gnnbench"]
+assert report["bench"], "missing bench name"
+runs = report["runs"]
+assert runs, "no runs in the report"
+for run in runs:
+    phases = run["phases"]
+    for name in ("data_loading", "sampling", "data_movement",
+                 "training", "other"):
+        assert name in phases, f"missing phase {name}"
+    total = sum(p["seconds"] for p in phases.values())
+    assert abs(total - run["total_seconds"]) < 1e-9, \
+        f"total_seconds {run['total_seconds']} != phase sum {total}"
+
+print(f"trace OK: {len(lanes)} lanes, {len(complete)} events, "
+      f"{len(runs)} runs")
+EOF
+else
+    # Minimal fallback when python3 is unavailable.
+    grep -q '"traceEvents"' "$out"
+    grep -q '"main"' "$out"
+    grep -q '/w' "$out"
+    grep -qe '"gpu (modeled)"' -e '"pcie (modeled)"' "$out"
+    grep -q '"gnnbench"' "$out"
+    grep -q '"total_seconds"' "$out"
+    echo "trace OK (grep fallback; python3 not found)"
+fi
+
+echo "check_trace passed."

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build the threaded parts of gnnbench under ThreadSanitizer and run
 # the tests that exercise them: the parallel substrate, the prefetch
-# pipeline/dataloaders, and the (parallelized) dglx samplers.
+# pipeline/dataloaders, the (parallelized) dglx samplers, and the
+# observability layer (trace recorder, metrics, phase tracker).
 #
 # OpenMP is disabled in this configuration: TSan cannot see libgomp's
 # synchronization and would report false positives through the omp
@@ -18,7 +19,8 @@ cmake -S "$repo" -B "$build" \
     -DGNNBENCH_ENABLE_OPENMP=OFF \
     -DGNNBENCH_NATIVE=OFF
 
-targets=(test_parallel test_prefetch test_dglx_sampler)
+targets=(test_parallel test_prefetch test_dglx_sampler test_profiling
+         test_trace)
 cmake --build "$build" -j"$(nproc)" --target "${targets[@]}"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"

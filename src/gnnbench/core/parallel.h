@@ -23,6 +23,8 @@
 #ifndef GNNBENCH_CORE_PARALLEL_H
 #define GNNBENCH_CORE_PARALLEL_H
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -162,16 +164,53 @@ parallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
 }
 
 /**
+ * Occupancy and backpressure statistics for BoundedQueue, shared by
+ * reference so several queues (e.g. one per prefetch worker) can
+ * aggregate into a single tally.  All fields are relaxed atomics —
+ * they are observability data, not synchronization.
+ */
+struct QueueStats
+{
+    std::atomic<uint64_t> pushes{0};
+    std::atomic<uint64_t> pops{0};
+    /** push() calls that had to wait on a full queue. */
+    std::atomic<uint64_t> enqueueBlocks{0};
+    /** pop() calls that had to wait on an empty queue. */
+    std::atomic<uint64_t> dequeueBlocks{0};
+    /** Total producer wall time blocked in push(), nanoseconds. */
+    std::atomic<uint64_t> enqueueBlockNanos{0};
+    /** Total consumer wall time blocked in pop(), nanoseconds. */
+    std::atomic<uint64_t> dequeueBlockNanos{0};
+    /** Sum of queue depths observed at each pop (avg = sum/pops). */
+    std::atomic<uint64_t> depthSum{0};
+    std::atomic<uint64_t> maxDepth{0};
+
+    void
+    reset()
+    {
+        pushes = pops = enqueueBlocks = dequeueBlocks = 0;
+        enqueueBlockNanos = dequeueBlockNanos = 0;
+        depthSum = maxDepth = 0;
+    }
+};
+
+/**
  * A bounded blocking MPMC queue, the backbone of the prefetching
  * dataloaders.  push() blocks while the queue is full; pop() blocks
  * while it is empty; close() wakes every waiter, after which push()
  * fails and pop() drains the remaining items before returning empty.
+ *
+ * An optional QueueStats sink records occupancy and blocking; the
+ * extra cost on the uncontended path is a handful of relaxed atomic
+ * adds, and block durations are only timed when a wait actually
+ * happens.
  */
 template <typename T>
 class BoundedQueue
 {
   public:
-    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    explicit BoundedQueue(size_t capacity, QueueStats *stats = nullptr)
+        : capacity_(capacity), stats_(stats)
     {
         GNNBENCH_CHECK(capacity > 0, "queue capacity must be positive");
     }
@@ -181,12 +220,36 @@ class BoundedQueue
     push(T item)
     {
         std::unique_lock lock(mutex_);
-        notFull_.wait(lock, [this] {
-            return closed_ || items_.size() < capacity_;
-        });
+        if (!closed_ && items_.size() >= capacity_) {
+            const auto t0 = std::chrono::steady_clock::now();
+            notFull_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (stats_) {
+                const auto dt =
+                    std::chrono::steady_clock::now() - t0;
+                stats_->enqueueBlocks.fetch_add(
+                    1, std::memory_order_relaxed);
+                stats_->enqueueBlockNanos.fetch_add(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(dt)
+                        .count(),
+                    std::memory_order_relaxed);
+            }
+        }
         if (closed_)
             return false;
         items_.push_back(std::move(item));
+        if (stats_) {
+            stats_->pushes.fetch_add(1, std::memory_order_relaxed);
+            const uint64_t depth = items_.size();
+            uint64_t cur =
+                stats_->maxDepth.load(std::memory_order_relaxed);
+            while (depth > cur &&
+                   !stats_->maxDepth.compare_exchange_weak(
+                       cur, depth, std::memory_order_relaxed))
+                ;
+        }
         lock.unlock();
         notEmpty_.notify_one();
         return true;
@@ -197,11 +260,30 @@ class BoundedQueue
     pop()
     {
         std::unique_lock lock(mutex_);
-        notEmpty_.wait(lock, [this] {
-            return closed_ || !items_.empty();
-        });
+        if (!closed_ && items_.empty()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            notEmpty_.wait(lock, [this] {
+                return closed_ || !items_.empty();
+            });
+            if (stats_) {
+                const auto dt =
+                    std::chrono::steady_clock::now() - t0;
+                stats_->dequeueBlocks.fetch_add(
+                    1, std::memory_order_relaxed);
+                stats_->dequeueBlockNanos.fetch_add(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(dt)
+                        .count(),
+                    std::memory_order_relaxed);
+            }
+        }
         if (items_.empty())
             return std::nullopt;
+        if (stats_) {
+            stats_->pops.fetch_add(1, std::memory_order_relaxed);
+            stats_->depthSum.fetch_add(items_.size(),
+                                       std::memory_order_relaxed);
+        }
         T item = std::move(items_.front());
         items_.pop_front();
         lock.unlock();
@@ -241,6 +323,7 @@ class BoundedQueue
     std::condition_variable notEmpty_;
     std::deque<T> items_;
     size_t capacity_;
+    QueueStats *stats_;
     bool closed_ = false;
 };
 

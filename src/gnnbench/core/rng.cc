@@ -26,7 +26,15 @@ rotl(uint64_t x, int k)
     return (x << k) | (x >> (64 - k));
 }
 
+thread_local uint64_t t_rngDraws = 0;
+
 } // namespace
+
+uint64_t
+rngDrawsThisThread()
+{
+    return t_rngDraws;
+}
 
 Rng::Rng(uint64_t seed)
 {
@@ -38,6 +46,7 @@ Rng::Rng(uint64_t seed)
 uint64_t
 Rng::next()
 {
+    ++t_rngDraws;
     const uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];

@@ -86,6 +86,13 @@ class Rng
     double cachedNormal_ = 0.0;
 };
 
+/**
+ * Total raw draws (Rng::next calls) made on the calling thread, for
+ * the "rng.draws" metric.  Per-thread and monotonic; the metrics
+ * layer flushes deltas into the process-wide counter.
+ */
+uint64_t rngDrawsThisThread();
+
 } // namespace core
 } // namespace gnnbench
 

@@ -2,8 +2,41 @@
 
 #include <algorithm>
 
+#include "gnnbench/profiling/metrics_registry.h"
+
 namespace gnnbench {
 namespace device {
+
+namespace {
+
+// Registry metrics live for the process lifetime, so the references
+// can be cached; lookup happens once per metric.
+profiling::Counter &
+h2dBytesCounter()
+{
+    static profiling::Counter &c =
+        profiling::MetricsRegistry::global().counter("xfer.h2d_bytes");
+    return c;
+}
+
+profiling::Counter &
+uvaBytesCounter()
+{
+    static profiling::Counter &c =
+        profiling::MetricsRegistry::global().counter("xfer.uva_bytes");
+    return c;
+}
+
+profiling::Gauge &
+gpuReservedPeakGauge()
+{
+    static profiling::Gauge &g =
+        profiling::MetricsRegistry::global().gauge(
+            "gpu.reserved_bytes_peak");
+    return g;
+}
+
+} // namespace
 
 Session::Session(const GpuSpec &gpu_spec, const CpuSpec &cpu_spec)
     : gpuModel_(gpu_spec), cpuSpec_(cpu_spec)
@@ -32,6 +65,7 @@ void
 Session::transfer(uint64_t bytes)
 {
     modeled_.xferSeconds += gpuModel_.transferTime(bytes);
+    h2dBytesCounter().add(bytes);
 }
 
 void
@@ -40,6 +74,7 @@ Session::transferOverlapped(uint64_t bytes, double overlap_seconds)
     GNNBENCH_ASSERT(overlap_seconds >= 0.0, "negative overlap");
     const double t = gpuModel_.transferTime(bytes);
     modeled_.xferSeconds += std::max(0.0, t - overlap_seconds);
+    h2dBytesCounter().add(bytes);
 }
 
 void
@@ -50,6 +85,7 @@ Session::uvaAccess(uint64_t bytes)
     const double t = gpuModel_.uvaAccessTime(bytes);
     modeled_.gpuSeconds += t;
     modeled_.gpuUtilSeconds += t * 0.15;
+    uvaBytesCounter().add(bytes);
 }
 
 void
@@ -78,6 +114,8 @@ Session::reserveGpu(uint64_t bytes)
     if (!fitsOnGpu(bytes))
         return false;
     gpuBytesUsed_ += bytes;
+    gpuReservedPeakGauge().updateMax(
+        static_cast<double>(gpuBytesUsed_));
     return true;
 }
 

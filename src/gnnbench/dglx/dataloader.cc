@@ -58,7 +58,8 @@ NeighborLoader::NeighborLoader(
     prefetcher_ = std::make_unique<
         sampling::Prefetcher<sampling::NeighborSample>>(
         neighborProducers(proto, rng, seedBatches_, num_workers),
-        static_cast<int64_t>(seedBatches_->size()), prefetch_depth);
+        static_cast<int64_t>(seedBatches_->size()), prefetch_depth,
+        "dgl-neighbor");
 }
 
 std::optional<sampling::NeighborSample>
@@ -80,7 +81,8 @@ NeighborLoader::workerBusySeconds()
 }
 
 InducedLoader::InducedLoader(std::vector<Producer> producers,
-                             int num_batches, int prefetch_depth)
+                             int num_batches, int prefetch_depth,
+                             std::string lane_tag)
 {
     using InducedProducer =
         sampling::Prefetcher<sampling::InducedSample>::Producer;
@@ -92,7 +94,8 @@ InducedLoader::InducedLoader(std::vector<Producer> producers,
         });
     prefetcher_ = std::make_unique<
         sampling::Prefetcher<sampling::InducedSample>>(
-        std::move(wrapped), num_batches, prefetch_depth);
+        std::move(wrapped), num_batches, prefetch_depth,
+        std::move(lane_tag));
 }
 
 std::optional<sampling::InducedSample>
@@ -129,7 +132,7 @@ makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
         });
     }
     return InducedLoader(std::move(producers), num_batches,
-                         prefetch_depth);
+                         prefetch_depth, "dgl-cluster");
 }
 
 InducedLoader
@@ -146,7 +149,7 @@ makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
         producers.push_back([sampler] { return sampler->sample(); });
     }
     return InducedLoader(std::move(producers), num_batches,
-                         prefetch_depth);
+                         prefetch_depth, "dgl-saint");
 }
 
 } // namespace dglx

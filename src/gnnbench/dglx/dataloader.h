@@ -76,6 +76,13 @@ class NeighborLoader
     /** Per-worker sampling busy seconds (joins workers first). */
     const std::vector<double> &workerBusySeconds();
 
+    /** Aggregate prefetch-queue statistics. */
+    const core::parallel::QueueStats &
+    queueStats() const
+    {
+        return prefetcher_->queueStats();
+    }
+
   private:
     std::shared_ptr<const std::vector<std::vector<NodeId>>>
         seedBatches_;
@@ -94,8 +101,10 @@ class InducedLoader
     /** Draws one batch on a worker's private sampler clone. */
     using Producer = std::function<sampling::InducedSample()>;
 
+    /** @param lane_tag trace-lane prefix for the workers. */
     InducedLoader(std::vector<Producer> producers, int num_batches,
-                  int prefetch_depth);
+                  int prefetch_depth,
+                  std::string lane_tag = "dgl-induced");
 
     /** Next batch in order; empty when exhausted. */
     std::optional<sampling::InducedSample> next();
@@ -103,6 +112,13 @@ class InducedLoader
     void shutdown();
 
     const std::vector<double> &workerBusySeconds();
+
+    /** Aggregate prefetch-queue statistics. */
+    const core::parallel::QueueStats &
+    queueStats() const
+    {
+        return prefetcher_->queueStats();
+    }
 
   private:
     std::unique_ptr<sampling::Prefetcher<sampling::InducedSample>>

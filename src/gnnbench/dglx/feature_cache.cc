@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "gnnbench/profiling/metrics_registry.h"
+
 namespace gnnbench {
 namespace dglx {
 
@@ -64,6 +66,15 @@ FeatureCache::gather(const std::vector<NodeId> &nodes)
         session_.transfer(stats.missBytes);
     totals_.hitBytes += stats.hitBytes;
     totals_.missBytes += stats.missBytes;
+    // Hit rate = hit_bytes / (hit_bytes + miss_bytes) in the report.
+    static profiling::Counter &hit_counter =
+        profiling::MetricsRegistry::global().counter(
+            "feature_cache.hit_bytes");
+    static profiling::Counter &miss_counter =
+        profiling::MetricsRegistry::global().counter(
+            "feature_cache.miss_bytes");
+    hit_counter.add(stats.hitBytes);
+    miss_counter.add(stats.missBytes);
     return stats;
 }
 

@@ -108,6 +108,8 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }
@@ -211,6 +213,8 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

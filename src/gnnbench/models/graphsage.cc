@@ -161,6 +161,8 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
                 device::Session::virtualSeconds(t0,
                                                 session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }
@@ -280,6 +282,8 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
                 device::Session::virtualSeconds(t0,
                                                 session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

@@ -111,6 +111,8 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }
@@ -212,6 +214,8 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
+        if (loader)
+            chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

@@ -51,6 +51,8 @@ finalizeResult(Framework fw, RunMode mode,
     for (int p = 0; p < profiling::kNumPhases; ++p) {
         result.phases[p] =
             tracker.phase(static_cast<profiling::Phase>(p));
+        result.workerPhases[p] =
+            tracker.workerPhase(static_cast<profiling::Phase>(p));
         total += result.phases[p];
     }
     const power::PowerModel model(power_spec, usesGpu(mode));

@@ -100,6 +100,10 @@ struct TrainResult
 {
     std::string config;                ///< e.g. "DGL-CPUGPU"
     std::array<power::ActivitySlice, profiling::kNumPhases> phases;
+    /** Detached prefetch-worker busy time per phase (concurrent with
+     *  the main timeline, so not part of totalSeconds()). */
+    std::array<power::ActivitySlice, profiling::kNumPhases>
+        workerPhases;
     power::EnergyReport energy;
     std::vector<EpochStats> epochs;
     bool oom = false;                  ///< pygx materialization OOM
@@ -139,6 +143,27 @@ int saintBatchesPerEpoch(NodeId num_nodes, int32_t roots,
 
 /** True when the mode runs any work on the GPU. */
 bool usesGpu(RunMode mode);
+
+/**
+ * Attribute a multi-worker loader's sampling busy time to the
+ * tracker's detached worker tally (Phase::Sampling).  Joins the
+ * workers; call once per loader, before discarding it.  The main
+ * timeline is untouched — it already contains the consumer-side wait
+ * for these same batches.
+ */
+template <typename Loader>
+void
+chargeWorkerSampling(profiling::PhaseTracker &tracker, Loader &loader)
+{
+    double busy = 0.0;
+    for (double s : loader.workerBusySeconds())
+        busy += s;
+    if (busy <= 0.0)
+        return;
+    power::ActivitySlice slice;
+    slice.cpuBusySeconds = busy;
+    tracker.addWorker(profiling::Phase::Sampling, slice);
+}
 
 } // namespace models
 } // namespace gnnbench

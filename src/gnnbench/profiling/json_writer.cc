@@ -1,0 +1,410 @@
+#include "gnnbench/profiling/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace gnnbench {
+namespace profiling {
+
+void
+JsonWriter::comma()
+{
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ << ',';
+        hasElement_.back() = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    writeString(k);
+    out_ << ':';
+}
+
+void
+JsonWriter::writeString(const std::string &s)
+{
+    out_ << '"' << escape(s) << '"';
+}
+
+void
+JsonWriter::writeDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; clamp to null-ish zero.
+        out_ << 0;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ << '{';
+    hasElement_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    out_ << '}';
+    hasElement_.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ << '[';
+    hasElement_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    out_ << ']';
+    hasElement_.pop_back();
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out_ << '{';
+    hasElement_.push_back(false);
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out_ << '[';
+    hasElement_.push_back(false);
+}
+
+void
+JsonWriter::value(const std::string &k, const std::string &v)
+{
+    key(k);
+    writeString(v);
+}
+
+void
+JsonWriter::value(const std::string &k, const char *v)
+{
+    key(k);
+    writeString(v);
+}
+
+void
+JsonWriter::value(const std::string &k, double v)
+{
+    key(k);
+    writeDouble(v);
+}
+
+void
+JsonWriter::value(const std::string &k, int64_t v)
+{
+    key(k);
+    out_ << v;
+}
+
+void
+JsonWriter::value(const std::string &k, uint64_t v)
+{
+    key(k);
+    out_ << v;
+}
+
+void
+JsonWriter::value(const std::string &k, int v)
+{
+    key(k);
+    out_ << v;
+}
+
+void
+JsonWriter::value(const std::string &k, bool v)
+{
+    key(k);
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    writeString(v);
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    writeDouble(v);
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    comma();
+    out_ << v;
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    comma();
+    out_ << v;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace json {
+namespace {
+
+/** Recursive-descent validator over a string (no value extraction). */
+struct Parser
+{
+    const std::string &s;
+    size_t pos = 0;
+    int depth = 0;
+
+    bool
+    fail()
+    {
+        pos = std::string::npos;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p, ++pos)
+            if (pos >= s.size() || s[pos] != *p)
+                return fail();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return fail();
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (static_cast<unsigned char>(s[pos]) < 0x20)
+                return fail();
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail();
+                const char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[pos])))
+                            return fail();
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail();
+                }
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return fail();
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return fail();
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail();
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail();
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (++depth > 512)
+            return fail();
+        skipWs();
+        if (pos >= s.size())
+            return fail();
+        bool ok = false;
+        switch (s[pos]) {
+          case '{': {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                ok = true;
+                break;
+            }
+            for (;;) {
+                skipWs();
+                if (!string())
+                    return fail();
+                skipWs();
+                if (pos >= s.size() || s[pos] != ':')
+                    return fail();
+                ++pos;
+                if (!value())
+                    return fail();
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (pos >= s.size() || s[pos] != '}')
+                return fail();
+            ++pos;
+            ok = true;
+            break;
+          }
+          case '[': {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                ok = true;
+                break;
+            }
+            for (;;) {
+                if (!value())
+                    return fail();
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (pos >= s.size() || s[pos] != ']')
+                return fail();
+            ++pos;
+            ok = true;
+            break;
+          }
+          case '"':
+            ok = string();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = number();
+        }
+        --depth;
+        return ok;
+    }
+};
+
+} // namespace
+
+bool
+valid(const std::string &text)
+{
+    Parser p{text};
+    if (!p.value())
+        return false;
+    p.skipWs();
+    return p.pos == text.size();
+}
+
+} // namespace json
+
+} // namespace profiling
+} // namespace gnnbench

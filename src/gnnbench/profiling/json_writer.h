@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal streaming JSON writer (and validator) for the observability
+ * layer: Chrome trace export, metrics snapshots, and the unified run
+ * report.  No external dependency; output is deterministic for a
+ * deterministic call sequence, which the trace tests rely on.
+ */
+
+#ifndef GNNBENCH_PROFILING_JSON_WRITER_H
+#define GNNBENCH_PROFILING_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gnnbench {
+namespace profiling {
+
+/**
+ * Streaming JSON emitter over an std::ostream.  The caller drives the
+ * nesting (beginObject/endObject, beginArray/endArray); the writer
+ * inserts commas, quotes keys, and escapes strings.  Numbers are
+ * printed with enough precision to round-trip doubles.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /// @name Containers
+    /// @{
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** Open an object/array as the value of @p key. */
+    void beginObject(const std::string &key);
+    void beginArray(const std::string &key);
+    /// @}
+
+    /// @name Key/value pairs inside an object
+    /// @{
+    void value(const std::string &key, const std::string &v);
+    void value(const std::string &key, const char *v);
+    void value(const std::string &key, double v);
+    void value(const std::string &key, int64_t v);
+    void value(const std::string &key, uint64_t v);
+    void value(const std::string &key, int v);
+    void value(const std::string &key, bool v);
+    /// @}
+
+    /// @name Bare values inside an array
+    /// @{
+    void value(const std::string &v);
+    void value(double v);
+    void value(int64_t v);
+    void value(uint64_t v);
+    /// @}
+
+    /** JSON-escape a string (without surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+    void key(const std::string &k);
+    void writeString(const std::string &s);
+    void writeDouble(double v);
+
+    std::ostream &out_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> hasElement_{};
+};
+
+namespace json {
+
+/**
+ * Validate that @p text is one well-formed JSON document (objects,
+ * arrays, strings, numbers, true/false/null).  Used by the trace
+ * tests; scripts/check_trace.sh performs the same check externally.
+ */
+bool valid(const std::string &text);
+
+} // namespace json
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_JSON_WRITER_H

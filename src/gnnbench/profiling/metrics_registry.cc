@@ -1,0 +1,191 @@
+#include "gnnbench/profiling/metrics_registry.h"
+
+#include <algorithm>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace profiling {
+
+int
+Counter::shardIndex()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local int slot = static_cast<int>(
+        next.fetch_add(1, std::memory_order_relaxed) % kShards);
+    return slot;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1)
+{
+    GNNBENCH_CHECK(
+        std::is_sorted(bounds_.begin(), bounds_.end()),
+        "histogram bucket bounds must be ascending");
+}
+
+void
+Histogram::observe(double v)
+{
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    GNNBENCH_CHECK(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const
+{
+    return total_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upper_bounds)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    return *slot;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const auto &[name, c] : counters_) {
+        const uint64_t v = c->value();
+        if (v > 0)
+            out.emplace_back(name, v);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[name, g] : gauges_) {
+        const double v = g->value();
+        if (v != 0.0)
+            out.emplace_back(name, v);
+    }
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w, const std::string &key) const
+{
+    std::lock_guard lock(mutex_);
+    w.beginObject(key);
+    w.beginObject("counters");
+    for (const auto &[name, c] : counters_)
+        w.value(name, c->value());
+    w.endObject();
+    w.beginObject("gauges");
+    for (const auto &[name, g] : gauges_)
+        w.value(name, g->value());
+    w.endObject();
+    w.beginObject("histograms");
+    for (const auto &[name, h] : histograms_) {
+        w.beginObject(name);
+        w.beginArray("bounds");
+        for (double b : h->upperBounds())
+            w.value(b);
+        w.endArray();
+        w.beginArray("counts");
+        for (size_t i = 0; i <= h->upperBounds().size(); ++i)
+            w.value(h->bucketCount(i));
+        w.endArray();
+        w.value("count", h->count());
+        w.value("sum", h->sum());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+flushRngDraws()
+{
+    thread_local uint64_t flushed = 0;
+    const uint64_t now = core::rngDrawsThisThread();
+    if (now == flushed)
+        return;
+    MetricsRegistry::global().counter("rng.draws").add(now - flushed);
+    flushed = now;
+}
+
+} // namespace profiling
+} // namespace gnnbench

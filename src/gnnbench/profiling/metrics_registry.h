@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms, safe to update from any thread (prefetch workers
+ * included) with cheap thread-sharded counters on the hot paths.
+ *
+ * The registry complements the phase/scope profilers: where those
+ * answer "where did the time go", metrics answer "how hard were the
+ * subsystems working" — prefetcher queue depth and stall time,
+ * feature-cache hit rate, sampler RNG draws, bytes moved per
+ * direction, and allocator high-water marks.  A snapshot of every
+ * metric rides the unified run report (see trace.h) next to the
+ * trace and the phase totals.
+ *
+ * Metric objects registered once live for the process lifetime;
+ * reset() zeroes values but never invalidates references, so call
+ * sites may cache `Counter &` across runs.
+ */
+
+#ifndef GNNBENCH_PROFILING_METRICS_REGISTRY_H
+#define GNNBENCH_PROFILING_METRICS_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gnnbench/profiling/json_writer.h"
+
+namespace gnnbench {
+namespace profiling {
+
+/**
+ * A monotonically increasing counter.  add() touches only the calling
+ * thread's shard (one relaxed atomic add on a private cache line), so
+ * concurrent updates from prefetch workers never contend; value()
+ * sums the shards.
+ */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        shards_[shardIndex()].v.fetch_add(delta,
+                                          std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        uint64_t sum = 0;
+        for (const auto &s : shards_)
+            sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr int kShards = 16;
+
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    /** Stable per-thread shard slot (round-robin assignment). */
+    static int shardIndex();
+
+    Shard shards_[kShards];
+};
+
+/** A last-value / high-water-mark gauge. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to @p v if it is larger (high-water mark). */
+    void
+    updateMax(double v)
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !v_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed))
+            ;
+    }
+
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * A fixed-bucket histogram: observations are counted into the first
+ * bucket whose upper bound is >= the value (last bucket is +inf).
+ * Bucket counts are atomic; sum/count give the mean.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds ascending finite bucket upper bounds; an
+     *  implicit +inf bucket is appended. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double v);
+
+    const std::vector<double> &upperBounds() const { return bounds_; }
+
+    /** Count in bucket @p i (i == bounds().size() is the +inf one). */
+    uint64_t bucketCount(size_t i) const;
+
+    uint64_t count() const;
+    double sum() const;
+    double
+    mean() const
+    {
+        const uint64_t n = count();
+        return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+    }
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> counts_;
+    std::atomic<double> sum_{0.0};
+    std::atomic<uint64_t> total_{0};
+};
+
+/**
+ * Name -> metric registry.  Lookup takes a mutex (cache the returned
+ * reference on hot paths); updates through the returned objects are
+ * lock-free.  Names are reported in sorted order, so JSON and text
+ * output are deterministic.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry used by all instrumentation. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p upper_bounds is used on first registration only. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upper_bounds);
+
+    /** Zero every metric (references stay valid). */
+    void reset();
+
+    /** One sorted (name, value) pair per counter with value > 0. */
+    std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+    std::vector<std::pair<std::string, double>> gaugeValues() const;
+
+    /** Emit {"counters": {...}, "gauges": {...}, "histograms": {...}}
+     *  as the value of @p key. */
+    void writeJson(JsonWriter &w, const std::string &key) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Add the calling thread's core::Rng draws since its previous flush
+ * to the "rng.draws" counter.  Prefetch workers flush when they
+ * finish; the run-report emitter flushes the main thread.
+ */
+void flushRngDraws();
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_METRICS_REGISTRY_H

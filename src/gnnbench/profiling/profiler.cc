@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "gnnbench/core/parallel.h"
+#include "gnnbench/profiling/trace.h"
+
 namespace gnnbench {
 namespace profiling {
 
@@ -38,37 +41,104 @@ sliceBetween(const device::Session::Snapshot &a,
     return s;
 }
 
-PhaseTracker::PhaseTracker(device::Session &session) : session_(session)
+namespace {
+
+/**
+ * Mirror the modeled GPU/PCIe activity a scope charged onto the
+ * synthetic device lanes.  The events are anchored at the scope's
+ * trace start with modeled durations — see the trace schema notes in
+ * docs/modeling.md.
+ */
+void
+emitSyntheticDeviceEvents(TraceRecorder &trace, const char *scope_name,
+                          double trace_start,
+                          const power::ActivitySlice &slice)
+{
+    if (slice.gpuBusySeconds > 0.0)
+        trace.recordSynthetic(TraceRecorder::kGpuLane, scope_name,
+                              "gpu", trace_start,
+                              slice.gpuBusySeconds);
+    if (slice.xferSeconds > 0.0)
+        trace.recordSynthetic(TraceRecorder::kPcieLane, scope_name,
+                              "pcie", trace_start, slice.xferSeconds);
+}
+
+} // namespace
+
+PhaseTracker::PhaseTracker(device::Session &session,
+                           TraceRecorder *trace)
+    : session_(session),
+      trace_(trace != nullptr ? trace : &TraceRecorder::global())
 {
 }
 
 PhaseTracker::Scope::Scope(PhaseTracker &tracker, Phase phase)
     : tracker_(tracker), phase_(phase),
-      start_(tracker.session_.snapshot())
+      onWorker_(core::parallel::inWorkerThread())
 {
+    // Worker threads must not touch the single-threaded Session; they
+    // measure their own CPU time instead (cpuTimer_ is reset by its
+    // constructor either way).
+    if (!onWorker_)
+        start_ = tracker_.session_.snapshot();
+    if (tracker_.trace_->enabled()) {
+        traced_ = true;
+        traceStart_ = tracker_.trace_->now();
+    }
 }
 
 PhaseTracker::Scope::~Scope()
 {
-    tracker_.add(phase_,
-                 sliceBetween(start_, tracker_.session_.snapshot()));
+    power::ActivitySlice slice;
+    if (onWorker_) {
+        slice.cpuBusySeconds = cpuTimer_.elapsed();
+        tracker_.addWorker(phase_, slice);
+    } else {
+        slice = sliceBetween(start_, tracker_.session_.snapshot());
+        tracker_.add(phase_, slice);
+    }
+    if (traced_) {
+        TraceRecorder &trace = *tracker_.trace_;
+        trace.record(phaseName(phase_), "phase", traceStart_,
+                     trace.now());
+        if (!onWorker_)
+            emitSyntheticDeviceEvents(trace, phaseName(phase_),
+                                      traceStart_, slice);
+    }
 }
 
 void
 PhaseTracker::add(Phase p, const power::ActivitySlice &slice)
 {
+    std::lock_guard lock(mutex_);
     phases_[static_cast<int>(p)] += slice;
 }
 
-const power::ActivitySlice &
+void
+PhaseTracker::addWorker(Phase p, const power::ActivitySlice &slice)
+{
+    std::lock_guard lock(mutex_);
+    workerPhases_[static_cast<int>(p)] += slice;
+}
+
+power::ActivitySlice
 PhaseTracker::phase(Phase p) const
 {
+    std::lock_guard lock(mutex_);
     return phases_[static_cast<int>(p)];
+}
+
+power::ActivitySlice
+PhaseTracker::workerPhase(Phase p) const
+{
+    std::lock_guard lock(mutex_);
+    return workerPhases_[static_cast<int>(p)];
 }
 
 power::ActivitySlice
 PhaseTracker::total() const
 {
+    std::lock_guard lock(mutex_);
     power::ActivitySlice t;
     for (const auto &s : phases_)
         t += s;
@@ -86,25 +156,65 @@ ProfileNode::child(const std::string &child_name)
     return *children.back();
 }
 
-Profiler::Profiler(device::Session &session) : session_(session)
+Profiler::Profiler(device::Session &session, TraceRecorder *trace)
+    : session_(session),
+      trace_(trace != nullptr ? trace : &TraceRecorder::global())
 {
     root_.name = "total";
-    stack_.push_back(&root_);
+}
+
+std::vector<ProfileNode *> &
+Profiler::threadStack()
+{
+    // Caller holds mutex_.
+    auto &slot = stacks_[std::this_thread::get_id()];
+    if (!slot) {
+        slot = std::make_unique<std::vector<ProfileNode *>>();
+        slot->push_back(&root_);
+    }
+    return *slot;
 }
 
 Profiler::Scope::Scope(Profiler &profiler, const std::string &name)
-    : profiler_(profiler), start_(profiler.session_.snapshot())
+    : profiler_(profiler),
+      onWorker_(core::parallel::inWorkerThread()), name_(name)
 {
-    ProfileNode &node = profiler_.stack_.back()->child(name);
-    profiler_.stack_.push_back(&node);
+    {
+        std::lock_guard lock(profiler_.mutex_);
+        auto &stack = profiler_.threadStack();
+        ProfileNode &node = stack.back()->child(name);
+        stack.push_back(&node);
+    }
+    if (!onWorker_)
+        start_ = profiler_.session_.snapshot();
+    if (profiler_.trace_->enabled()) {
+        traced_ = true;
+        traceStart_ = profiler_.trace_->now();
+    }
 }
 
 Profiler::Scope::~Scope()
 {
-    ProfileNode *node = profiler_.stack_.back();
-    node->slice += sliceBetween(start_, profiler_.session_.snapshot());
-    ++node->calls;
-    profiler_.stack_.pop_back();
+    power::ActivitySlice slice;
+    if (onWorker_)
+        slice.cpuBusySeconds = cpuTimer_.elapsed();
+    else
+        slice = sliceBetween(start_, profiler_.session_.snapshot());
+    {
+        std::lock_guard lock(profiler_.mutex_);
+        auto &stack = profiler_.threadStack();
+        ProfileNode *node = stack.back();
+        node->slice += slice;
+        ++node->calls;
+        stack.pop_back();
+    }
+    if (traced_) {
+        TraceRecorder &trace = *profiler_.trace_;
+        trace.record(name_, "scope", traceStart_, trace.now());
+        if (!onWorker_)
+            emitSyntheticDeviceEvents(trace, name_.c_str(),
+                                      traceStart_, slice);
+    }
 }
 
 namespace {
@@ -131,6 +241,7 @@ renderNode(const ProfileNode &node, double parent_seconds, int depth,
 std::string
 Profiler::report() const
 {
+    std::lock_guard lock(mutex_);
     std::ostringstream out;
     double total = 0.0;
     for (const auto &c : root_.children)

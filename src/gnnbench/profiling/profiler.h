@@ -10,7 +10,17 @@
  *    used for the per-function drill-downs.
  *
  * Both measure *virtual* time through device::Session snapshots so
- * modeled GPU kernels and transfers are accounted consistently.
+ * modeled GPU kernels and transfers are accounted consistently, and
+ * both are thread-safe: accumulators are mutex-protected, and scopes
+ * opened on prefetch worker threads (which must not touch the
+ * single-threaded Session) measure per-thread CPU time instead and
+ * land in a separate worker-side tally that never double-counts
+ * against the main virtual timeline.
+ *
+ * When the process TraceRecorder is enabled (bench --json), every
+ * scope additionally emits a complete event on the calling thread's
+ * trace lane, and PhaseTracker scopes reconstruct synthetic events
+ * for the modeled GPU kernels and PCIe transfers they charged.
  */
 
 #ifndef GNNBENCH_PROFILING_PROFILER_H
@@ -18,14 +28,20 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "gnnbench/core/timer.h"
 #include "gnnbench/device/session.h"
 #include "gnnbench/power/power.h"
 
 namespace gnnbench {
 namespace profiling {
+
+class TraceRecorder;
 
 /** The four runtime phases of sampling-based GNN training (Fig. 2). */
 enum class Phase : int
@@ -50,9 +66,18 @@ power::ActivitySlice sliceBetween(const device::Session::Snapshot &a,
 class PhaseTracker
 {
   public:
-    explicit PhaseTracker(device::Session &session);
+    /** @param trace recorder for scope events; defaults to the
+     *  process-wide TraceRecorder::global(). */
+    explicit PhaseTracker(device::Session &session,
+                          TraceRecorder *trace = nullptr);
 
-    /** RAII scope attributing its duration to one phase. */
+    /**
+     * RAII scope attributing its duration to one phase.  On the main
+     * thread the duration is the virtual-time delta between Session
+     * snapshots; on a prefetch worker thread (where the Session must
+     * not be touched) it is the thread's CPU time, accumulated into
+     * the detached worker tally via addWorker().
+     */
     class Scope
     {
       public:
@@ -64,26 +89,48 @@ class PhaseTracker
       private:
         PhaseTracker &tracker_;
         Phase phase_;
+        bool onWorker_;
         device::Session::Snapshot start_;
+        core::ThreadCpuTimer cpuTimer_;
+        double traceStart_ = 0.0;
+        bool traced_ = false;
     };
 
     /** Open a phase scope. */
     Scope track(Phase p) { return Scope(*this, p); }
 
-    /** Directly add a slice to a phase (used by async pipelines). */
+    /** Directly add a slice to a phase (used by async pipelines).
+     *  Thread-safe. */
     void add(Phase p, const power::ActivitySlice &slice);
 
-    /** Accumulated activity of one phase. */
-    const power::ActivitySlice &phase(Phase p) const;
+    /**
+     * Add a *detached* worker-side slice: real work done on a
+     * prefetch worker thread concurrently with the main timeline.
+     * Kept separate from the main phases — the main timeline already
+     * contains the consumer's wait — so total() stays equal to the
+     * run's virtual duration.  Thread-safe.
+     */
+    void addWorker(Phase p, const power::ActivitySlice &slice);
 
-    /** Sum over all phases. */
+    /** Accumulated activity of one phase. */
+    power::ActivitySlice phase(Phase p) const;
+
+    /** Accumulated detached worker-side activity of one phase. */
+    power::ActivitySlice workerPhase(Phase p) const;
+
+    /** Sum over all (main-timeline) phases. */
     power::ActivitySlice total() const;
 
     device::Session &session() { return session_; }
 
+    TraceRecorder *trace() const { return trace_; }
+
   private:
     device::Session &session_;
+    TraceRecorder *trace_;
+    mutable std::mutex mutex_;
     std::array<power::ActivitySlice, kNumPhases> phases_;
+    std::array<power::ActivitySlice, kNumPhases> workerPhases_;
 };
 
 /** One node of the hierarchical profile tree. */
@@ -98,11 +145,22 @@ struct ProfileNode
     ProfileNode &child(const std::string &child_name);
 };
 
-/** pyinstrument-style scoped call-tree profiler. */
+/**
+ * pyinstrument-style scoped call-tree profiler.
+ *
+ * Threads share one tree: each thread keeps its own scope stack
+ * (rooted at the shared root), and node updates are serialized by a
+ * mutex, so concurrent scopes on prefetch workers are safe.  Worker-
+ * thread scopes measure per-thread CPU seconds (they must not touch
+ * the Session); main-thread scopes measure virtual time.  root() and
+ * report() reflect a consistent tree once recording threads have
+ * quiesced (e.g. after loaders joined).
+ */
 class Profiler
 {
   public:
-    explicit Profiler(device::Session &session);
+    explicit Profiler(device::Session &session,
+                      TraceRecorder *trace = nullptr);
 
     /** RAII scope; nest scopes to build the tree. */
     class Scope
@@ -115,7 +173,12 @@ class Profiler
 
       private:
         Profiler &profiler_;
+        bool onWorker_;
         device::Session::Snapshot start_;
+        core::ThreadCpuTimer cpuTimer_;
+        std::string name_;
+        double traceStart_ = 0.0;
+        bool traced_ = false;
     };
 
     Scope scope(const std::string &name) { return Scope(*this, name); }
@@ -127,9 +190,18 @@ class Profiler
     std::string report() const;
 
   private:
+    friend class Scope;
+
+    /** The calling thread's scope stack (created on first use). */
+    std::vector<ProfileNode *> &threadStack();
+
     device::Session &session_;
+    TraceRecorder *trace_;
     ProfileNode root_;
-    std::vector<ProfileNode *> stack_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::thread::id,
+                       std::unique_ptr<std::vector<ProfileNode *>>>
+        stacks_;
 };
 
 } // namespace profiling

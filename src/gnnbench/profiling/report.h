@@ -34,6 +34,15 @@ class Table
     /** Write the CSV rendering to @p path (fatal on I/O failure). */
     void writeCsv(const std::string &path) const;
 
+    /** Column headers, for structured (JSON) export. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Row cells, for structured (JSON) export. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

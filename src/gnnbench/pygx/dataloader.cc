@@ -61,7 +61,7 @@ NeighborLoader::NeighborLoader(
         std::make_unique<sampling::Prefetcher<TimedNeighbor>>(
             neighborProducers(proto, rng, seedBatches_, num_workers),
             static_cast<int64_t>(seedBatches_->size()),
-            prefetch_depth);
+            prefetch_depth, "pyg-neighbor");
 }
 
 std::optional<NeighborBatch>
@@ -89,7 +89,8 @@ NeighborLoader::workerBusySeconds()
 
 EdgeBatchLoader::EdgeBatchLoader(std::vector<Producer> producers,
                                  int num_batches, int prefetch_depth,
-                                 device::Session *session)
+                                 device::Session *session,
+                                 std::string lane_tag)
     : session_(session)
 {
     std::vector<sampling::Prefetcher<TimedEdge>::Producer> wrapped;
@@ -99,7 +100,8 @@ EdgeBatchLoader::EdgeBatchLoader(std::vector<Producer> producers,
             return producer();
         });
     prefetcher_ = std::make_unique<sampling::Prefetcher<TimedEdge>>(
-        std::move(wrapped), num_batches, prefetch_depth);
+        std::move(wrapped), num_batches, prefetch_depth,
+        std::move(lane_tag));
 }
 
 std::optional<EdgeBatch>
@@ -145,7 +147,7 @@ makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
         });
     }
     return EdgeBatchLoader(std::move(producers), num_batches,
-                           prefetch_depth, session);
+                           prefetch_depth, session, "pyg-cluster");
 }
 
 EdgeBatchLoader
@@ -167,7 +169,7 @@ makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
         });
     }
     return EdgeBatchLoader(std::move(producers), num_batches,
-                           prefetch_depth, session);
+                           prefetch_depth, session, "pyg-saint");
 }
 
 } // namespace pygx

@@ -91,6 +91,13 @@ class NeighborLoader
     /** Per-worker sampling busy seconds (joins workers first). */
     const std::vector<double> &workerBusySeconds();
 
+    /** Aggregate prefetch-queue statistics. */
+    const core::parallel::QueueStats &
+    queueStats() const
+    {
+        return prefetcher_->queueStats();
+    }
+
   private:
     std::shared_ptr<const std::vector<std::vector<NodeId>>>
         seedBatches_;
@@ -111,8 +118,10 @@ class EdgeBatchLoader
      *  clone and reports its modeled interpreter seconds. */
     using Producer = std::function<detail::Timed<EdgeBatch>()>;
 
+    /** @param lane_tag trace-lane prefix for the workers. */
     EdgeBatchLoader(std::vector<Producer> producers, int num_batches,
-                    int prefetch_depth, device::Session *session);
+                    int prefetch_depth, device::Session *session,
+                    std::string lane_tag = "pyg-induced");
 
     /** Next batch in order (charges its modeled overhead). */
     std::optional<EdgeBatch> next();
@@ -120,6 +129,13 @@ class EdgeBatchLoader
     void shutdown();
 
     const std::vector<double> &workerBusySeconds();
+
+    /** Aggregate prefetch-queue statistics. */
+    const core::parallel::QueueStats &
+    queueStats() const
+    {
+        return prefetcher_->queueStats();
+    }
 
   private:
     device::Session *session_;

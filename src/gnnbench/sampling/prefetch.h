@@ -19,6 +19,13 @@
  * excluding queue waits) is recorded for the scaling ablation's
  * pipeline-throughput metric.
  *
+ * Observability: every queue shares one QueueStats tally (depth,
+ * enqueue/dequeue blocking) that is flushed into the process metrics
+ * registry at shutdown under "prefetch.*"; when tracing is enabled,
+ * each worker names its lane "<tag>/w<k>" and wraps each batch
+ * production in a "batch <i>" trace event, so the pipeline's overlap
+ * is visible in Perfetto.
+ *
  * Shutdown is always clean: shutdown() closes every queue — which
  * unblocks producers stuck in push() — and joins all threads.  The
  * destructor calls shutdown(), so destroying a loader mid-epoch
@@ -35,12 +42,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/core/timer.h"
+#include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/trace.h"
 
 namespace gnnbench {
 namespace sampling {
@@ -57,10 +67,13 @@ class Prefetcher
      * batch indices w, w + W, w + 2W, ... (W = producers.size());
      * each must be safe to run on its own thread (samplers: a clone
      * with a private RNG stream).
+     *
+     * @param lane_tag prefix for the workers' trace-lane names
+     *   ("<tag>/w<k>"), e.g. "dgl-neighbor".
      */
     Prefetcher(std::vector<Producer> producers, int64_t num_batches,
-               int depth)
-        : numBatches_(num_batches),
+               int depth, std::string lane_tag = "worker")
+        : numBatches_(num_batches), laneTag_(std::move(lane_tag)),
           busySeconds_(producers.size(), 0.0),
           errors_(producers.size())
     {
@@ -72,7 +85,7 @@ class Prefetcher
         for (size_t w = 0; w < workers; ++w)
             queues_.push_back(
                 std::make_unique<core::parallel::BoundedQueue<Batch>>(
-                    static_cast<size_t>(depth)));
+                    static_cast<size_t>(depth), &queueStats_));
         threads_.reserve(workers);
         for (size_t w = 0; w < workers; ++w)
             threads_.emplace_back(
@@ -120,7 +133,8 @@ class Prefetcher
     /**
      * Stop producing and join all workers (idempotent).  Producers
      * blocked on a full queue observe the close and exit; a batch
-     * mid-production is finished, then discarded.
+     * mid-production is finished, then discarded.  Queue statistics
+     * are flushed into the metrics registry here, once.
      */
     void
     shutdown()
@@ -133,6 +147,7 @@ class Prefetcher
             if (t.joinable())
                 t.join();
         joined_ = true;
+        flushQueueMetrics();
     }
 
     /**
@@ -148,12 +163,22 @@ class Prefetcher
         return busySeconds_;
     }
 
+    /** Aggregate queue statistics across this pipeline's queues. */
+    const core::parallel::QueueStats &
+    queueStats() const
+    {
+        return queueStats_;
+    }
+
   private:
     void
     runWorker(size_t w, const Producer &producer)
     {
         // One core per worker: nested parallelFor runs serially.
         core::parallel::WorkerThreadScope scope;
+        profiling::TraceRecorder &trace =
+            profiling::TraceRecorder::global();
+        trace.setThreadLaneName(laneTag_ + "/w" + std::to_string(w));
         // CPU time, not wall time: excludes time this worker spent
         // descheduled while other workers shared the core(s).
         core::ThreadCpuTimer timer;
@@ -163,9 +188,15 @@ class Prefetcher
             for (int64_t i = static_cast<int64_t>(w);
                  i < numBatches_; i += stride) {
                 timer.reset();
-                Batch batch = producer(i);
+                std::optional<Batch> batch;
+                {
+                    profiling::TraceScope ts(
+                        trace, "batch " + std::to_string(i),
+                        "prefetch");
+                    batch.emplace(producer(i));
+                }
                 busy += timer.elapsed();
-                if (!queues_[w]->push(std::move(batch)))
+                if (!queues_[w]->push(std::move(*batch)))
                     break; // shut down mid-epoch
             }
         } catch (...) {
@@ -173,13 +204,43 @@ class Prefetcher
             errors_[w] = std::current_exception();
         }
         busySeconds_[w] = busy;
+        profiling::flushRngDraws();
         // Signals completion (or failure) to a blocked consumer;
         // batches already queued still drain in order.
         queues_[w]->close();
     }
 
+    /** Fold this pipeline's QueueStats into the global registry. */
+    void
+    flushQueueMetrics()
+    {
+        namespace pm = profiling;
+        auto &reg = pm::MetricsRegistry::global();
+        const auto &s = queueStats_;
+        const uint64_t pushes = s.pushes.load();
+        const uint64_t pops = s.pops.load();
+        reg.counter("prefetch.batches").add(pushes);
+        reg.counter("prefetch.enqueue_blocks")
+            .add(s.enqueueBlocks.load());
+        reg.counter("prefetch.dequeue_blocks")
+            .add(s.dequeueBlocks.load());
+        reg.counter("prefetch.enqueue_block_nanos")
+            .add(s.enqueueBlockNanos.load());
+        reg.counter("prefetch.dequeue_block_nanos")
+            .add(s.dequeueBlockNanos.load());
+        reg.gauge("prefetch.queue_depth_peak")
+            .updateMax(static_cast<double>(s.maxDepth.load()));
+        if (pops > 0)
+            reg.histogram("prefetch.queue_depth",
+                          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0})
+                .observe(static_cast<double>(s.depthSum.load()) /
+                         static_cast<double>(pops));
+    }
+
     int64_t numBatches_;
     int64_t nextBatch_ = 0;
+    std::string laneTag_;
+    core::parallel::QueueStats queueStats_;
     std::vector<std::unique_ptr<core::parallel::BoundedQueue<Batch>>>
         queues_;
     std::vector<std::thread> threads_;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/profiling/trace.h"
 #include "gnnbench/pygx/dataloader.h"
 #include "gnnbench/sampling/prefetch.h"
 
@@ -123,6 +124,52 @@ TEST(Prefetcher, WorkerBusySecondsCoverAllWorkers)
     ASSERT_EQ(busy.size(), 3u);
     for (double b : busy)
         EXPECT_GE(b, 0.0);
+}
+
+TEST(Prefetcher, QueueStatsCountBatchesAndBackpressure)
+{
+    // Depth-1 queues with instant producers and a slow consumer:
+    // every worker spends most of the run blocked on a full queue.
+    Prefetcher<int64_t> p(echoProducers(2), 40, 1);
+    int64_t delivered = 0;
+    while (auto got = p.next()) {
+        EXPECT_EQ(*got, delivered);
+        ++delivered;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    EXPECT_EQ(delivered, 40);
+    p.shutdown();
+    const core::parallel::QueueStats &qs = p.queueStats();
+    EXPECT_EQ(qs.pushes.load(), 40u);
+    EXPECT_EQ(qs.pops.load(), 40u);
+    EXPECT_GT(qs.enqueueBlocks.load(), 0u);
+    EXPECT_GE(qs.enqueueBlockNanos.load(),
+              qs.enqueueBlocks.load()); // blocks take > 1 ns each
+    EXPECT_GE(qs.maxDepth.load(), 1u);
+}
+
+TEST(Prefetcher, TracingRecordsOneLanePerWorker)
+{
+    auto &trace = profiling::TraceRecorder::global();
+    trace.enable();
+    {
+        Prefetcher<int64_t> p(echoProducers(4), 16, 2, "pftest");
+        while (p.next())
+            ;
+    }
+    int worker_lanes = 0;
+    size_t batch_events = 0;
+    for (const auto &lane : trace.lanesSnapshot())
+        if (lane.name.rfind("pftest/w", 0) == 0) {
+            ++worker_lanes;
+            for (const auto &e : lane.events)
+                if (e.name.rfind("batch ", 0) == 0)
+                    ++batch_events;
+        }
+    EXPECT_EQ(worker_lanes, 4);
+    EXPECT_EQ(batch_events, 16u); // one production event per batch
+    trace.clear();
+    trace.disable();
 }
 
 class LoaderTest : public ::testing::Test

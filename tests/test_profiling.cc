@@ -4,7 +4,10 @@
 
 #include "gnnbench/profiling/profiler.h"
 #include <fstream>
+#include <thread>
+#include <vector>
 
+#include "gnnbench/core/parallel.h"
 #include "gnnbench/profiling/report.h"
 
 namespace gnnbench {
@@ -72,6 +75,62 @@ TEST(PhaseTracker, TotalSumsPhases)
                 1e-9);
 }
 
+TEST(PhaseTracker, ConcurrentAddIsSafeAndExact)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&tracker] {
+            power::ActivitySlice s;
+            s.cpuBusySeconds = 0.001;
+            for (int i = 0; i < kAdds; ++i)
+                tracker.add(Phase::Sampling, s);
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_NEAR(tracker.phase(Phase::Sampling).cpuBusySeconds,
+                kThreads * kAdds * 0.001, 1e-6);
+}
+
+TEST(PhaseTracker, WorkerThreadScopeGoesToWorkerTally)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    std::thread worker([&tracker] {
+        core::parallel::WorkerThreadScope mark;
+        auto s = tracker.track(Phase::Sampling);
+        spin();
+    });
+    worker.join();
+    // Worker time is detached: the main phases stay empty and the
+    // measured CPU busy seconds land in the worker tally.
+    EXPECT_EQ(tracker.phase(Phase::Sampling).seconds(), 0.0);
+    EXPECT_GT(tracker.workerPhase(Phase::Sampling).cpuBusySeconds,
+              0.0);
+    EXPECT_EQ(tracker.total().seconds(), 0.0);
+}
+
+TEST(PhaseTracker, AddWorkerKeepsTotalUnchanged)
+{
+    device::Session session;
+    PhaseTracker tracker(session);
+    {
+        auto s = tracker.track(Phase::Training);
+        session.chargeCpuOverhead(0.25);
+    }
+    const double before = tracker.total().seconds();
+    power::ActivitySlice w;
+    w.cpuBusySeconds = 7.0;
+    tracker.addWorker(Phase::Sampling, w);
+    EXPECT_NEAR(before, 0.25, 0.05);
+    EXPECT_EQ(tracker.total().seconds(), before);
+    EXPECT_NEAR(tracker.workerPhase(Phase::Sampling).cpuBusySeconds,
+                7.0, 1e-12);
+}
+
 TEST(Profiler, BuildsNestedTree)
 {
     device::Session session;
@@ -101,6 +160,34 @@ TEST(Profiler, BuildsNestedTree)
     EXPECT_EQ(sample.calls, 2);
     EXPECT_NEAR(sample.slice.cpuBusySeconds, 0.2, 0.02);
     EXPECT_NE(prof.report().find("epoch"), std::string::npos);
+}
+
+TEST(Profiler, ConcurrentScopesMergeIntoSharedTree)
+{
+    device::Session session;
+    Profiler prof(session);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&prof] {
+            core::parallel::WorkerThreadScope mark;
+            for (int i = 0; i < kIters; ++i) {
+                auto outer = prof.scope("produce");
+                auto inner = prof.scope("sample");
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    // All threads share one tree rooted at the same node: one
+    // "produce" child with one "sample" child, call counts exact.
+    const ProfileNode &root = prof.root();
+    ASSERT_EQ(root.children.size(), 1u);
+    const ProfileNode &produce = *root.children[0];
+    EXPECT_EQ(produce.name, "produce");
+    EXPECT_EQ(produce.calls, kThreads * kIters);
+    ASSERT_EQ(produce.children.size(), 1u);
+    EXPECT_EQ(produce.children[0]->calls, kThreads * kIters);
 }
 
 TEST(Report, TableAlignsAndRenders)

@@ -1,0 +1,359 @@
+/** Tests for the trace recorder, JSON writer, and metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gnnbench/profiling/json_writer.h"
+#include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/trace.h"
+
+namespace gnnbench {
+namespace profiling {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonWriter, ObjectsArraysAndEscaping)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.value("s", "a\"b\\c\n\t");
+        w.value("i", int64_t{-42});
+        w.value("u", uint64_t{42});
+        w.value("d", 1.5);
+        w.value("b", true);
+        w.beginArray("arr");
+        w.value(int64_t{1});
+        w.value("two");
+        w.endArray();
+        w.beginObject("nested");
+        w.endObject();
+        w.endObject();
+    }
+    const std::string s = out.str();
+    EXPECT_EQ(s, "{\"s\":\"a\\\"b\\\\c\\n\\t\",\"i\":-42,\"u\":42,"
+                 "\"d\":1.5,\"b\":true,\"arr\":[1,\"two\"],"
+                 "\"nested\":{}}");
+    EXPECT_TRUE(json::valid(s));
+}
+
+TEST(JsonWriter, ControlCharactersEscaped)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.value("k", std::string("a\x01z"));
+    w.endObject();
+    EXPECT_EQ(out.str(), "{\"k\":\"a\\u0001z\"}");
+    EXPECT_TRUE(json::valid(out.str()));
+}
+
+TEST(JsonValidator, AcceptsAndRejects)
+{
+    EXPECT_TRUE(json::valid("{}"));
+    EXPECT_TRUE(json::valid("[1, 2.5, -3e2, \"x\", null, true]"));
+    EXPECT_TRUE(json::valid("{\"a\": {\"b\": [false]}}"));
+    EXPECT_FALSE(json::valid(""));
+    EXPECT_FALSE(json::valid("{"));
+    EXPECT_FALSE(json::valid("{\"a\": }"));
+    EXPECT_FALSE(json::valid("[1,]"));
+    EXPECT_FALSE(json::valid("{} extra"));
+    EXPECT_FALSE(json::valid("'single'"));
+}
+
+// --------------------------------------------------------------- Trace
+
+/** Recorder on a manual clock the test advances explicitly. */
+struct ManualClockRecorder
+{
+    double now = 0.0;
+    TraceRecorder rec;
+
+    ManualClockRecorder() : rec([this] { return now; }) {}
+};
+
+TEST(TraceRecorder, DisabledRecorderRecordsNothing)
+{
+    ManualClockRecorder m;
+    m.rec.record("e", "cat", 0.0, 1.0);
+    EXPECT_EQ(m.rec.eventCount(), 0u);
+}
+
+TEST(TraceRecorder, EventsOrderedPerLane)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    // Record out of order; the snapshot sorts by start time.
+    m.rec.record("b", "cat", 2.0, 3.0);
+    m.rec.record("a", "cat", 0.0, 1.0);
+    const auto lanes = m.rec.lanesSnapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    EXPECT_EQ(lanes[0].name, "main");
+    ASSERT_EQ(lanes[0].events.size(), 2u);
+    EXPECT_EQ(lanes[0].events[0].name, "a");
+    EXPECT_EQ(lanes[0].events[1].name, "b");
+    EXPECT_DOUBLE_EQ(lanes[0].events[1].startSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(lanes[0].events[1].durationSeconds, 1.0);
+}
+
+TEST(TraceRecorder, ScopePairsBeginEndOnManualClock)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    {
+        TraceScope outer(m.rec, "outer", "scope");
+        m.now = 1.0;
+        {
+            TraceScope inner(m.rec, "inner", "scope");
+            m.now = 3.0;
+        }
+        m.now = 4.0;
+    }
+    const auto lanes = m.rec.lanesSnapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    ASSERT_EQ(lanes[0].events.size(), 2u);
+    // Sorted by start: outer [0, 4], inner [1, 3] — proper nesting.
+    EXPECT_EQ(lanes[0].events[0].name, "outer");
+    EXPECT_DOUBLE_EQ(lanes[0].events[0].durationSeconds, 4.0);
+    EXPECT_EQ(lanes[0].events[1].name, "inner");
+    EXPECT_DOUBLE_EQ(lanes[0].events[1].startSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(lanes[0].events[1].durationSeconds, 2.0);
+}
+
+TEST(TraceRecorder, DeterministicOutputUnderFixedClock)
+{
+    auto build = [](std::string &out) {
+        ManualClockRecorder m;
+        m.rec.enable();
+        m.rec.record("x", "phase", 0.25, 0.75);
+        m.rec.recordSynthetic(TraceRecorder::kGpuLane, "k", "gpu",
+                              0.25, 0.1);
+        std::ostringstream os;
+        m.rec.writeChromeTrace(os);
+        out = os.str();
+    };
+    std::string a, b;
+    build(a);
+    build(b);
+    EXPECT_EQ(a, b);  // byte-identical across runs
+    EXPECT_TRUE(json::valid(a));
+    EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(a.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    // Microsecond timestamps of the 0.25 s start.
+    EXPECT_NE(a.find("\"ts\":250000"), std::string::npos);
+}
+
+TEST(TraceRecorder, ThreadsGetOwnLanes)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.record("main-event", "cat", 0.0, 1.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t)
+        threads.emplace_back([&m, t] {
+            m.rec.setThreadLaneName("w" + std::to_string(t));
+            m.rec.record("worker-event", "cat", 0.0, 1.0);
+        });
+    for (auto &t : threads)
+        t.join();
+    const auto lanes = m.rec.lanesSnapshot();
+    ASSERT_EQ(lanes.size(), 4u);
+    EXPECT_EQ(lanes[0].name, "main");
+    int worker_lanes = 0;
+    for (const auto &lane : lanes)
+        if (lane.name.size() == 2 && lane.name[0] == 'w') {
+            ++worker_lanes;
+            ASSERT_EQ(lane.events.size(), 1u);
+            EXPECT_EQ(lane.events[0].name, "worker-event");
+        }
+    EXPECT_EQ(worker_lanes, 3);
+}
+
+TEST(TraceRecorder, SyntheticLanesAreSeparateAndReused)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.recordSynthetic(TraceRecorder::kGpuLane, "k1", "gpu", 0.0,
+                          0.1);
+    m.rec.recordSynthetic(TraceRecorder::kGpuLane, "k2", "gpu", 0.2,
+                          0.1);
+    m.rec.recordSynthetic(TraceRecorder::kPcieLane, "xfer", "pcie",
+                          0.0, 0.05);
+    const auto lanes = m.rec.lanesSnapshot();
+    ASSERT_EQ(lanes.size(), 3u);  // main + gpu + pcie
+    int synthetic = 0;
+    for (const auto &lane : lanes)
+        if (lane.synthetic) {
+            ++synthetic;
+            EXPECT_GE(lane.tid, 1000);
+        }
+    EXPECT_EQ(synthetic, 2);
+}
+
+TEST(TraceRecorder, ClearDropsEventsKeepsThreadLanes)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.record("e", "cat", 0.0, 1.0);
+    m.rec.recordSynthetic(TraceRecorder::kGpuLane, "k", "gpu", 0.0,
+                          0.1);
+    m.rec.clear();
+    EXPECT_EQ(m.rec.eventCount(), 0u);
+    EXPECT_TRUE(m.rec.enabled());
+    // The calling thread's lane survives and records again.
+    m.rec.record("after", "cat", 2.0, 3.0);
+    const auto lanes = m.rec.lanesSnapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    EXPECT_EQ(lanes[0].events.size(), 1u);
+}
+
+TEST(TraceRecorder, WriteChromeTraceEmitsMetadataPerLane)
+{
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.record("e", "phase", 0.0, 1.0);
+    std::ostringstream os;
+    m.rec.writeChromeTrace(os);
+    const std::string s = os.str();
+    EXPECT_TRUE(json::valid(s));
+    EXPECT_NE(s.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(s.find("\"thread_sort_index\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- Metrics
+
+TEST(Metrics, CounterSumsAcrossThreads)
+{
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), uint64_t{kThreads} * kAdds);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeTracksMax)
+{
+    Gauge g;
+    g.updateMax(3.0);
+    g.updateMax(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.set(0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 0.5);
+}
+
+TEST(Metrics, HistogramBucketsObservations)
+{
+    Histogram h({1.0, 10.0});
+    h.observe(0.5);   // bucket 0 (<= 1)
+    h.observe(1.0);   // bucket 0 (bound inclusive)
+    h.observe(5.0);   // bucket 1 (<= 10)
+    h.observe(100.0); // +inf bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 106.5 / 4.0);
+}
+
+TEST(Metrics, RegistryIsStableAndWritesJson)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("test.counter");
+    c.add(5);
+    EXPECT_EQ(&reg.counter("test.counter"), &c);  // stable reference
+    reg.gauge("test.gauge").set(2.5);
+    reg.histogram("test.hist", {1.0}).observe(0.5);
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        reg.writeJson(w, "metrics");
+        w.endObject();
+    }
+    const std::string s = os.str();
+    EXPECT_TRUE(json::valid(s));
+    EXPECT_NE(s.find("\"test.counter\":5"), std::string::npos);
+    EXPECT_NE(s.find("\"test.gauge\":2.5"), std::string::npos);
+    EXPECT_NE(s.find("\"test.hist\""), std::string::npos);
+
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);  // reset zeroes, reference stays valid
+    const auto counters = reg.counterValues();
+    EXPECT_TRUE(counters.empty());  // zero counters are not reported
+}
+
+// ---------------------------------------------------------- Run report
+
+TEST(RunReport, WritesValidDocumentWithTablesAndMetrics)
+{
+    Table t({"col1", "col2"});
+    t.addRow({"a", "1"});
+    t.addRow({"b", "2"});
+
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.record("sampling", "phase", 0.0, 1.0);
+
+    RunRecord run;
+    run.dataset = "flickr";
+    run.config = "DGL-CPU";
+    run.phases[static_cast<int>(Phase::Sampling)].cpuBusySeconds =
+        1.25;
+    run.workerPhases[static_cast<int>(Phase::Sampling)]
+        .cpuBusySeconds = 0.5;
+    run.energy.seconds = 1.25;
+    run.energy.cpuJoules = 10.0;
+
+    RunReportContext ctx;
+    ctx.benchName = "test_bench";
+    ctx.options = {{"datasets", "flickr"}, {"workers", "2"}};
+    ctx.runs = {run};
+    ctx.tables = {{"results", &t}};
+    ctx.trace = &m.rec;
+    ctx.metrics = &MetricsRegistry::global();
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/report.json";
+    writeRunReport(path, ctx);
+
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+    EXPECT_TRUE(json::valid(doc));
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gnnbench\""), std::string::npos);
+    EXPECT_NE(doc.find("\"bench\":\"test_bench\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"dataset\":\"flickr\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sampling\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker_phases\""), std::string::npos);
+    EXPECT_NE(doc.find("\"total_seconds\":1.25"), std::string::npos);
+    EXPECT_NE(doc.find("\"results\""), std::string::npos);
+    EXPECT_NE(doc.find("\"col1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace gnnbench
