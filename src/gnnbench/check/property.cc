@@ -1,0 +1,276 @@
+#include "gnnbench/check/property.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "gnnbench/core/parallel.h"
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace check {
+
+namespace {
+
+NodeId
+randomNode(core::Rng &rng, NodeId n)
+{
+    return static_cast<NodeId>(
+        rng.uniformInt(static_cast<uint64_t>(n)));
+}
+
+void
+addUniformEdges(graph::CooGraph &g, EdgeId m, core::Rng &rng)
+{
+    for (EdgeId e = 0; e < m; ++e) {
+        g.src.push_back(randomNode(rng, g.numNodes));
+        g.dst.push_back(randomNode(rng, g.numNodes));
+    }
+}
+
+} // namespace
+
+const char *
+shapeName(GraphShape s)
+{
+    switch (s) {
+    case GraphShape::Sparse: return "sparse";
+    case GraphShape::Dense: return "dense";
+    case GraphShape::Skewed: return "skewed";
+    case GraphShape::Empty: return "empty";
+    case GraphShape::SingleNode: return "single-node";
+    case GraphShape::Star: return "star";
+    case GraphShape::Path: return "path";
+    case GraphShape::SelfLoops: return "self-loops";
+    case GraphShape::DuplicateEdges: return "duplicate-edges";
+    case GraphShape::IsolatedNodes: return "isolated-nodes";
+    }
+    return "?";
+}
+
+uint64_t
+caseSeed(uint64_t base, int index)
+{
+    // SplitMix64-finalized so adjacent indices give decorrelated
+    // generator streams.
+    return core::parallel::chunkSeed(base, 0xC0DEC4E5ULL,
+                                    static_cast<uint64_t>(index));
+}
+
+GraphCase
+generateGraphCase(uint64_t seed)
+{
+    GraphCase c;
+    c.seed = seed;
+    core::Rng rng(seed);
+    c.shape = static_cast<GraphShape>(rng.uniformInt(10));
+    graph::CooGraph &g = c.coo;
+    switch (c.shape) {
+    case GraphShape::Sparse: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(63));
+        addUniformEdges(g, static_cast<EdgeId>(rng.uniformInt(
+                               static_cast<uint64_t>(2 * g.numNodes))),
+                        rng);
+        break;
+    }
+    case GraphShape::Dense: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(14));
+        const auto n = static_cast<uint64_t>(g.numNodes);
+        addUniformEdges(
+            g, static_cast<EdgeId>(1 + rng.uniformInt(n * n)), rng);
+        break;
+    }
+    case GraphShape::Skewed: {
+        g.numNodes = 4 + static_cast<NodeId>(rng.uniformInt(60));
+        const auto m =
+            static_cast<EdgeId>(2 + rng.uniformInt(
+                                    static_cast<uint64_t>(
+                                        3 * g.numNodes)));
+        for (EdgeId e = 0; e < m; ++e) {
+            // Preferential attachment: half the time reuse an
+            // endpoint of an earlier edge, skewing the degrees.
+            NodeId u = randomNode(rng, g.numNodes);
+            NodeId v = randomNode(rng, g.numNodes);
+            if (!g.src.empty() && rng.uniformInt(2) == 0)
+                u = g.src[rng.uniformInt(g.src.size())];
+            if (!g.dst.empty() && rng.uniformInt(2) == 0)
+                v = g.dst[rng.uniformInt(g.dst.size())];
+            g.src.push_back(u);
+            g.dst.push_back(v);
+        }
+        break;
+    }
+    case GraphShape::Empty: {
+        g.numNodes = 1 + static_cast<NodeId>(rng.uniformInt(8));
+        break;
+    }
+    case GraphShape::SingleNode: {
+        g.numNodes = 1;
+        if (rng.uniformInt(2) == 0) {
+            g.src.push_back(0);
+            g.dst.push_back(0);
+        }
+        break;
+    }
+    case GraphShape::Star: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(40));
+        for (NodeId v = 1; v < g.numNodes; ++v) {
+            if (rng.uniformInt(2) == 0) {
+                g.src.push_back(0);
+                g.dst.push_back(v);
+            } else {
+                g.src.push_back(v);
+                g.dst.push_back(0);
+            }
+        }
+        break;
+    }
+    case GraphShape::Path: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(40));
+        for (NodeId v = 0; v + 1 < g.numNodes; ++v) {
+            g.src.push_back(v);
+            g.dst.push_back(v + 1);
+        }
+        break;
+    }
+    case GraphShape::SelfLoops: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(30));
+        addUniformEdges(g, static_cast<EdgeId>(rng.uniformInt(
+                               static_cast<uint64_t>(g.numNodes))),
+                        rng);
+        const auto loops = 1 + rng.uniformInt(
+                                   static_cast<uint64_t>(g.numNodes));
+        for (uint64_t i = 0; i < loops; ++i) {
+            const NodeId v = randomNode(rng, g.numNodes);
+            g.src.push_back(v);
+            g.dst.push_back(v);
+        }
+        break;
+    }
+    case GraphShape::DuplicateEdges: {
+        g.numNodes = 2 + static_cast<NodeId>(rng.uniformInt(30));
+        addUniformEdges(g, static_cast<EdgeId>(1 + rng.uniformInt(
+                               static_cast<uint64_t>(g.numNodes))),
+                        rng);
+        const auto dups =
+            1 + rng.uniformInt(static_cast<uint64_t>(g.src.size()));
+        for (uint64_t i = 0; i < dups; ++i) {
+            const size_t e = rng.uniformInt(g.src.size());
+            g.src.push_back(g.src[e]);
+            g.dst.push_back(g.dst[e]);
+        }
+        break;
+    }
+    case GraphShape::IsolatedNodes: {
+        g.numNodes = 4 + static_cast<NodeId>(rng.uniformInt(60));
+        const NodeId active = std::max<NodeId>(1, g.numNodes / 2);
+        const auto m = rng.uniformInt(
+            static_cast<uint64_t>(2 * active));
+        for (uint64_t e = 0; e < m; ++e) {
+            g.src.push_back(randomNode(rng, active));
+            g.dst.push_back(randomNode(rng, active));
+        }
+        break;
+    }
+    }
+    return c;
+}
+
+std::vector<graph::CooGraph>
+shrinkGraph(const graph::CooGraph &g)
+{
+    std::vector<graph::CooGraph> out;
+    const size_t m = g.src.size();
+    // Candidate 1/2: keep only the first / second half of the edges.
+    if (m > 0) {
+        for (int half = 0; half < 2; ++half) {
+            graph::CooGraph s;
+            s.numNodes = g.numNodes;
+            const size_t b = half == 0 ? 0 : m / 2;
+            const size_t e = half == 0 ? (m + 1) / 2 : m;
+            s.src.assign(g.src.begin() + b, g.src.begin() + e);
+            s.dst.assign(g.dst.begin() + b, g.dst.begin() + e);
+            if (s.src.size() < m)
+                out.push_back(std::move(s));
+        }
+        // Candidate 3: drop every other edge.
+        graph::CooGraph s;
+        s.numNodes = g.numNodes;
+        for (size_t e = 0; e < m; e += 2) {
+            s.src.push_back(g.src[e]);
+            s.dst.push_back(g.dst[e]);
+        }
+        if (s.src.size() < m)
+            out.push_back(std::move(s));
+    }
+    // Candidate 4: restrict to the first half of the nodes.
+    if (g.numNodes > 1) {
+        graph::CooGraph s;
+        s.numNodes = (g.numNodes + 1) / 2;
+        for (size_t e = 0; e < m; ++e)
+            if (g.src[e] < s.numNodes && g.dst[e] < s.numNodes) {
+                s.src.push_back(g.src[e]);
+                s.dst.push_back(g.dst[e]);
+            }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+bool
+checkProperty(const std::string &name, const Property &fn,
+              const PropertyOptions &opts)
+{
+    std::ostream &os = opts.out ? *opts.out : std::cerr;
+    for (int i = 0; i < opts.numCases; ++i) {
+        const uint64_t seed = caseSeed(opts.baseSeed, i);
+        GraphCase c = generateGraphCase(seed);
+        ScopedContext ctx([&] {
+            std::ostringstream oss;
+            oss << "property '" << name << "' case #" << i
+                << ", repro seed=" << seed;
+            return oss.str();
+        }());
+        Result r = fn(c);
+        if (r.ok)
+            continue;
+
+        // Greedy shrink: adopt any smaller candidate that still
+        // fails, restart from it, stop when none fails.
+        GraphCase shrunk = c;
+        std::string message = r.message;
+        int steps = 0;
+        bool progressed = true;
+        while (progressed && steps < opts.maxShrinkSteps) {
+            progressed = false;
+            for (graph::CooGraph &cand : shrinkGraph(shrunk.coo)) {
+                GraphCase next = shrunk;
+                next.coo = std::move(cand);
+                Result rr = fn(next);
+                if (!rr.ok) {
+                    shrunk = std::move(next);
+                    message = rr.message;
+                    progressed = true;
+                    ++steps;
+                    break;
+                }
+            }
+        }
+
+        os << "[gnncheck] property '" << name << "' FAILED on case #"
+           << i << " (shape=" << shapeName(c.shape) << ")\n"
+           << "[gnncheck]   repro seed: " << seed
+           << "  (generateGraphCase(" << seed << "), base seed "
+           << opts.baseSeed << ")\n"
+           << "[gnncheck]   original: nodes=" << c.coo.numNodes
+           << " edges=" << c.coo.src.size()
+           << "; shrunk: nodes=" << shrunk.coo.numNodes
+           << " edges=" << shrunk.coo.src.size() << " (" << steps
+           << " shrink steps)\n"
+           << "[gnncheck]   violation: " << message << std::endl;
+        return false;
+    }
+    return true;
+}
+
+} // namespace check
+} // namespace gnnbench

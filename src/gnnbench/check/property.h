@@ -1,0 +1,88 @@
+/**
+ * @file
+ * gnncheck: seeded property-based testing harness.
+ *
+ * QuickCheck-style flow: a single uint64 seed deterministically
+ * generates one random graph case (size, density, and degenerate
+ * shapes — empty graph, single node, star, path, self-loops,
+ * duplicate edges, isolated nodes), a property is a function from a
+ * case to a check::Result, and checkProperty() runs N seeded cases.
+ * On failure it greedily *shrinks* the counterexample (fewer edges,
+ * fewer nodes) while the property keeps failing, then prints the
+ * repro seed and the shrunk case so the failure is reproducible from
+ * the log alone.
+ */
+
+#ifndef GNNBENCH_CHECK_PROPERTY_H
+#define GNNBENCH_CHECK_PROPERTY_H
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gnnbench/check/validate.h"
+#include "gnnbench/graph/coo.h"
+
+namespace gnnbench {
+namespace check {
+
+/** The generator's case families. */
+enum class GraphShape
+{
+    Sparse,          ///< uniform random, low density
+    Dense,           ///< uniform random, high density
+    Skewed,          ///< preferential-attachment-like degree skew
+    Empty,           ///< nodes, no edges
+    SingleNode,      ///< one node (possibly with a self-loop)
+    Star,            ///< hub node with spokes in both directions
+    Path,            ///< chain
+    SelfLoops,       ///< random graph plus self-loops
+    DuplicateEdges,  ///< random graph with repeated edges
+    IsolatedNodes,   ///< edges confined to a node prefix
+};
+
+const char *shapeName(GraphShape s);
+
+/** One generated case: the seed that produced it plus the graph. */
+struct GraphCase
+{
+    uint64_t seed = 0;
+    GraphShape shape = GraphShape::Sparse;
+    graph::CooGraph coo;
+};
+
+/** Deterministically generate the case for @p seed. */
+GraphCase generateGraphCase(uint64_t seed);
+
+/** Derive the seed of case @p index under base seed @p base. */
+uint64_t caseSeed(uint64_t base, int index);
+
+/** Smaller candidate graphs for shrinking (may be empty). */
+std::vector<graph::CooGraph> shrinkGraph(const graph::CooGraph &g);
+
+/** A property maps a case to ok / violation message. */
+using Property = std::function<Result(const GraphCase &)>;
+
+struct PropertyOptions
+{
+    int numCases = 200;
+    uint64_t baseSeed = 42;
+    /** Cap on accepted shrink steps. */
+    int maxShrinkSteps = 64;
+    /** Failure report sink; nullptr = stderr. */
+    std::ostream *out = nullptr;
+};
+
+/**
+ * Run @p fn on numCases seeded cases.  Returns true if all pass;
+ * otherwise shrinks the first failing case, prints a report with the
+ * repro seed, and returns false.
+ */
+bool checkProperty(const std::string &name, const Property &fn,
+                   const PropertyOptions &opts = {});
+
+} // namespace check
+} // namespace gnnbench
+
+#endif // GNNBENCH_CHECK_PROPERTY_H

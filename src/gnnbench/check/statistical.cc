@@ -1,0 +1,73 @@
+#include "gnnbench/check/statistical.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace gnnbench {
+namespace check {
+
+EstimatorStats
+saintEstimatorStats(const std::vector<double> &value,
+                    const NodeSetDraw &draw, int prob_draws,
+                    int estimate_draws)
+{
+    EstimatorStats out;
+    out.probDraws = prob_draws;
+    out.estimateDraws = estimate_draws;
+    const auto n = static_cast<double>(value.size());
+    for (double v : value)
+        out.fullMean += v;
+    out.fullMean /= n;
+
+    // Phase 1: empirical inclusion probabilities.  Nodes never seen
+    // get a floor of half a count so the estimate stays finite; with
+    // enough draws relative to the sampler's coverage this floor is
+    // irrelevant.
+    std::vector<double> counts(value.size(), 0.0);
+    for (int t = 0; t < prob_draws; ++t)
+        for (NodeId v : draw(t))
+            counts[static_cast<size_t>(v)] += 1.0;
+    std::vector<double> prob(value.size());
+    for (size_t v = 0; v < prob.size(); ++v)
+        prob[v] = std::max(counts[v], 0.5) /
+                  static_cast<double>(prob_draws);
+
+    // Phase 2: independent draws, Horvitz-Thompson estimates of
+    // mean(value): (1/N) * sum_{v in S} value[v] / p(v).
+    double sum = 0.0, sumsq = 0.0;
+    for (int t = 0; t < estimate_draws; ++t) {
+        double est = 0.0;
+        for (NodeId v : draw(prob_draws + t))
+            est += value[static_cast<size_t>(v)] /
+                   prob[static_cast<size_t>(v)];
+        est /= n;
+        sum += est;
+        sumsq += est * est;
+    }
+    const auto d = static_cast<double>(estimate_draws);
+    out.htMean = sum / d;
+    const double var =
+        std::max(0.0, sumsq / d - out.htMean * out.htMean);
+    out.stdError = std::sqrt(var / d);
+    out.zScore = out.stdError > 1e-12
+                     ? (out.htMean - out.fullMean) / out.stdError
+                     : 0.0;
+    return out;
+}
+
+Result
+checkSaintUnbiased(const EstimatorStats &stats, double z_limit)
+{
+    if (std::fabs(stats.zScore) <= z_limit)
+        return Result::pass();
+    std::ostringstream oss;
+    oss << "saint estimator biased: full-batch mean "
+        << stats.fullMean << ", HT estimate " << stats.htMean
+        << " +- " << stats.stdError << " (z = " << stats.zScore
+        << " over " << stats.estimateDraws << " draws, limit "
+        << z_limit << ")";
+    return Result::fail(oss.str());
+}
+
+} // namespace check
+} // namespace gnnbench

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gnncheck: statistical validator for GraphSAINT-style subgraph
+ * estimators.
+ *
+ * GraphSAINT's training loss is a Horvitz-Thompson estimate: each
+ * node's loss contribution is divided by its inclusion probability,
+ * so the *expected* normalized subgraph loss equals the full-batch
+ * loss.  saintEstimatorStats() estimates inclusion probabilities
+ * empirically over one set of draws, then computes the normalized
+ * estimate over a second, independent set and reports a z-score of
+ * the estimate against the full-batch value.  checkSaintUnbiased()
+ * turns it into a Result with a configurable z limit.
+ */
+
+#ifndef GNNBENCH_CHECK_STATISTICAL_H
+#define GNNBENCH_CHECK_STATISTICAL_H
+
+#include <functional>
+#include <vector>
+
+#include "gnnbench/check/validate.h"
+
+namespace gnnbench {
+namespace check {
+
+/** Outcome of the unbiasedness measurement. */
+struct EstimatorStats
+{
+    double fullMean = 0;   ///< mean of value over all nodes
+    double htMean = 0;     ///< mean HT estimate across draws
+    double stdError = 0;   ///< standard error of the HT mean
+    double zScore = 0;     ///< (htMean - fullMean) / stdError
+    int probDraws = 0;
+    int estimateDraws = 0;
+};
+
+/** One subgraph draw: the sampled node set (draw index for seeding). */
+using NodeSetDraw = std::function<std::vector<NodeId>(int draw)>;
+
+/**
+ * Measure estimator bias: inclusion probabilities from the first
+ * @p prob_draws draws, HT estimates of mean(value) from the next
+ * @p estimate_draws draws.  @p value is the per-node quantity (e.g.
+ * per-node loss); draws see draw indices 0..prob+estimate-1.
+ */
+EstimatorStats saintEstimatorStats(const std::vector<double> &value,
+                                   const NodeSetDraw &draw,
+                                   int prob_draws,
+                                   int estimate_draws);
+
+/** Fail when |z| exceeds @p z_limit (default generous: 5 sigma). */
+Result checkSaintUnbiased(const EstimatorStats &stats,
+                          double z_limit = 5.0);
+
+} // namespace check
+} // namespace gnnbench
+
+#endif // GNNBENCH_CHECK_STATISTICAL_H

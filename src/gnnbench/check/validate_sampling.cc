@@ -1,0 +1,310 @@
+#include "gnnbench/check/validate_sampling.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gnnbench/graph/convert.h"
+
+namespace gnnbench {
+namespace check {
+
+namespace {
+
+Result
+checkUniqueInRange(const std::vector<NodeId> &ids, NodeId num_nodes,
+                   const char *what)
+{
+    std::unordered_set<NodeId> seen;
+    seen.reserve(ids.size() * 2);
+    for (NodeId v : ids) {
+        if (v < 0 || v >= num_nodes) {
+            std::ostringstream oss;
+            oss << what << ": node id " << v << " outside [0, "
+                << num_nodes << ")";
+            return Result::fail(oss.str());
+        }
+        if (!seen.insert(v).second) {
+            std::ostringstream oss;
+            oss << what << ": node id " << v
+                << " mapped twice (bijectivity broken)";
+            return Result::fail(oss.str());
+        }
+    }
+    return Result::pass();
+}
+
+/** Multiplicity of value @p v in row @p r of @p g. */
+EdgeId
+rowCount(const graph::CsrGraph &g, NodeId r, NodeId v)
+{
+    EdgeId n = 0;
+    for (EdgeId e = g.indptr[r]; e < g.indptr[r + 1]; ++e)
+        if (g.indices[static_cast<size_t>(e)] == v)
+            ++n;
+    return n;
+}
+
+/**
+ * Compare sampled edges grouped by destination against the global
+ * adjacency: per (dst, src) pair the sampled multiplicity must not
+ * exceed the global multiplicity (samplers draw adjacency positions
+ * without replacement).
+ */
+Result
+checkSampledEdges(const std::vector<std::vector<NodeId>> &per_dst,
+                  const std::vector<NodeId> &dst_nodes,
+                  const graph::CsrGraph &global_csc, int fanout,
+                  const char *what)
+{
+    for (size_t d = 0; d < per_dst.size(); ++d) {
+        const NodeId gd = dst_nodes[d];
+        const auto &srcs = per_dst[d];
+        const EdgeId global_deg =
+            global_csc.indptr[gd + 1] - global_csc.indptr[gd];
+        if (fanout > 0 &&
+            srcs.size() > static_cast<size_t>(fanout)) {
+            std::ostringstream oss;
+            oss << what << ": dst " << gd << " kept " << srcs.size()
+                << " edges, fanout bound " << fanout;
+            return Result::fail(oss.str());
+        }
+        if (srcs.size() > static_cast<size_t>(global_deg)) {
+            std::ostringstream oss;
+            oss << what << ": dst " << gd << " kept " << srcs.size()
+                << " edges but has global in-degree " << global_deg;
+            return Result::fail(oss.str());
+        }
+        std::unordered_map<NodeId, EdgeId> mult;
+        for (NodeId u : srcs)
+            ++mult[u];
+        for (const auto &[u, n] : mult) {
+            if (n > rowCount(global_csc, gd, u)) {
+                std::ostringstream oss;
+                oss << what << ": sampled edge " << u << " -> " << gd
+                    << " with multiplicity " << n
+                    << " exceeds the global graph";
+                return Result::fail(oss.str());
+            }
+        }
+    }
+    return Result::pass();
+}
+
+/** Per-row sorted-index comparison of two adjacencies. */
+Result
+compareAdjacency(const graph::CsrGraph &got,
+                 const graph::CsrGraph &want, const char *what)
+{
+    if (got.numRows != want.numRows || got.numCols != want.numCols) {
+        std::ostringstream oss;
+        oss << what << ": induced adjacency is " << got.numRows << "x"
+            << got.numCols << ", reference " << want.numRows << "x"
+            << want.numCols;
+        return Result::fail(oss.str());
+    }
+    for (NodeId r = 0; r < got.numRows; ++r) {
+        std::vector<NodeId> a(got.indices.begin() + got.indptr[r],
+                              got.indices.begin() + got.indptr[r + 1]);
+        std::vector<NodeId> b(
+            want.indices.begin() + want.indptr[r],
+            want.indices.begin() + want.indptr[r + 1]);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        if (a != b) {
+            std::ostringstream oss;
+            oss << what << ": induced row " << r
+                << " disagrees with the reference induced subgraph ("
+                << a.size() << " vs " << b.size() << " edges)";
+            return Result::fail(oss.str());
+        }
+    }
+    return Result::pass();
+}
+
+} // namespace
+
+Result
+checkBlock(const sampling::Block &blk,
+           const graph::CsrGraph &global_csc, int fanout)
+{
+    if (blk.dstNodes.size() > blk.srcNodes.size())
+        return Result::fail("block: more dst than src nodes");
+    for (size_t i = 0; i < blk.dstNodes.size(); ++i)
+        if (blk.srcNodes[i] != blk.dstNodes[i])
+            return Result::fail(
+                "block: dst nodes are not a prefix of src nodes");
+    if (Result r = checkUniqueInRange(blk.srcNodes,
+                                      global_csc.numRows, "block");
+        !r)
+        return r;
+    if (blk.csc.numRows != static_cast<NodeId>(blk.dstNodes.size()) ||
+        blk.csc.numCols != static_cast<NodeId>(blk.srcNodes.size()))
+        return Result::fail("block: csc shape mismatch");
+    if (Result r = checkCsr(blk.csc); !r)
+        return r;
+    std::vector<std::vector<NodeId>> per_dst(blk.dstNodes.size());
+    for (NodeId d = 0; d < blk.csc.numRows; ++d)
+        for (EdgeId e = blk.csc.indptr[d]; e < blk.csc.indptr[d + 1];
+             ++e)
+            per_dst[static_cast<size_t>(d)].push_back(
+                blk.srcNodes[static_cast<size_t>(
+                    blk.csc.indices[static_cast<size_t>(e)])]);
+    return checkSampledEdges(per_dst, blk.dstNodes, global_csc,
+                             fanout, "block");
+}
+
+Result
+checkNeighborSample(const sampling::NeighborSample &smp,
+                    const graph::CsrGraph &global_csc,
+                    const std::vector<int> &fanouts)
+{
+    if (smp.blocks.size() != fanouts.size())
+        return Result::fail(
+            "neighbor sample: one block per fanout required");
+    for (size_t l = 0; l < smp.blocks.size(); ++l)
+        if (Result r =
+                checkBlock(smp.blocks[l], global_csc, fanouts[l]);
+            !r)
+            return r;
+    for (size_t l = 0; l + 1 < smp.blocks.size(); ++l)
+        if (smp.blocks[l].dstNodes != smp.blocks[l + 1].srcNodes) {
+            std::ostringstream oss;
+            oss << "neighbor sample: layer wiring broken at layer "
+                << l;
+            return Result::fail(oss.str());
+        }
+    if (smp.blocks.back().dstNodes != smp.seeds)
+        return Result::fail(
+            "neighbor sample: last block's dst nodes != seeds");
+    return Result::pass();
+}
+
+Result
+checkInducedSample(const sampling::InducedSample &smp,
+                   const graph::CsrGraph &global_csr)
+{
+    if (Result r = checkUniqueInRange(smp.nodes, global_csr.numRows,
+                                      "induced sample");
+        !r)
+        return r;
+    if (smp.adj.numRows != static_cast<NodeId>(smp.nodes.size()) ||
+        smp.adj.numCols != smp.adj.numRows)
+        return Result::fail(
+            "induced sample: adjacency not square over the nodes");
+    if (Result r = checkCsr(smp.adj); !r)
+        return r;
+    return compareAdjacency(smp.adj,
+                            graph::inducedSubgraph(global_csr,
+                                                   smp.nodes),
+                            "induced sample");
+}
+
+Result
+checkEdgeBatch(const pygx::EdgeBatch &batch,
+               const graph::CsrGraph &global_csc)
+{
+    if (Result r = checkUniqueInRange(batch.nodes,
+                                      global_csc.numRows,
+                                      "edge batch");
+        !r)
+        return r;
+    if (batch.src.size() != batch.dst.size())
+        return Result::fail("edge batch: src/dst length mismatch");
+    const auto k = static_cast<NodeId>(batch.nodes.size());
+    // Regroup the edge list into a local CSC (rows = dst) so closure
+    // and completeness reduce to one adjacency comparison.
+    graph::CsrGraph local;
+    local.numRows = k;
+    local.numCols = k;
+    local.indptr.assign(static_cast<size_t>(k) + 1, 0);
+    for (size_t e = 0; e < batch.dst.size(); ++e) {
+        const NodeId s = batch.src[e];
+        const NodeId d = batch.dst[e];
+        if (s < 0 || s >= k || d < 0 || d >= k) {
+            std::ostringstream oss;
+            oss << "edge batch: edge " << e << " = (" << s << " -> "
+                << d << ") outside the local id range [0, " << k
+                << ")";
+            return Result::fail(oss.str());
+        }
+        ++local.indptr[static_cast<size_t>(d) + 1];
+    }
+    for (NodeId d = 0; d < k; ++d)
+        local.indptr[static_cast<size_t>(d) + 1] +=
+            local.indptr[static_cast<size_t>(d)];
+    local.indices.resize(batch.src.size());
+    std::vector<EdgeId> cursor(local.indptr.begin(),
+                               local.indptr.end() - 1);
+    for (size_t e = 0; e < batch.dst.size(); ++e)
+        local.indices[static_cast<size_t>(
+            cursor[static_cast<size_t>(batch.dst[e])]++)] =
+            batch.src[e];
+    return compareAdjacency(local,
+                            graph::inducedSubgraph(global_csc,
+                                                   batch.nodes),
+                            "edge batch");
+}
+
+Result
+checkLayerBatch(const pygx::LayerBatch &layer,
+                const graph::CsrGraph &global_csc, int fanout)
+{
+    if (layer.dstNodes.size() > layer.srcNodes.size())
+        return Result::fail("layer batch: more dst than src nodes");
+    for (size_t i = 0; i < layer.dstNodes.size(); ++i)
+        if (layer.srcNodes[i] != layer.dstNodes[i])
+            return Result::fail(
+                "layer batch: dst nodes are not a prefix of src");
+    if (Result r = checkUniqueInRange(
+            layer.srcNodes, global_csc.numRows, "layer batch");
+        !r)
+        return r;
+    if (layer.eSrc.size() != layer.eDst.size())
+        return Result::fail("layer batch: eSrc/eDst length mismatch");
+    std::vector<std::vector<NodeId>> per_dst(layer.dstNodes.size());
+    for (size_t e = 0; e < layer.eSrc.size(); ++e) {
+        const NodeId s = layer.eSrc[e];
+        const NodeId d = layer.eDst[e];
+        if (s < 0 ||
+            s >= static_cast<NodeId>(layer.srcNodes.size()) ||
+            d < 0 || d >= static_cast<NodeId>(layer.dstNodes.size()))
+            return Result::fail(
+                "layer batch: edge endpoint outside local ranges");
+        per_dst[static_cast<size_t>(d)].push_back(
+            layer.srcNodes[static_cast<size_t>(s)]);
+    }
+    return checkSampledEdges(per_dst, layer.dstNodes, global_csc,
+                             fanout, "layer batch");
+}
+
+Result
+checkNeighborBatch(const pygx::NeighborBatch &batch,
+                   const graph::CsrGraph &global_csc,
+                   const std::vector<int> &fanouts)
+{
+    if (batch.layers.size() != fanouts.size())
+        return Result::fail(
+            "neighbor batch: one layer per fanout required");
+    for (size_t l = 0; l < batch.layers.size(); ++l)
+        if (Result r = checkLayerBatch(batch.layers[l], global_csc,
+                                       fanouts[l]);
+            !r)
+            return r;
+    for (size_t l = 0; l + 1 < batch.layers.size(); ++l)
+        if (batch.layers[l].dstNodes !=
+            batch.layers[l + 1].srcNodes) {
+            std::ostringstream oss;
+            oss << "neighbor batch: layer wiring broken at layer "
+                << l;
+            return Result::fail(oss.str());
+        }
+    if (batch.layers.back().dstNodes != batch.seeds)
+        return Result::fail(
+            "neighbor batch: last layer's dst nodes != seeds");
+    return Result::pass();
+}
+
+} // namespace check
+} // namespace gnnbench

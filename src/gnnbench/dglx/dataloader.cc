@@ -1,5 +1,8 @@
 #include "gnnbench/dglx/dataloader.h"
 
+#include "gnnbench/check/validate.h"
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace dglx {
 
@@ -22,6 +25,16 @@ DataLoader::load(const graph::Dataset &dataset)
 
 namespace {
 
+using core::parallel::chunkSeed;
+
+// Per-loader-type salts for chunkSeed.  Batch i's sampler stream is a
+// pure function of (the loader's one base draw, salt, i) — never of
+// the worker that happens to run it — so delivered batches are
+// bit-identical for any num_workers, 0 included.
+constexpr uint64_t kNeighborSalt = 0x646E6269;  // "dnbi"
+constexpr uint64_t kClusterSalt = 0x64636C75;   // "dclu"
+constexpr uint64_t kSaintSalt = 0x64737274;     // "dsrt"
+
 using NeighborProducer =
     sampling::Prefetcher<sampling::NeighborSample>::Producer;
 
@@ -31,13 +44,17 @@ neighborProducers(
     std::shared_ptr<const std::vector<std::vector<NodeId>>> batches,
     int num_workers)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<NeighborProducer> out;
-    out.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    out.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         auto sampler = std::make_shared<NeighborSampler>(
-            proto.withRng(rng.fork()));
-        out.push_back([sampler, batches](int64_t i) {
+            proto.withRng(core::Rng(base)));
+        out.push_back([sampler, batches, base](int64_t i) {
+            sampler->reseed(core::Rng(chunkSeed(
+                base, kNeighborSalt, static_cast<uint64_t>(i))));
             return sampler->sample(
                 (*batches)[static_cast<size_t>(i)]);
         });
@@ -55,17 +72,36 @@ NeighborLoader::NeighborLoader(
           std::make_shared<const std::vector<std::vector<NodeId>>>(
               std::move(seed_batches)))
 {
-    prefetcher_ = std::make_unique<
-        sampling::Prefetcher<sampling::NeighborSample>>(
-        neighborProducers(proto, rng, seedBatches_, num_workers),
-        static_cast<int64_t>(seedBatches_->size()), prefetch_depth,
-        "dgl-neighbor");
+    auto producers =
+        neighborProducers(proto, rng, seedBatches_, num_workers);
+    const auto n = static_cast<int64_t>(seedBatches_->size());
+    if (num_workers == 0)
+        prefetcher_ = std::make_unique<
+            sampling::Prefetcher<sampling::NeighborSample>>(
+            std::move(producers[0]), n, "dgl-neighbor");
+    else
+        prefetcher_ = std::make_unique<
+            sampling::Prefetcher<sampling::NeighborSample>>(
+            std::move(producers), n, prefetch_depth, "dgl-neighbor");
 }
 
 std::optional<sampling::NeighborSample>
 NeighborLoader::next()
 {
-    return prefetcher_->next();
+    std::optional<sampling::NeighborSample> smp = prefetcher_->next();
+    if (smp && check::enabled()) {
+        // Loader seam: the pipeline must deliver batches in serial
+        // seed-batch order no matter which worker finished first.
+        const auto &want =
+            (*seedBatches_)[static_cast<size_t>(delivered_)];
+        if (smp->seeds != want)
+            check::require(check::Result::fail(
+                "neighbor loader delivered batch out of order (at "
+                "position " + std::to_string(delivered_) + ")"));
+    }
+    if (smp)
+        ++delivered_;
+    return smp;
 }
 
 void
@@ -84,18 +120,18 @@ InducedLoader::InducedLoader(std::vector<Producer> producers,
                              int num_batches, int prefetch_depth,
                              std::string lane_tag)
 {
-    using InducedProducer =
-        sampling::Prefetcher<sampling::InducedSample>::Producer;
-    std::vector<InducedProducer> wrapped;
-    wrapped.reserve(producers.size());
-    for (auto &p : producers)
-        wrapped.push_back([producer = std::move(p)](int64_t) {
-            return producer();
-        });
     prefetcher_ = std::make_unique<
         sampling::Prefetcher<sampling::InducedSample>>(
-        std::move(wrapped), num_batches, prefetch_depth,
+        std::move(producers), num_batches, prefetch_depth,
         std::move(lane_tag));
+}
+
+InducedLoader::InducedLoader(Producer producer, int num_batches,
+                             std::string lane_tag)
+{
+    prefetcher_ = std::make_unique<
+        sampling::Prefetcher<sampling::InducedSample>>(
+        std::move(producer), num_batches, std::move(lane_tag));
 }
 
 std::optional<sampling::InducedSample>
@@ -121,16 +157,24 @@ makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
                   int32_t clusters_per_batch, int num_batches,
                   int num_workers, int prefetch_depth)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<InducedLoader::Producer> producers;
-    producers.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    producers.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         auto sampler = std::make_shared<ClusterSampler>(
-            proto.withRng(rng.fork()));
-        producers.push_back([sampler, clusters_per_batch] {
-            return sampler->sample(clusters_per_batch);
-        });
+            proto.withRng(core::Rng(base)));
+        producers.push_back(
+            [sampler, clusters_per_batch, base](int64_t i) {
+                sampler->reseed(core::Rng(chunkSeed(
+                    base, kClusterSalt, static_cast<uint64_t>(i))));
+                return sampler->sample(clusters_per_batch);
+            });
     }
+    if (num_workers == 0)
+        return InducedLoader(std::move(producers[0]), num_batches,
+                             "dgl-cluster");
     return InducedLoader(std::move(producers), num_batches,
                          prefetch_depth, "dgl-cluster");
 }
@@ -140,14 +184,23 @@ makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
                   int num_batches, int num_workers,
                   int prefetch_depth)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<InducedLoader::Producer> producers;
-    producers.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    producers.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         auto sampler = std::make_shared<SaintRwSampler>(
-            proto.withRng(rng.fork()));
-        producers.push_back([sampler] { return sampler->sample(); });
+            proto.withRng(core::Rng(base)));
+        producers.push_back([sampler, base](int64_t i) {
+            sampler->reseed(core::Rng(chunkSeed(
+                base, kSaintSalt, static_cast<uint64_t>(i))));
+            return sampler->sample();
+        });
     }
+    if (num_workers == 0)
+        return InducedLoader(std::move(producers[0]), num_batches,
+                             "dgl-saint");
     return InducedLoader(std::move(producers), num_batches,
                          prefetch_depth, "dgl-saint");
 }

@@ -46,11 +46,12 @@ class DataLoader
 };
 
 /**
- * Multi-worker prefetching neighbor loader — DGL's DataLoader with
- * num_workers > 0.  Each worker owns a NeighborSampler clone with an
- * independent RNG stream (forked from @p rng in worker order, so a
- * fixed seed and worker count reproduce exactly) and samples ahead
- * of training; next() delivers samples in seed-batch order.
+ * Prefetching neighbor loader — DGL's DataLoader.  One base seed is
+ * drawn from @p rng and each batch's sampler stream derives from
+ * (base, batch index) alone, so the delivered samples are
+ * bit-identical for any @p num_workers, 0 included (num_workers == 0
+ * runs the sampler inline on the consumer thread, like torch
+ * DataLoader).  next() delivers samples in seed-batch order.
  */
 class NeighborLoader
 {
@@ -86,24 +87,33 @@ class NeighborLoader
   private:
     std::shared_ptr<const std::vector<std::vector<NodeId>>>
         seedBatches_;
+    int64_t delivered_ = 0;
     std::unique_ptr<sampling::Prefetcher<sampling::NeighborSample>>
         prefetcher_;
 };
 
 /**
- * Multi-worker loader for samplers producing induced subgraphs
- * (ClusterGCN, GraphSAINT).  Built through the factory helpers below,
- * which fork one sampler clone per worker.
+ * Prefetching loader for samplers producing induced subgraphs
+ * (ClusterGCN, GraphSAINT).  Built through the factory helpers
+ * below; batch randomness is a pure function of the batch index, so
+ * the stream is worker-count invariant.
  */
 class InducedLoader
 {
   public:
-    /** Draws one batch on a worker's private sampler clone. */
-    using Producer = std::function<sampling::InducedSample()>;
+    /** Draws the batch with the given global index on a worker's
+     *  private sampler clone. */
+    using Producer = std::function<sampling::InducedSample(int64_t)>;
 
-    /** @param lane_tag trace-lane prefix for the workers. */
+    /** Threaded (num_workers >= 1) mode.
+     *  @param lane_tag trace-lane prefix for the workers. */
     InducedLoader(std::vector<Producer> producers, int num_batches,
                   int prefetch_depth,
+                  std::string lane_tag = "dgl-induced");
+
+    /** Inline (num_workers == 0) mode: next() samples on the calling
+     *  thread. */
+    InducedLoader(Producer producer, int num_batches,
                   std::string lane_tag = "dgl-induced");
 
     /** Next batch in order; empty when exhausted. */
@@ -126,7 +136,8 @@ class InducedLoader
 };
 
 /** ClusterGCN loader: per-worker ClusterSampler clones (sharing the
- *  one-time partition) each drawing independent cluster unions. */
+ *  one-time partition), each reseeded per batch from the batch index
+ *  so the union drawn for batch i is worker-count invariant. */
 InducedLoader makeClusterLoader(const ClusterSampler &proto,
                                 core::Rng &rng,
                                 int32_t clusters_per_batch,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnnbench/check/validate_sampling.h"
 #include "gnnbench/core/parallel.h"
 
 namespace gnnbench {
@@ -128,6 +129,9 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
             localId_[v] = -1;
         frontier = blk.srcNodes;
     }
+    if (check::enabled())
+        check::require(
+            check::checkNeighborSample(out, csc, fanouts_));
     return out;
 }
 
@@ -179,6 +183,8 @@ ClusterSampler::extractInduced(const graph::CsrGraph &csr,
         for (int64_t i = i0; i < i1; ++i)
             local_id_scratch[out.nodes[i]] = -1;
     });
+    if (check::enabled())
+        check::require(check::checkInducedSample(out, csr));
     return out;
 }
 

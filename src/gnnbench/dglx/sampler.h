@@ -51,6 +51,9 @@ class NeighborSampler
         return NeighborSampler(g_, fanouts_, rng);
     }
 
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
+
   private:
     const Graph &g_;
     std::vector<int> fanouts_;
@@ -90,6 +93,9 @@ class ClusterSampler
         return ClusterSampler(*this, rng);
     }
 
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
+
   private:
     ClusterSampler(const ClusterSampler &other, core::Rng rng);
 
@@ -128,6 +134,9 @@ class SaintRwSampler
         return SaintRwSampler(g_, numRoots_, walkLength_, rng);
     }
 
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
+
   private:
     const Graph &g_;
     int32_t numRoots_;
@@ -155,6 +164,9 @@ class SaintNodeSampler
     {
         return SaintNodeSampler(*this, rng);
     }
+
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
 
   private:
     SaintNodeSampler(const SaintNodeSampler &other, core::Rng rng);
@@ -184,6 +196,9 @@ class SaintEdgeSampler
     {
         return SaintEdgeSampler(*this, rng);
     }
+
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
 
   private:
     SaintEdgeSampler(const SaintEdgeSampler &other, core::Rng rng);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "gnnbench/check/validate.h"
+
 namespace gnnbench {
 namespace graph {
 
@@ -33,18 +35,30 @@ buildAdjacency(NodeId num_nodes, const std::vector<NodeId> &key,
 CsrGraph
 cooToCsr(const CooGraph &g)
 {
-    return buildAdjacency(g.numNodes, g.src, g.dst);
+    if (check::enabled())
+        check::require(check::checkCoo(g));
+    CsrGraph out = buildAdjacency(g.numNodes, g.src, g.dst);
+    if (check::enabled())
+        check::require(check::checkCsr(out));
+    return out;
 }
 
 CsrGraph
 cooToCsc(const CooGraph &g)
 {
-    return buildAdjacency(g.numNodes, g.dst, g.src);
+    if (check::enabled())
+        check::require(check::checkCoo(g));
+    CsrGraph out = buildAdjacency(g.numNodes, g.dst, g.src);
+    if (check::enabled())
+        check::require(check::checkCsr(out));
+    return out;
 }
 
 CsrGraph
 csrTranspose(const CsrGraph &g)
 {
+    if (check::enabled())
+        check::require(check::checkCsr(g));
     CsrGraph out;
     out.numRows = g.numCols;
     out.numCols = g.numRows;
@@ -58,6 +72,8 @@ csrTranspose(const CsrGraph &g)
     for (NodeId r = 0; r < g.numRows; ++r)
         for (EdgeId e = g.indptr[r]; e < g.indptr[r + 1]; ++e)
             out.indices[cursor[g.indices[e]]++] = r;
+    if (check::enabled())
+        check::require(check::checkCsr(out));
     return out;
 }
 
@@ -66,6 +82,8 @@ csrToCoo(const CsrGraph &g)
 {
     GNNBENCH_CHECK(g.numRows == g.numCols,
                    "csrToCoo expects a square adjacency");
+    if (check::enabled())
+        check::require(check::checkCsr(g));
     CooGraph out;
     out.numNodes = g.numRows;
     out.src.reserve(g.indices.size());
@@ -83,6 +101,8 @@ inducedSubgraph(const CsrGraph &g, const std::vector<NodeId> &nodes)
 {
     GNNBENCH_CHECK(g.numRows == g.numCols,
                    "inducedSubgraph expects a square adjacency");
+    if (check::enabled())
+        check::require(check::checkCsr(g));
     const NodeId k = static_cast<NodeId>(nodes.size());
     // Dense membership map: -1 = absent, else local id.
     std::vector<NodeId> local(g.numRows, -1);
@@ -113,6 +133,8 @@ inducedSubgraph(const CsrGraph &g, const std::vector<NodeId> &nodes)
                 out.indices[cursor[i]++] = lv;
         }
     }
+    if (check::enabled())
+        check::require(check::checkCsr(out, {.requireSquare = true}));
     return out;
 }
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <queue>
 
+#include "gnnbench/check/validate.h"
+
 namespace gnnbench {
 namespace graph {
 
@@ -286,6 +288,8 @@ partitionGraph(const CsrGraph &g, int32_t k, core::Rng &rng,
     for (int32_t p : result.assignment)
         ++sizes[p];
     result.maxPartSize = *std::max_element(sizes.begin(), sizes.end());
+    if (check::enabled())
+        check::require(check::checkPartition(g, result));
     return result;
 }
 

@@ -68,10 +68,12 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
-        // num_workers > 0: per-worker sampler clones (sharing the
-        // partition) draw cluster unions ahead of training.
+        // All sampling goes through the loader (per-worker clones
+        // share the partition); batch RNG streams depend only on
+        // batch index, so num_workers (0 = inline) never changes
+        // results.
         std::unique_ptr<dglx::InducedLoader> loader;
-        if (cfg.numWorkers > 0) {
+        {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<dglx::InducedLoader>(
                 dglx::makeClusterLoader(*sampler, rng, per_batch,
@@ -83,14 +85,10 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             sampling::InducedSample smp;
             {
                 auto s = tracker.track(Phase::Sampling);
-                if (loader) {
-                    auto got = loader->next();
-                    GNNBENCH_CHECK(got.has_value(),
-                                   "prefetch loader exhausted early");
-                    smp = std::move(*got);
-                } else {
-                    smp = sampler->sample(per_batch);
-                }
+                auto got = loader->next();
+                GNNBENCH_CHECK(got.has_value(),
+                               "prefetch loader exhausted early");
+                smp = std::move(*got);
             }
             core::Tensor x = fetchFeatures(
                 ld.features, smp.nodes, cfg.mode,
@@ -108,8 +106,7 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
-        if (loader)
-            chargeWorkerSampling(tracker, *loader);
+        chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }
@@ -175,7 +172,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
         std::unique_ptr<pygx::EdgeBatchLoader> loader;
-        if (cfg.numWorkers > 0) {
+        {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<pygx::EdgeBatchLoader>(
                 pygx::makeClusterLoader(*sampler, rng, per_batch,
@@ -188,14 +185,10 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             pygx::EdgeBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                if (loader) {
-                    auto got = loader->next();
-                    GNNBENCH_CHECK(got.has_value(),
-                                   "prefetch loader exhausted early");
-                    batch = std::move(*got);
-                } else {
-                    batch = sampler->sample(per_batch);
-                }
+                auto got = loader->next();
+                GNNBENCH_CHECK(got.has_value(),
+                               "prefetch loader exhausted early");
+                batch = std::move(*got);
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.nodes, cfg.mode,
@@ -213,8 +206,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
-        if (loader)
-            chargeWorkerSampling(tracker, *loader);
+        chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

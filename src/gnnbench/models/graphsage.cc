@@ -100,10 +100,11 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
         EpochStats es;
         auto seed_batches =
             makeBatches(ld.trainIdx, cfg.batchSize, rng);
-        // Multi-worker prefetching (DGL num_workers > 0): sampling
-        // overlaps training; only the CPU sampler runs detached.
+        // CPU sampling always goes through the loader so batch RNG
+        // streams depend only on batch index: num_workers scales
+        // prefetch overlap (0 = inline) without changing results.
         std::unique_ptr<dglx::NeighborLoader> loader;
-        if (cfg.numWorkers > 0 && cpu_sampler) {
+        if (cpu_sampler) {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<dglx::NeighborLoader>(
                 *cpu_sampler, rng, seed_batches, cfg.numWorkers,
@@ -119,8 +120,7 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
                                    "prefetch loader exhausted early");
                     smp = std::move(*got);
                 } else {
-                    smp = gpu_sampler ? gpu_sampler->sample(seeds)
-                                      : cpu_sampler->sample(seeds);
+                    smp = gpu_sampler->sample(seeds);
                 }
             }
             // The GPU-resident sampler already produces the blocks in
@@ -230,10 +230,12 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
         EpochStats es;
         auto seed_batches =
             makeBatches(ld.trainIdx, cfg.batchSize, rng);
-        // PyG num_workers > 0: worker clones sample detached and
-        // next() charges their modeled interpreter time here.
+        // All sampling goes through the loader so batch RNG streams
+        // depend only on batch index: num_workers scales prefetch
+        // overlap (0 = inline) without changing results; next()
+        // charges the workers' modeled interpreter time here.
         std::unique_ptr<pygx::NeighborLoader> loader;
-        if (cfg.numWorkers > 0) {
+        {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<pygx::NeighborLoader>(
                 *sampler, rng, seed_batches, cfg.numWorkers,
@@ -243,14 +245,10 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             pygx::NeighborBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                if (loader) {
-                    auto got = loader->next();
-                    GNNBENCH_CHECK(got.has_value(),
-                                   "prefetch loader exhausted early");
-                    batch = std::move(*got);
-                } else {
-                    batch = sampler->sample(seeds);
-                }
+                auto got = loader->next();
+                GNNBENCH_CHECK(got.has_value(),
+                               "prefetch loader exhausted early");
+                batch = std::move(*got);
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.inputNodes(), cfg.mode, preloaded,
@@ -282,8 +280,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
                 device::Session::virtualSeconds(t0,
                                                 session.snapshot());
         }
-        if (loader)
-            chargeWorkerSampling(tracker, *loader);
+        chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

@@ -72,9 +72,11 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
     double prev_train_seconds = 0.0;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
-        // num_workers > 0: worker clones walk ahead of training.
+        // All sampling goes through the loader; batch RNG streams
+        // depend only on batch index, so num_workers (0 = inline)
+        // never changes results.
         std::unique_ptr<dglx::InducedLoader> loader;
-        if (cfg.numWorkers > 0) {
+        {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<dglx::InducedLoader>(
                 dglx::makeSaintRwLoader(*sampler, rng,
@@ -86,14 +88,10 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             sampling::InducedSample smp;
             {
                 auto s = tracker.track(Phase::Sampling);
-                if (loader) {
-                    auto got = loader->next();
-                    GNNBENCH_CHECK(got.has_value(),
-                                   "prefetch loader exhausted early");
-                    smp = std::move(*got);
-                } else {
-                    smp = sampler->sample();
-                }
+                auto got = loader->next();
+                GNNBENCH_CHECK(got.has_value(),
+                               "prefetch loader exhausted early");
+                smp = std::move(*got);
             }
             core::Tensor x = fetchFeatures(
                 ld.features, smp.nodes, cfg.mode,
@@ -111,8 +109,7 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
-        if (loader)
-            chargeWorkerSampling(tracker, *loader);
+        chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }
@@ -176,7 +173,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         EpochStats es;
         std::unique_ptr<pygx::EdgeBatchLoader> loader;
-        if (cfg.numWorkers > 0) {
+        {
             auto s = tracker.track(Phase::Sampling);
             loader = std::make_unique<pygx::EdgeBatchLoader>(
                 pygx::makeSaintRwLoader(*sampler, rng,
@@ -189,14 +186,10 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             pygx::EdgeBatch batch;
             {
                 auto s = tracker.track(Phase::Sampling);
-                if (loader) {
-                    auto got = loader->next();
-                    GNNBENCH_CHECK(got.has_value(),
-                                   "prefetch loader exhausted early");
-                    batch = std::move(*got);
-                } else {
-                    batch = sampler->sample();
-                }
+                auto got = loader->next();
+                GNNBENCH_CHECK(got.has_value(),
+                               "prefetch loader exhausted early");
+                batch = std::move(*got);
             }
             core::Tensor x = fetchFeatures(
                 ld.features, batch.nodes, cfg.mode,
@@ -214,8 +207,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             prev_train_seconds = device::Session::virtualSeconds(
                 t0, session.snapshot());
         }
-        if (loader)
-            chargeWorkerSampling(tracker, *loader);
+        chargeWorkerSampling(tracker, *loader);
         es.loss /= std::max<int64_t>(es.total, 1);
         result.epochs.push_back(es);
     }

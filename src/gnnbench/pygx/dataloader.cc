@@ -1,5 +1,8 @@
 #include "gnnbench/pygx/dataloader.h"
 
+#include "gnnbench/check/validate.h"
+#include "gnnbench/core/parallel.h"
+
 namespace gnnbench {
 namespace pygx {
 
@@ -18,6 +21,16 @@ DataLoader::load(const graph::Dataset &dataset)
 
 namespace {
 
+using core::parallel::chunkSeed;
+
+// Per-loader-type salts for chunkSeed.  Batch i's sampler stream is a
+// pure function of (the loader's one base draw, salt, i) — never of
+// the worker that happens to run it — so delivered batches are
+// bit-identical for any num_workers, 0 included.
+constexpr uint64_t kNeighborSalt = 0x706E6269;  // "pnbi"
+constexpr uint64_t kClusterSalt = 0x70636C75;   // "pclu"
+constexpr uint64_t kSaintSalt = 0x70737274;     // "psrt"
+
 using TimedNeighbor = detail::Timed<NeighborBatch>;
 using TimedEdge = detail::Timed<EdgeBatch>;
 
@@ -27,15 +40,19 @@ neighborProducers(
     std::shared_ptr<const std::vector<std::vector<NodeId>>> batches,
     int num_workers)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<sampling::Prefetcher<TimedNeighbor>::Producer> out;
-    out.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    out.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         // Null session: the clone accumulates modeled overhead
         // instead of charging the (single-threaded) session.
         auto sampler = std::make_shared<NeighborSampler>(
-            proto.withRng(rng.fork(), nullptr));
-        out.push_back([sampler, batches](int64_t i) {
+            proto.withRng(core::Rng(base), nullptr));
+        out.push_back([sampler, batches, base](int64_t i) {
+            sampler->reseed(core::Rng(chunkSeed(
+                base, kNeighborSalt, static_cast<uint64_t>(i))));
             TimedNeighbor t;
             t.batch = sampler->sample(
                 (*batches)[static_cast<size_t>(i)]);
@@ -57,11 +74,18 @@ NeighborLoader::NeighborLoader(
               std::move(seed_batches))),
       session_(session)
 {
-    prefetcher_ =
-        std::make_unique<sampling::Prefetcher<TimedNeighbor>>(
-            neighborProducers(proto, rng, seedBatches_, num_workers),
-            static_cast<int64_t>(seedBatches_->size()),
-            prefetch_depth, "pyg-neighbor");
+    auto producers =
+        neighborProducers(proto, rng, seedBatches_, num_workers);
+    const auto n = static_cast<int64_t>(seedBatches_->size());
+    if (num_workers == 0)
+        prefetcher_ =
+            std::make_unique<sampling::Prefetcher<TimedNeighbor>>(
+                std::move(producers[0]), n, "pyg-neighbor");
+    else
+        prefetcher_ =
+            std::make_unique<sampling::Prefetcher<TimedNeighbor>>(
+                std::move(producers), n, prefetch_depth,
+                "pyg-neighbor");
 }
 
 std::optional<NeighborBatch>
@@ -72,6 +96,17 @@ NeighborLoader::next()
         return std::nullopt;
     if (session_)
         session_->chargeCpuOverhead(t->modeledSeconds);
+    if (check::enabled()) {
+        // Loader seam: the pipeline must deliver batches in serial
+        // seed-batch order no matter which worker finished first.
+        const auto &want =
+            (*seedBatches_)[static_cast<size_t>(delivered_)];
+        if (t->batch.seeds != want)
+            check::require(check::Result::fail(
+                "neighbor loader delivered batch out of order (at "
+                "position " + std::to_string(delivered_) + ")"));
+    }
+    ++delivered_;
     return std::move(t->batch);
 }
 
@@ -93,15 +128,18 @@ EdgeBatchLoader::EdgeBatchLoader(std::vector<Producer> producers,
                                  std::string lane_tag)
     : session_(session)
 {
-    std::vector<sampling::Prefetcher<TimedEdge>::Producer> wrapped;
-    wrapped.reserve(producers.size());
-    for (auto &p : producers)
-        wrapped.push_back([producer = std::move(p)](int64_t) {
-            return producer();
-        });
     prefetcher_ = std::make_unique<sampling::Prefetcher<TimedEdge>>(
-        std::move(wrapped), num_batches, prefetch_depth,
+        std::move(producers), num_batches, prefetch_depth,
         std::move(lane_tag));
+}
+
+EdgeBatchLoader::EdgeBatchLoader(Producer producer, int num_batches,
+                                 device::Session *session,
+                                 std::string lane_tag)
+    : session_(session)
+{
+    prefetcher_ = std::make_unique<sampling::Prefetcher<TimedEdge>>(
+        std::move(producer), num_batches, std::move(lane_tag));
 }
 
 std::optional<EdgeBatch>
@@ -133,19 +171,28 @@ makeClusterLoader(const ClusterSampler &proto, core::Rng &rng,
                   int num_workers, int prefetch_depth,
                   device::Session *session)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<EdgeBatchLoader::Producer> producers;
-    producers.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    producers.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         auto sampler = std::make_shared<ClusterSampler>(
-            proto.withRng(rng.fork(), nullptr));
-        producers.push_back([sampler, clusters_per_batch] {
-            TimedEdge t;
-            t.batch = sampler->sample(clusters_per_batch);
-            t.modeledSeconds = sampler->takeModeledOverheadSeconds();
-            return t;
-        });
+            proto.withRng(core::Rng(base), nullptr));
+        producers.push_back(
+            [sampler, clusters_per_batch, base](int64_t i) {
+                sampler->reseed(core::Rng(chunkSeed(
+                    base, kClusterSalt, static_cast<uint64_t>(i))));
+                TimedEdge t;
+                t.batch = sampler->sample(clusters_per_batch);
+                t.modeledSeconds =
+                    sampler->takeModeledOverheadSeconds();
+                return t;
+            });
     }
+    if (num_workers == 0)
+        return EdgeBatchLoader(std::move(producers[0]), num_batches,
+                               session, "pyg-cluster");
     return EdgeBatchLoader(std::move(producers), num_batches,
                            prefetch_depth, session, "pyg-cluster");
 }
@@ -155,19 +202,26 @@ makeSaintRwLoader(const SaintRwSampler &proto, core::Rng &rng,
                   int num_batches, int num_workers,
                   int prefetch_depth, device::Session *session)
 {
-    GNNBENCH_CHECK(num_workers > 0, "loader needs >= 1 worker");
+    GNNBENCH_CHECK(num_workers >= 0, "negative worker count");
+    const uint64_t base = rng.next();
+    const int workers = std::max(num_workers, 1);
     std::vector<EdgeBatchLoader::Producer> producers;
-    producers.reserve(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
+    producers.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
         auto sampler = std::make_shared<SaintRwSampler>(
-            proto.withRng(rng.fork(), nullptr));
-        producers.push_back([sampler] {
+            proto.withRng(core::Rng(base), nullptr));
+        producers.push_back([sampler, base](int64_t i) {
+            sampler->reseed(core::Rng(chunkSeed(
+                base, kSaintSalt, static_cast<uint64_t>(i))));
             TimedEdge t;
             t.batch = sampler->sample();
             t.modeledSeconds = sampler->takeModeledOverheadSeconds();
             return t;
         });
     }
+    if (num_workers == 0)
+        return EdgeBatchLoader(std::move(producers[0]), num_batches,
+                               session, "pyg-saint");
     return EdgeBatchLoader(std::move(producers), num_batches,
                            prefetch_depth, session, "pyg-saint");
 }

@@ -62,9 +62,11 @@ struct Timed
 } // namespace detail
 
 /**
- * Multi-worker prefetching neighbor loader — PyG's NeighborLoader
- * with num_workers > 0.  Worker RNG streams fork from @p rng in
- * worker order; delivery follows seed-batch order.
+ * Prefetching neighbor loader — PyG's NeighborLoader.  One base seed
+ * is drawn from @p rng and each batch's sampler stream derives from
+ * (base, batch index) alone, so delivered batches are bit-identical
+ * for any num_workers, 0 included (num_workers == 0 samples inline
+ * on the consumer thread); delivery follows seed-batch order.
  */
 class NeighborLoader
 {
@@ -102,6 +104,7 @@ class NeighborLoader
     std::shared_ptr<const std::vector<std::vector<NodeId>>>
         seedBatches_;
     device::Session *session_;
+    int64_t delivered_ = 0;
     std::unique_ptr<
         sampling::Prefetcher<detail::Timed<NeighborBatch>>>
         prefetcher_;
@@ -114,13 +117,22 @@ class NeighborLoader
 class EdgeBatchLoader
 {
   public:
-    /** Draws one batch on a worker's private (null-session) sampler
-     *  clone and reports its modeled interpreter seconds. */
-    using Producer = std::function<detail::Timed<EdgeBatch>()>;
+    /** Draws the batch with the given global index on a worker's
+     *  private (null-session) sampler clone and reports its modeled
+     *  interpreter seconds. */
+    using Producer =
+        std::function<detail::Timed<EdgeBatch>(int64_t)>;
 
-    /** @param lane_tag trace-lane prefix for the workers. */
+    /** Threaded (num_workers >= 1) mode.
+     *  @param lane_tag trace-lane prefix for the workers. */
     EdgeBatchLoader(std::vector<Producer> producers, int num_batches,
                     int prefetch_depth, device::Session *session,
+                    std::string lane_tag = "pyg-induced");
+
+    /** Inline (num_workers == 0) mode: next() samples on the calling
+     *  thread. */
+    EdgeBatchLoader(Producer producer, int num_batches,
+                    device::Session *session,
                     std::string lane_tag = "pyg-induced");
 
     /** Next batch in order (charges its modeled overhead). */
@@ -144,7 +156,8 @@ class EdgeBatchLoader
 };
 
 /** ClusterGCN loader: per-worker ClusterSampler clones sharing the
- *  one-time partition. */
+ *  one-time partition, each reseeded per batch from the batch index
+ *  so the union drawn for batch i is worker-count invariant. */
 EdgeBatchLoader makeClusterLoader(const ClusterSampler &proto,
                                   core::Rng &rng,
                                   int32_t clusters_per_batch,

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "gnnbench/check/validate_sampling.h"
 #include "gnnbench/core/parallel.h"
 
 namespace gnnbench {
@@ -116,6 +117,8 @@ extractInducedFast(const graph::CsrGraph &csc,
             local_scratch[out.nodes[i]] = -1;
     });
     overhead.charge(session, glue_ops);
+    if (check::enabled())
+        check::require(check::checkEdgeBatch(out, csc));
     return out;
 }
 
@@ -223,6 +226,8 @@ NeighborSampler::sample(const std::vector<NodeId> &seeds)
         frontier = layer.srcNodes;
     }
     overhead_.charge(session_, ops);
+    if (check::enabled())
+        check::require(check::checkNeighborBatch(out, csc, fanouts_));
     return out;
 }
 

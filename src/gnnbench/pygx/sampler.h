@@ -52,6 +52,9 @@ class NeighborSampler
         return NeighborSampler(data_, fanouts_, rng, session);
     }
 
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
+
     /** Modeled interpreter seconds accumulated while detached. */
     double
     takeModeledOverheadSeconds() const
@@ -88,6 +91,9 @@ class ClusterSampler
     {
         return ClusterSampler(*this, rng, session);
     }
+
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
 
     /** Modeled interpreter seconds accumulated while detached. */
     double
@@ -126,6 +132,9 @@ class SaintNodeSampler
         return SaintNodeSampler(*this, rng, session);
     }
 
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
+
     /** Modeled interpreter seconds accumulated while detached. */
     double
     takeModeledOverheadSeconds() const
@@ -161,6 +170,9 @@ class SaintEdgeSampler
     {
         return SaintEdgeSampler(*this, rng, session);
     }
+
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
 
     /** Modeled interpreter seconds accumulated while detached. */
     double
@@ -199,6 +211,9 @@ class SaintRwSampler
         return SaintRwSampler(data_, numRoots_, walkLength_, rng,
                               session);
     }
+
+    /** Replace the RNG stream in place (per-batch loader reseeding). */
+    void reseed(core::Rng rng) { rng_ = rng; }
 
     /** Modeled interpreter seconds accumulated while detached. */
     double

@@ -94,6 +94,24 @@ class Prefetcher
                 });
     }
 
+    /**
+     * Inline (num_workers == 0) mode: no worker threads; next() runs
+     * @p producer for the next batch index on the calling thread,
+     * mirroring torch DataLoader(num_workers=0).  The producer sees
+     * the same batch indices as the threaded mode, so a producer
+     * whose randomness is a pure function of the batch index yields
+     * bit-identical batches for any worker count.
+     * workerBusySeconds() is empty and queue statistics stay zero.
+     */
+    Prefetcher(Producer producer, int64_t num_batches,
+               std::string lane_tag = "inline")
+        : numBatches_(num_batches), laneTag_(std::move(lane_tag)),
+          inlineProducer_(std::move(producer))
+    {
+        GNNBENCH_CHECK(static_cast<bool>(inlineProducer_),
+                       "inline prefetcher needs a producer");
+    }
+
     ~Prefetcher() { shutdown(); }
 
     Prefetcher(const Prefetcher &) = delete;
@@ -109,6 +127,19 @@ class Prefetcher
     {
         if (nextBatch_ >= numBatches_)
             return std::nullopt;
+        if (inlineProducer_) {
+            profiling::TraceRecorder &trace =
+                profiling::TraceRecorder::global();
+            std::optional<Batch> batch;
+            {
+                profiling::TraceScope ts(
+                    trace, "batch " + std::to_string(nextBatch_),
+                    "prefetch");
+                batch.emplace(inlineProducer_(nextBatch_));
+            }
+            ++nextBatch_;
+            return batch;
+        }
         const size_t w =
             static_cast<size_t>(nextBatch_ % queues_.size());
         std::optional<Batch> item = queues_[w]->pop();
@@ -248,6 +279,8 @@ class Prefetcher
     std::mutex errorMutex_;
     std::vector<std::exception_ptr> errors_;
     bool joined_ = false;
+    /** Non-empty in inline (num_workers == 0) mode. */
+    Producer inlineProducer_;
 };
 
 } // namespace sampling

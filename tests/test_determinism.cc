@@ -159,11 +159,11 @@ TEST(Determinism, SamplersIdenticalAcrossThreadCounts)
     }
 }
 
-TEST(Determinism, LoaderWorkerCountsStatisticallyEquivalent)
+TEST(Determinism, LoaderBatchesIdenticalAcrossWorkerCounts)
 {
-    // Changing num_workers reassigns RNG streams (like DGL/PyG), so
-    // samples differ — but the sampling distribution must not: the
-    // mean sampled edges per batch stays within a few percent.
+    // Each batch's sampler stream derives from (loader base seed,
+    // batch index) alone, so the delivered batches are bit-identical
+    // for any num_workers — 0 (inline) included.
     graph::Dataset ds = graph::loadDataset("ppi", 0.1, 5);
     dglx::LoadedData dgl = dglx::DataLoader::load(ds);
     std::vector<NodeId> all(ds.numNodes());
@@ -173,22 +173,82 @@ TEST(Determinism, LoaderWorkerCountsStatisticallyEquivalent)
     auto batches = makeBatches(all, 128, brng);
     dglx::NeighborSampler proto(*dgl.graph, {10, 5}, core::Rng(7));
 
-    auto meanEdges = [&](int workers) {
+    auto collect = [&](int workers) {
         core::Rng rng(21);
         dglx::NeighborLoader loader(proto, rng, batches, workers, 2);
-        double edges = 0.0;
-        int64_t n = 0;
-        while (auto s = loader.next()) {
-            for (const auto &blk : s->blocks)
-                edges += static_cast<double>(blk.csc.numEdges());
-            ++n;
-        }
-        return edges / static_cast<double>(n);
+        std::vector<sampling::NeighborSample> out;
+        while (auto s = loader.next())
+            out.push_back(std::move(*s));
+        return out;
     };
-    const double m1 = meanEdges(1);
-    const double m4 = meanEdges(4);
-    EXPECT_GT(m1, 0.0);
-    EXPECT_NEAR(m4 / m1, 1.0, 0.05);
+    const auto base = collect(0);
+    ASSERT_EQ(base.size(), batches.size());
+    for (int workers : {1, 4}) {
+        const auto got = collect(workers);
+        ASSERT_EQ(got.size(), base.size()) << workers << " workers";
+        for (size_t b = 0; b < base.size(); ++b) {
+            ASSERT_EQ(got[b].blocks.size(), base[b].blocks.size());
+            for (size_t l = 0; l < base[b].blocks.size(); ++l) {
+                EXPECT_EQ(got[b].blocks[l].srcNodes,
+                          base[b].blocks[l].srcNodes)
+                    << workers << " workers, batch " << b;
+                EXPECT_EQ(got[b].blocks[l].csc.indptr,
+                          base[b].blocks[l].csc.indptr);
+                EXPECT_EQ(got[b].blocks[l].csc.indices,
+                          base[b].blocks[l].csc.indices);
+            }
+        }
+    }
+}
+
+TEST(Determinism, ModelsIdenticalAcrossWorkersAndThreads)
+{
+    // The full cross-product contract: every model and framework is
+    // bit-identical across numWorkers in {0, 1, 4} and
+    // GNNBENCH_NUM_THREADS in {1, 4}.
+    graph::Dataset ds = graph::loadDataset("ppi", 0.05, 5);
+    struct ModelCase
+    {
+        const char *name;
+        ModelFn fn;
+    };
+    const ModelCase models[] = {
+        {"sage", &trainGraphSage},
+        {"cluster", &trainClusterGcn},
+        {"saint", &trainGraphSaint},
+    };
+    const int restore = core::parallel::numThreads();
+    for (Framework fw : {Framework::Dglx, Framework::Pygx}) {
+        for (const ModelCase &m : models) {
+            std::vector<TrainResult> runs;
+            std::vector<std::string> tags;
+            for (int threads : {1, 4}) {
+                core::parallel::setNumThreads(threads);
+                for (int workers : {0, 1, 4}) {
+                    TrainConfig cfg = config(fw);
+                    cfg.epochs = 1;
+                    cfg.numWorkers = workers;
+                    runs.push_back(m.fn(ds, cfg));
+                    tags.push_back(std::string(m.name) + " t" +
+                                   std::to_string(threads) + " w" +
+                                   std::to_string(workers));
+                }
+            }
+            core::parallel::setNumThreads(restore);
+            for (size_t r = 1; r < runs.size(); ++r) {
+                ASSERT_EQ(runs[r].epochs.size(),
+                          runs[0].epochs.size());
+                for (size_t e = 0; e < runs[0].epochs.size(); ++e) {
+                    EXPECT_EQ(runs[r].epochs[e].loss,
+                              runs[0].epochs[e].loss)
+                        << tags[r] << " vs " << tags[0];
+                    EXPECT_EQ(runs[r].epochs[e].correct,
+                              runs[0].epochs[e].correct)
+                        << tags[r] << " vs " << tags[0];
+                }
+            }
+        }
+    }
 }
 
 TEST(Determinism, PrefetchTrainingRunToRunIdentical)

@@ -1,0 +1,429 @@
+/**
+ * Property-based tests of the graph substrate and both frameworks'
+ * samplers: every case is generated from a seed (base seed from
+ * GNNBENCH_TEST_SEED), validated through the gnncheck invariant
+ * checkers, and shrunk + reported with its repro seed on failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "gnnbench/check/differential.h"
+#include "gnnbench/check/property.h"
+#include "gnnbench/check/statistical.h"
+#include "gnnbench/check/validate.h"
+#include "gnnbench/check/validate_sampling.h"
+#include "gnnbench/core/parallel.h"
+#include "gnnbench/dglx/graph.h"
+#include "gnnbench/dglx/sampler.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/pygx/data.h"
+#include "gnnbench/pygx/sampler.h"
+
+#include "test_support.h"
+
+namespace gnnbench {
+namespace check {
+namespace {
+
+PropertyOptions
+opts(int cases = 200)
+{
+    PropertyOptions o;
+    o.numCases = cases;
+    o.baseSeed = testenv::seed();
+    return o;
+}
+
+/** Edge multiset as sorted (src, dst) pairs. */
+std::vector<std::pair<NodeId, NodeId>>
+edgePairs(const graph::CooGraph &g)
+{
+    std::vector<std::pair<NodeId, NodeId>> out;
+    out.reserve(g.src.size());
+    for (size_t e = 0; e < g.src.size(); ++e)
+        out.emplace_back(g.src[e], g.dst[e]);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** A seed-derived batch of unique seed nodes (never empty). */
+std::vector<NodeId>
+seedNodes(const GraphCase &c, uint64_t salt)
+{
+    core::Rng rng(c.seed ^ salt);
+    const NodeId n = c.coo.numNodes;
+    const NodeId k = 1 + static_cast<NodeId>(rng.uniformInt(
+                             std::min<NodeId>(n, 16)));
+    return rng.sampleWithoutReplacement(n, k);
+}
+
+// ---------------------------------------------------------------
+// Graph-format invariants.
+// ---------------------------------------------------------------
+
+TEST(Properties, GeneratorProducesWellFormedCoo)
+{
+    EXPECT_TRUE(checkProperty(
+        "generator-coo",
+        [](const GraphCase &c) { return checkCoo(c.coo); }, opts()));
+}
+
+TEST(Properties, CooCsrRoundtripPreservesEdges)
+{
+    EXPECT_TRUE(checkProperty(
+        "coo-csr-roundtrip",
+        [](const GraphCase &c) {
+            graph::CsrGraph csr = graph::cooToCsr(c.coo);
+            if (Result r = checkCsr(csr); !r)
+                return r;
+            graph::CooGraph back = graph::csrToCoo(csr);
+            if (edgePairs(back) != edgePairs(c.coo))
+                return Result::fail(
+                    "COO->CSR->COO changed the edge multiset");
+            return Result::pass();
+        },
+        opts()));
+}
+
+/**
+ * Canonicalize a CSR matrix by sorting each row's entries: the
+ * builders are stable counting sorts over different key orders
+ * (input edge order vs. source-row order), so within-row order is
+ * representation detail, not sparsity structure.
+ */
+graph::CsrGraph
+rowSorted(graph::CsrGraph g)
+{
+    for (NodeId r = 0; r < g.numRows; ++r)
+        std::sort(g.indices.begin() +
+                      static_cast<ptrdiff_t>(g.indptr[r]),
+                  g.indices.begin() +
+                      static_cast<ptrdiff_t>(g.indptr[r + 1]));
+    return g;
+}
+
+bool
+sameStructure(const graph::CsrGraph &a, const graph::CsrGraph &b)
+{
+    const graph::CsrGraph ca = rowSorted(a);
+    const graph::CsrGraph cb = rowSorted(b);
+    return ca.numRows == cb.numRows && ca.numCols == cb.numCols &&
+           ca.indptr == cb.indptr && ca.indices == cb.indices;
+}
+
+TEST(Properties, CscEqualsCsrTranspose)
+{
+    EXPECT_TRUE(checkProperty(
+        "csc-is-transpose",
+        [](const GraphCase &c) {
+            graph::CsrGraph csr = graph::cooToCsr(c.coo);
+            graph::CsrGraph csc = graph::cooToCsc(c.coo);
+            graph::CsrGraph t = graph::csrTranspose(csr);
+            if (Result r = checkCsr(csc); !r)
+                return r;
+            if (!sameStructure(t, csc))
+                return Result::fail(
+                    "cooToCsc differs from transpose(cooToCsr)");
+            return Result::pass();
+        },
+        opts()));
+}
+
+TEST(Properties, TransposeIsAnInvolution)
+{
+    EXPECT_TRUE(checkProperty(
+        "transpose-involution",
+        [](const GraphCase &c) {
+            graph::CsrGraph csr = graph::cooToCsr(c.coo);
+            graph::CsrGraph tt =
+                graph::csrTranspose(graph::csrTranspose(csr));
+            if (!sameStructure(tt, csr))
+                return Result::fail(
+                    "double transpose changed the matrix");
+            return Result::pass();
+        },
+        opts()));
+}
+
+TEST(Properties, InducedSubgraphIsValidAndClosed)
+{
+    EXPECT_TRUE(checkProperty(
+        "induced-subgraph",
+        [](const GraphCase &c) {
+            graph::CsrGraph csr = graph::cooToCsr(c.coo);
+            auto nodes = seedNodes(c, 0x1D5);
+            graph::CsrGraph sub = graph::inducedSubgraph(csr, nodes);
+            if (Result r = checkCsr(sub, {.requireSquare = true});
+                !r)
+                return r;
+            if (sub.numRows != static_cast<NodeId>(nodes.size()))
+                return Result::fail("induced row count mismatch");
+            return Result::pass();
+        },
+        opts()));
+}
+
+TEST(Properties, PartitionCoversAndAccountsCut)
+{
+    EXPECT_TRUE(checkProperty(
+        "partition-validity",
+        [](const GraphCase &c) {
+            graph::CsrGraph csr =
+                graph::cooToCsr(graph::symmetrize(c.coo));
+            core::Rng rng(c.seed ^ 0x9A47);
+            const int32_t k =
+                1 + static_cast<int32_t>(rng.uniformInt(6));
+            auto part = graph::partitionGraph(csr, k, rng);
+            return checkPartition(csr, part);
+        },
+        opts(60)));
+}
+
+// ---------------------------------------------------------------
+// Sampler-output invariants (both frameworks).
+// ---------------------------------------------------------------
+
+TEST(Properties, DglxNeighborSampleValid)
+{
+    EXPECT_TRUE(checkProperty(
+        "dglx-neighbor-sample",
+        [](const GraphCase &c) {
+            dglx::Graph g(c.coo);
+            std::vector<int> fanouts{3, 2};
+            dglx::NeighborSampler s(g, fanouts,
+                                    core::Rng(c.seed ^ 0xD51));
+            auto smp = s.sample(seedNodes(c, 0xD52));
+            return checkNeighborSample(smp, g.csc(), fanouts);
+        },
+        opts()));
+}
+
+TEST(Properties, PygxNeighborBatchValid)
+{
+    EXPECT_TRUE(checkProperty(
+        "pygx-neighbor-batch",
+        [](const GraphCase &c) {
+            pygx::Data d(c.coo);
+            device::Session session;
+            std::vector<int> fanouts{3, 2};
+            pygx::NeighborSampler s(d, fanouts,
+                                    core::Rng(c.seed ^ 0xE51),
+                                    &session);
+            auto batch = s.sample(seedNodes(c, 0xE52));
+            return checkNeighborBatch(batch, d.csc(), fanouts);
+        },
+        opts()));
+}
+
+TEST(Properties, DglxInducedSamplersValid)
+{
+    EXPECT_TRUE(checkProperty(
+        "dglx-induced-samplers",
+        [](const GraphCase &c) {
+            dglx::Graph g(c.coo);
+            const NodeId n = c.coo.numNodes;
+            dglx::ClusterSampler cs(
+                g, std::max<int32_t>(1, std::min<NodeId>(n, 4)),
+                core::Rng(c.seed ^ 0xC51));
+            if (Result r =
+                    checkInducedSample(cs.sample(1), g.csr());
+                !r)
+                return r;
+            dglx::SaintRwSampler rs(g, std::min<NodeId>(n, 8), 2,
+                                    core::Rng(c.seed ^ 0xC52));
+            if (Result r = checkInducedSample(rs.sample(), g.csr());
+                !r)
+                return r;
+            dglx::SaintNodeSampler ns(g, std::min<NodeId>(n, 8),
+                                      core::Rng(c.seed ^ 0xC53));
+            return checkInducedSample(ns.sample(), g.csr());
+        },
+        opts(100)));
+}
+
+TEST(Properties, PygxInducedSamplersValid)
+{
+    EXPECT_TRUE(checkProperty(
+        "pygx-induced-samplers",
+        [](const GraphCase &c) {
+            pygx::Data d(c.coo);
+            device::Session session;
+            const NodeId n = c.coo.numNodes;
+            pygx::ClusterSampler cs(
+                d, std::max<int32_t>(1, std::min<NodeId>(n, 4)),
+                core::Rng(c.seed ^ 0xF51), &session);
+            if (Result r = checkEdgeBatch(cs.sample(1), d.csc()); !r)
+                return r;
+            pygx::SaintRwSampler rs(d, std::min<NodeId>(n, 8), 2,
+                                    core::Rng(c.seed ^ 0xF52),
+                                    &session);
+            if (Result r = checkEdgeBatch(rs.sample(), d.csc()); !r)
+                return r;
+            pygx::SaintNodeSampler ns(d, std::min<NodeId>(n, 8),
+                                      core::Rng(c.seed ^ 0xF53),
+                                      &session);
+            return checkEdgeBatch(ns.sample(), d.csc());
+        },
+        opts(100)));
+}
+
+// ---------------------------------------------------------------
+// Harness self-tests: shrinking, determinism, and the VALIDATE
+// hooks' failure path.
+// ---------------------------------------------------------------
+
+TEST(Properties, GeneratorIsDeterministic)
+{
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t seed = caseSeed(testenv::seed(), i);
+        GraphCase a = generateGraphCase(seed);
+        GraphCase b = generateGraphCase(seed);
+        ASSERT_EQ(a.shape, b.shape);
+        ASSERT_EQ(a.coo.numNodes, b.coo.numNodes);
+        ASSERT_EQ(a.coo.src, b.coo.src);
+        ASSERT_EQ(a.coo.dst, b.coo.dst);
+    }
+}
+
+TEST(Properties, ShrinkingReducesCounterexampleAndPrintsSeed)
+{
+    // A property that rejects any graph with >= 1 edge must shrink
+    // to a minimal failing case and report the repro seed.
+    std::ostringstream report;
+    PropertyOptions o = opts(50);
+    o.out = &report;
+    const bool ok = checkProperty(
+        "self-test-shrink",
+        [](const GraphCase &c) {
+            if (!c.coo.src.empty())
+                return Result::fail("graph has an edge");
+            return Result::pass();
+        },
+        o);
+    EXPECT_FALSE(ok);
+    const std::string text = report.str();
+    EXPECT_NE(text.find("repro seed"), std::string::npos) << text;
+    EXPECT_NE(text.find("shrunk"), std::string::npos) << text;
+    // The shrunk counterexample for "has an edge" is a single edge.
+    EXPECT_NE(text.find("edges=1"), std::string::npos) << text;
+}
+
+TEST(Properties, ShrinkCandidatesAreStrictlySmaller)
+{
+    for (int i = 0; i < 50; ++i) {
+        GraphCase c =
+            generateGraphCase(caseSeed(testenv::seed() ^ 0x5, i));
+        for (const auto &cand : shrinkGraph(c.coo)) {
+            EXPECT_TRUE(checkCoo(cand)) << "shrink broke the graph";
+            const bool smaller =
+                cand.src.size() < c.coo.src.size() ||
+                cand.numNodes < c.coo.numNodes;
+            EXPECT_TRUE(smaller) << "shrink candidate not smaller";
+        }
+    }
+}
+
+[[noreturn]] void
+dieOnCorruptedCsr()
+{
+    setEnabled(true);
+    ScopedContext ctx("repro seed=12345");
+    graph::CsrGraph bad;
+    bad.numRows = 3;
+    bad.numCols = 3;
+    bad.indptr = {0, 1, 2, 4};  // claims 4 edges...
+    bad.indices = {1, 2};       // ...but holds 2
+    graph::csrTranspose(bad);
+    std::exit(0);  // unreachable: the validator must reject above
+}
+
+TEST(PropertiesDeath, CorruptedCsrIsRejectedWithReproSeed)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(dieOnCorruptedCsr(), ::testing::ExitedWithCode(1),
+                "validation failed.*repro seed=12345");
+}
+
+[[noreturn]] void
+dieOnOutOfRangeCoo()
+{
+    setEnabled(true);
+    graph::CooGraph bad;
+    bad.numNodes = 2;
+    bad.src = {0, 1};
+    bad.dst = {1, 5};  // 5 out of range
+    graph::cooToCsr(bad);
+    std::exit(0);  // unreachable: the validator must reject above
+}
+
+TEST(PropertiesDeath, OutOfRangeCooIsRejected)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(dieOnOutOfRangeCoo(), ::testing::ExitedWithCode(1),
+                "validation failed");
+}
+
+TEST(Properties, ValidateDisabledByDefaultHereAndTogglable)
+{
+    // The suite runs with hooks off (no GNNBENCH_VALIDATE in the
+    // test environment); setEnabled() must override in both
+    // directions without crashing enabled() callers.
+    setEnabled(true);
+    EXPECT_TRUE(enabled());
+    setEnabled(false);
+    EXPECT_FALSE(enabled());
+}
+
+// ---------------------------------------------------------------
+// GraphSAINT estimator unbiasedness (statistical; the Slow variant
+// runs more draws on a bigger graph).
+// ---------------------------------------------------------------
+
+void
+saintUnbiasednessCheck(NodeId n, EdgeId m, int prob_draws,
+                       int estimate_draws)
+{
+    core::Rng grng(testenv::seed() ^ 0x5A17);
+    graph::CooGraph coo =
+        graph::symmetrize(graph::rmat(n, m, grng));
+    dglx::Graph g(coo);
+
+    // Per-node "loss" values: arbitrary positive deterministic mix.
+    std::vector<double> value(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v)
+        value[static_cast<size_t>(v)] =
+            1.0 + 0.01 * static_cast<double>(v % 97);
+
+    dglx::SaintRwSampler sampler(g, std::max<NodeId>(n / 8, 1), 2,
+                                 core::Rng(0));
+    const uint64_t base = testenv::seed() ^ 0xD0;
+    NodeSetDraw draw = [&](int t) {
+        sampler.reseed(core::Rng(core::parallel::chunkSeed(
+            base, 0x5417, static_cast<uint64_t>(t))));
+        return sampler.sample().nodes;
+    };
+    EstimatorStats stats = saintEstimatorStats(
+        value, draw, prob_draws, estimate_draws);
+    EXPECT_TRUE(checkSaintUnbiased(stats))
+        << "z=" << stats.zScore << " full=" << stats.fullMean
+        << " ht=" << stats.htMean;
+}
+
+TEST(Properties, SaintEstimatorUnbiased)
+{
+    saintUnbiasednessCheck(300, 1200, 400, 120);
+}
+
+TEST(Properties, SaintEstimatorUnbiasedSlow)
+{
+    saintUnbiasednessCheck(2000, 10000, 1500, 400);
+}
+
+} // namespace
+} // namespace check
+} // namespace gnnbench

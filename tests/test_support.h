@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared test-environment helpers, linked into every test binary via
+ * test_main.cc.
+ *
+ * All randomized tests derive their RNG streams from testenv::seed()
+ * (the GNNBENCH_TEST_SEED environment variable, default 42) so a
+ * failure report's seed is sufficient to reproduce the exact run.
+ */
+
+#ifndef GNNBENCH_TESTS_TEST_SUPPORT_H
+#define GNNBENCH_TESTS_TEST_SUPPORT_H
+
+#include <cstdint>
+
+namespace gnnbench {
+namespace testenv {
+
+/** The run's base RNG seed: GNNBENCH_TEST_SEED env var, default 42. */
+uint64_t seed();
+
+} // namespace testenv
+} // namespace gnnbench
+
+#endif // GNNBENCH_TESTS_TEST_SUPPORT_H
