@@ -117,6 +117,9 @@ main(int argc, char **argv)
     auto opts = bench::parseOptions(argc, argv, defaults);
     bench::banner(
         "Ablation: sampling & prefetch pipeline scaling", opts);
+    std::printf("kernel variant: %s (aggregation dispatch; also in "
+                "the --json report options)\n\n",
+                kernels::variantName(kernels::defaultVariant()));
 
     profiling::Table table({"Dataset", "Sampler", "Workers",
                             "Batches", "Critical path", "Batches/s",

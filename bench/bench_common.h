@@ -11,6 +11,8 @@
  *   --json path        write the unified run report (Chrome-trace
  *                      JSON + structured results) and enable tracing
  *   --workers n        dataloader num_workers for the model benches
+ *   --kernel-variant v sparse-kernel variant (auto/reference/tiled)
+ *                      for the shared gnnbench::kernels layer
  */
 
 #ifndef GNNBENCH_BENCH_COMMON_H
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "gnnbench/graph/datasets.h"
+#include "gnnbench/kernels/kernels.h"
 #include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/report.h"
 #include "gnnbench/profiling/trace.h"
@@ -87,10 +90,19 @@ parseOptions(int argc, char **argv, Options opts = Options{})
             opts.jsonPath = next();
         } else if (arg == "--workers") {
             opts.numWorkers = std::stoi(next());
+        } else if (arg == "--kernel-variant") {
+            const std::string v = next();
+            kernels::KernelVariant kv;
+            GNNBENCH_CHECK(kernels::parseVariant(v, &kv),
+                           "--kernel-variant must be "
+                           "auto/reference/tiled, got ",
+                           v);
+            kernels::setDefaultVariant(kv);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--datasets a,b,c] [--scale f] "
                         "[--epochs n] [--seed s] [--csv prefix] "
-                        "[--json path] [--workers n]\n",
+                        "[--json path] [--workers n] "
+                        "[--kernel-variant v]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -115,7 +127,11 @@ optionPairs(const Options &opts)
             {"scale", std::to_string(opts.scale)},
             {"epochs", std::to_string(opts.epochs)},
             {"seed", std::to_string(opts.seed)},
-            {"workers", std::to_string(opts.numWorkers)}};
+            {"workers", std::to_string(opts.numWorkers)},
+            // The sparse-kernel dispatch policy active during the
+            // bench, so reports are comparable across variants.
+            {"kernel_variant",
+             kernels::variantName(kernels::defaultVariant())}};
 }
 
 /**

@@ -54,6 +54,9 @@ main(int argc, char **argv)
     bench::banner(
         "Figure 5: runtime of eight Conv layers (forward, out=256)",
         opts);
+    std::printf("kernel variant: %s (aggregation dispatch; also in "
+                "the --json report options)\n\n",
+                kernels::variantName(kernels::defaultVariant()));
 
     profiling::Table all({"Dataset", "Layer", "DGL-CPU", "PyG-CPU",
                           "DGL-GPU", "PyG-GPU", "DGL GPU speedup"});

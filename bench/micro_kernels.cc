@@ -6,14 +6,33 @@
  *  - dglx counting-sort format conversion vs pygx torch.sort-style
  *    conversion (the CSC-conversion cost of Obs. 2);
  *  - the dense GEMM both frameworks share.
+ *
+ * With `--json <path>` the binary instead runs the kernel-variant
+ * comparison: Reference vs Tiled SpMM on the fig05 conv-layer
+ * aggregation workload (full-graph reduce at hidden width 256), per
+ * reduce op, verifying bit-equal outputs and reporting the Tiled
+ * speedup at `--threads` (default 4) virtual threads.  Timing uses
+ * per-chunk thread-CPU seconds (kernels::KernelStats) list-scheduled
+ * onto the virtual threads, so the measured parallel speedup is
+ * meaningful even on a single-core machine.  The JSON record is what
+ * scripts/check_bench_regression.py appends to BENCH_kernels.json.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
 
 #include "gnnbench/dglx/kernels.h"
 #include "gnnbench/dglx/sampler.h"
 #include "gnnbench/graph/convert.h"
 #include "gnnbench/graph/generate.h"
+#include "gnnbench/kernels/kernels.h"
+#include "gnnbench/profiling/json_writer.h"
 #include "gnnbench/pygx/sampler.h"
 #include "gnnbench/pygx/scatter.h"
 
@@ -159,6 +178,190 @@ BM_PygxNeighborSampleBatch(benchmark::State &state)
 }
 BENCHMARK(BM_PygxNeighborSampleBatch);
 
+// ---------------------------------------------------------------
+// Kernel-variant comparison mode (--json)
+// ---------------------------------------------------------------
+
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+/**
+ * Makespan of the chunk CPU-seconds list-scheduled onto @p t virtual
+ * threads: chunks are assigned in dispatch order to the least-loaded
+ * thread, mirroring the dynamic chunk scheduling of
+ * core::parallelForChunks.
+ */
+double
+criticalPath(const std::vector<double> &chunks, int t)
+{
+    std::vector<double> load(static_cast<size_t>(t), 0.0);
+    for (double c : chunks)
+        *std::min_element(load.begin(), load.end()) += c;
+    return *std::max_element(load.begin(), load.end());
+}
+
+bool
+bitsEqual(const core::Tensor &a, const core::Tensor &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+struct VariantRow
+{
+    const char *op;
+    double refSeconds;
+    double tiledWorkSeconds;
+    double tiledCriticalPath;
+    size_t tiledChunks;
+    double speedup;
+    bool bitExact;
+};
+
+int
+runVariantComparison(const std::string &json_path, int threads,
+                     int repeats)
+{
+    // The fig05 conv-layer aggregation: one full-graph neighborhood
+    // reduce at the figure's hidden width (256) over the micro-bench
+    // RMAT graph.
+    constexpr int64_t kFeat = 256;
+    core::Rng rng(7);
+    graph::CooGraph coo =
+        graph::symmetrize(graph::rmat(20000, 120000, rng), false);
+    graph::CsrGraph csc = graph::cooToCsc(coo);
+    core::Tensor x = core::Tensor::randn(csc.numCols, kFeat, rng);
+
+    std::printf("=== kernel variant comparison "
+                "(fig05 aggregation, n=%d, e=%lld, f=%lld, "
+                "%d virtual threads, median of %d) ===\n",
+                csc.numRows, static_cast<long long>(csc.numEdges()),
+                static_cast<long long>(kFeat), threads, repeats);
+
+    const kernels::ReduceOp ops[] = {kernels::ReduceOp::Sum,
+                                     kernels::ReduceOp::Mean,
+                                     kernels::ReduceOp::Max};
+    std::vector<VariantRow> rows;
+    for (kernels::ReduceOp op : ops) {
+        core::Tensor ref = kernels::spmm(
+            csc, x, op, nullptr, kernels::KernelVariant::Reference);
+        core::Tensor til = kernels::spmm(
+            csc, x, op, nullptr, kernels::KernelVariant::Tiled);
+        const bool bits = bitsEqual(ref, til);
+
+        std::vector<double> refs, works, crits;
+        size_t chunks = 0;
+        for (int r = 0; r < repeats; ++r) {
+            kernels::KernelStats rs;
+            kernels::spmm(csc, x, op, nullptr,
+                          kernels::KernelVariant::Reference, &rs);
+            refs.push_back(std::accumulate(rs.chunkSeconds.begin(),
+                                           rs.chunkSeconds.end(),
+                                           0.0));
+            kernels::KernelStats ts;
+            kernels::spmm(csc, x, op, nullptr,
+                          kernels::KernelVariant::Tiled, &ts);
+            works.push_back(std::accumulate(ts.chunkSeconds.begin(),
+                                            ts.chunkSeconds.end(),
+                                            0.0));
+            crits.push_back(criticalPath(ts.chunkSeconds, threads));
+            chunks = ts.chunkSeconds.size();
+        }
+        VariantRow row;
+        row.op = kernels::reduceOpName(op);
+        row.refSeconds = medianOf(refs);
+        row.tiledWorkSeconds = medianOf(works);
+        row.tiledCriticalPath = medianOf(crits);
+        row.tiledChunks = chunks;
+        row.speedup = row.refSeconds / row.tiledCriticalPath;
+        row.bitExact = bits;
+        rows.push_back(row);
+        std::printf("  spmm %-4s  reference %.4fs  tiled work %.4fs "
+                    "(%zu chunks)  critical path@%d %.4fs  "
+                    "speedup %.2fx  bit_exact=%s\n",
+                    row.op, row.refSeconds, row.tiledWorkSeconds,
+                    row.tiledChunks, threads, row.tiledCriticalPath,
+                    row.speedup, row.bitExact ? "yes" : "NO");
+    }
+
+    std::ofstream out(json_path);
+    GNNBENCH_CHECK(out.good(), "cannot open ", json_path);
+    profiling::JsonWriter w(out);
+    w.beginObject();
+    w.value("bench", "micro_kernels");
+    w.value("mode", "kernel_variants");
+    w.value("workload", "fig05_conv_aggregation");
+    w.value("nodes", static_cast<int64_t>(csc.numRows));
+    w.value("edges", static_cast<int64_t>(csc.numEdges()));
+    w.value("feat", kFeat);
+    w.value("threads", threads);
+    w.value("repeats", repeats);
+    w.beginArray("results");
+    for (const VariantRow &row : rows) {
+        w.beginObject();
+        w.value("op", row.op);
+        w.value("reference_seconds", row.refSeconds);
+        w.value("tiled_work_seconds", row.tiledWorkSeconds);
+        w.value("tiled_critical_path_seconds",
+                row.tiledCriticalPath);
+        w.value("tiled_chunks",
+                static_cast<int64_t>(row.tiledChunks));
+        w.value("speedup", row.speedup);
+        w.value("bit_exact", row.bitExact);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+    out.close();
+    std::printf("variant comparison written to %s\n",
+                json_path.c_str());
+
+    bool ok = true;
+    for (const VariantRow &row : rows)
+        ok = ok && row.bitExact;
+    if (!ok)
+        std::fprintf(stderr, "FAIL: tiled output diverges from the "
+                             "reference golden model\n");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    int threads = 4;
+    int repeats = 5;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            GNNBENCH_CHECK(i + 1 < argc, "missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = next();
+        else if (arg == "--threads")
+            threads = std::stoi(next());
+        else if (arg == "--repeats")
+            repeats = std::stoi(next());
+    }
+    if (!json_path.empty()) {
+        GNNBENCH_CHECK(threads >= 1 && repeats >= 1,
+                       "--threads/--repeats must be positive");
+        return runVariantComparison(json_path, threads, repeats);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

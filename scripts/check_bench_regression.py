@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Kernel-variant performance regression gate.
+
+Runs ``micro_kernels --json`` (the Reference-vs-Tiled SpMM comparison
+on the fig05 conv-layer aggregation workload), appends the record to
+the BENCH_kernels.json history at the repository root, and fails when
+the tiled variant's speedup regresses by more than --threshold
+(default 10%) against the previous entry for any reduce op, or drops
+below the --min-speedup floor (default 1.5x, the paper-reproduction
+acceptance bar).  With no existing history the run is recorded and the
+gate passes ("no baseline" is not a failure).
+
+Usage:
+    check_bench_regression.py <micro_kernels-binary>
+        [--history PATH] [--threshold FRACTION] [--min-speedup X]
+        [--threads N] [--repeats N]
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("binary", help="path to the micro_kernels binary")
+    p.add_argument("--history",
+                   default=str(REPO_ROOT / "BENCH_kernels.json"),
+                   help="speedup history file (JSON array)")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="max allowed fractional speedup regression "
+                        "vs the previous entry")
+    p.add_argument("--min-speedup", type=float, default=1.5,
+                   help="absolute speedup floor per reduce op")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--repeats", type=int, default=5)
+    return p.parse_args(argv)
+
+
+def run_bench(args):
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [args.binary, "--json", tmp.name,
+               "--threads", str(args.threads),
+               "--repeats", str(args.repeats)]
+        print("+", " ".join(cmd), flush=True)
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            sys.exit("FAIL: %s exited %d (tiled output diverged "
+                     "from the reference golden model?)"
+                     % (args.binary, proc.returncode))
+        with open(tmp.name) as f:
+            return json.load(f)
+
+
+def load_history(path):
+    if not path.exists():
+        return []
+    text = path.read_text().strip()
+    if not text:
+        return []
+    history = json.loads(text)
+    if not isinstance(history, list):
+        sys.exit("FAIL: %s is not a JSON array" % path)
+    return history
+
+
+def speedups(record):
+    return {r["op"]: r["speedup"] for r in record["results"]}
+
+
+def main(argv):
+    args = parse_args(argv)
+    record = run_bench(args)
+    record["timestamp"] = (datetime.datetime.now(datetime.timezone.utc)
+                           .strftime("%Y-%m-%dT%H:%M:%SZ"))
+
+    for r in record["results"]:
+        if not r["bit_exact"]:
+            sys.exit("FAIL: tiled spmm %s is not bit-exact vs the "
+                     "reference golden model" % r["op"])
+
+    failures = []
+    for op, new in sorted(speedups(record).items()):
+        if new < args.min_speedup:
+            failures.append(
+                "spmm %s: speedup %.2fx below the %.2fx floor"
+                % (op, new, args.min_speedup))
+
+    history_path = pathlib.Path(args.history)
+    history = load_history(history_path)
+    if history:
+        base = speedups(history[-1])
+        for op, new in sorted(speedups(record).items()):
+            old = base.get(op)
+            if old is None:
+                continue
+            if new < old * (1.0 - args.threshold):
+                failures.append(
+                    "spmm %s: speedup regressed %.2fx -> %.2fx "
+                    "(>%d%% vs previous entry)"
+                    % (op, old, new, round(args.threshold * 100)))
+            else:
+                print("  spmm %-4s  %.2fx vs baseline %.2fx  ok"
+                      % (op, new, old))
+    else:
+        print("no baseline in %s; recording first entry"
+              % history_path)
+
+    if failures:
+        for f in failures:
+            print("FAIL:", f, file=sys.stderr)
+        print("history left untouched at %s" % history_path,
+              file=sys.stderr)
+        return 1
+
+    history.append(record)
+    history_path.write_text(json.dumps(history, indent=2) + "\n")
+    print("appended entry %d to %s" % (len(history), history_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,9 +5,11 @@
 
 #include "gnnbench/check/validate_sampling.h"
 #include "gnnbench/core/optim.h"
+#include "gnnbench/dglx/kernels.h"
 #include "gnnbench/dglx/sampler.h"
 #include "gnnbench/graph/convert.h"
 #include "gnnbench/pygx/sampler.h"
+#include "gnnbench/pygx/scatter.h"
 
 namespace gnnbench {
 namespace check {
@@ -391,6 +393,77 @@ diffInducedExtraction(const GraphCase &c, uint64_t seed)
     // reference; the pygx extraction path is certified by
     // checkEdgeBatch on real sampler outputs.
     return checkInducedSample(smp, d.dgl.csr());
+}
+
+Result
+diffUnifiedAggregation(const GraphCase &c, uint64_t seed)
+{
+    const graph::CsrGraph csc = graph::cooToCsc(c.coo);
+    const NodeId n = csc.numRows;
+    const int64_t f = 11;
+    core::Rng rng(seed ^ 0xA66ULL);
+    Tensor x = Tensor::randn(n, f, rng);
+
+    // Materialize the edge list in csc traversal order so the pygx
+    // scatter pipeline visits each destination's in-edges in exactly
+    // the order the fused dglx kernel reduces them.
+    const size_t m = static_cast<size_t>(csc.numEdges());
+    std::vector<NodeId> esrc, edst;
+    esrc.reserve(m);
+    edst.reserve(m);
+    for (NodeId d = 0; d < csc.numRows; ++d)
+        for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
+            esrc.push_back(csc.indices[e]);
+            edst.push_back(d);
+        }
+
+    dglx::KernelCtx dctx;
+    pygx::KernelCtx pctx;
+    const DiffTol bitExact{0.0f, 0.0f};
+
+    const Tensor msgs = pygx::gather(x, esrc, pctx);
+    if (Result r = compareTensors(
+            "unified aggregation (sum)",
+            dglx::gspmm(csc, x, dglx::Reducer::Sum, nullptr, dctx),
+            pygx::scatterSum(msgs, edst, n, pctx), bitExact);
+        !r)
+        return r;
+    if (Result r = compareTensors(
+            "unified aggregation (mean)",
+            dglx::gspmm(csc, x, dglx::Reducer::Mean, nullptr, dctx),
+            pygx::scatterMean(msgs, edst, n, pctx), bitExact);
+        !r)
+        return r;
+    if (Result r = compareTensors(
+            "unified aggregation (max)",
+            dglx::gspmm(csc, x, dglx::Reducer::Max, nullptr, dctx),
+            pygx::scatterMax(msgs, edst, n, pctx), bitExact);
+        !r)
+        return r;
+
+    std::vector<float> w(m);
+    Tensor wt(static_cast<NodeId>(m), 1);
+    for (size_t e = 0; e < m; ++e) {
+        w[e] = rng.uniformFloat() - 0.5f;
+        wt(static_cast<NodeId>(e), 0) = w[e];
+    }
+    const Tensor dWeighted =
+        dglx::gspmm(csc, x, dglx::Reducer::Sum, w.data(), dctx);
+    // Both fused entry points resolve to kernels::spmm, so the
+    // weighted reduction is bit-identical across frameworks.
+    if (Result r = compareTensors(
+            "unified aggregation (weighted fused)", dWeighted,
+            pygx::spmm(csc, x, w.data(), pctx), bitExact);
+        !r)
+        return r;
+    // The materialized path rounds each w[e]*x product to float
+    // before accumulating, while the fused kernel may contract it
+    // into an FMA; hold those to a tight tolerance instead.
+    return compareTensors(
+        "unified aggregation (weighted materialized)", dWeighted,
+        pygx::scatterSum(pygx::mulEdgeScalar(msgs, wt, pctx), edst, n,
+                         pctx),
+        DiffTol{1e-5f, 1e-6f});
 }
 
 } // namespace check

@@ -108,6 +108,20 @@ Result diffSaintRwStats(const GraphCase &c, int32_t num_roots,
  */
 Result diffInducedExtraction(const GraphCase &c, uint64_t seed);
 
+/**
+ * Bit-exact agreement of the frameworks' neighborhood aggregation:
+ * both now dispatch through the shared gnnbench::kernels layer, and
+ * the pygx edge list is materialized in csc traversal order, so
+ * dglx's fused gspmm and pygx's gather/scatter pipeline accumulate
+ * every output element in the same order with the same arithmetic.
+ * Sum, mean, and max must match to the bit (DiffTol{0, 0}); the
+ * weighted fused paths must also match to the bit, while the
+ * materialized multiply-then-scatter path is held to a tight float
+ * tolerance (FMA contraction in the fused product is the only
+ * permitted divergence).
+ */
+Result diffUnifiedAggregation(const GraphCase &c, uint64_t seed);
+
 } // namespace check
 } // namespace gnnbench
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "gnnbench/core/timer.h"
+#include "gnnbench/kernels/kernels.h"
 
 namespace gnnbench {
 namespace dglx {
@@ -81,6 +82,20 @@ runKernel(const KernelCtx &ctx, const KernelDesc &desc, F &&fn)
     }
 }
 
+kernels::ReduceOp
+toReduceOp(Reducer reducer)
+{
+    switch (reducer) {
+    case Reducer::Sum:
+        return kernels::ReduceOp::Sum;
+    case Reducer::Mean:
+        return kernels::ReduceOp::Mean;
+    case Reducer::Max:
+        return kernels::ReduceOp::Max;
+    }
+    return kernels::ReduceOp::Sum;
+}
+
 } // namespace
 
 Tensor
@@ -92,55 +107,7 @@ gspmm(const graph::CsrGraph &csc, const Tensor &x, Reducer reducer,
     const int64_t f = x.cols();
     Tensor out;
     runKernel(ctx, spmmDesc(csc, f, w != nullptr, ctx.costs), [&] {
-        out = Tensor(csc.numRows, f);
-        if (reducer == Reducer::Max) {
-            out.fill(-std::numeric_limits<float>::infinity());
-            #pragma omp parallel for schedule(dynamic, 64)
-            for (NodeId d = 0; d < csc.numRows; ++d) {
-                float *orow = out.row(d);
-                for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1];
-                     ++e) {
-                    const float *xrow = x.row(csc.indices[e]);
-                    for (int64_t j = 0; j < f; ++j)
-                        orow[j] = std::max(orow[j], xrow[j]);
-                }
-                if (csc.indptr[d] == csc.indptr[d + 1])
-                    std::fill_n(orow, f, 0.0f);
-            }
-            return;
-        }
-        #pragma omp parallel for schedule(dynamic, 64)
-        for (NodeId d = 0; d < csc.numRows; ++d) {
-            float *__restrict orow = out.row(d);
-            const EdgeId begin = csc.indptr[d], end = csc.indptr[d + 1];
-            // Edge-pair unrolled accumulate (the register-blocked,
-            // latency-hiding CPU kernel style the paper credits to
-            // DGL's DistGNN-derived kernels).
-            EdgeId e = begin;
-            for (; e + 2 <= end; e += 2) {
-                const float *__restrict x0 = x.row(csc.indices[e]);
-                const float *__restrict x1 =
-                    x.row(csc.indices[e + 1]);
-                const float w0 = w ? w[e] : 1.0f;
-                const float w1 = w ? w[e + 1] : 1.0f;
-                #pragma omp simd
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] += w0 * x0[j] + w1 * x1[j];
-            }
-            for (; e < end; ++e) {
-                const float *__restrict xrow = x.row(csc.indices[e]);
-                const float we = w ? w[e] : 1.0f;
-                #pragma omp simd
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] += we * xrow[j];
-            }
-            if (reducer == Reducer::Mean && end > begin) {
-                const float inv =
-                    1.0f / static_cast<float>(end - begin);
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] *= inv;
-            }
-        }
+        out = kernels::spmm(csc, x, toReduceOp(reducer), w);
     });
     return out;
 }
@@ -155,19 +122,8 @@ gspmmScatter(const graph::CsrGraph &csc, const Tensor &x,
     Tensor out;
     KernelDesc desc = spmmDesc(csc, f, w != nullptr, ctx.costs);
     desc.name = "gspmm_scatter";
-    runKernel(ctx, desc, [&] {
-        out = Tensor(csc.numCols, f);
-        for (NodeId r = 0; r < csc.numRows; ++r) {
-            const float *xrow = x.row(r);
-            for (EdgeId e = csc.indptr[r]; e < csc.indptr[r + 1];
-                 ++e) {
-                float *orow = out.row(csc.indices[e]);
-                const float we = w ? w[e] : 1.0f;
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] += we * xrow[j];
-            }
-        }
-    });
+    runKernel(ctx, desc,
+              [&] { out = kernels::spmmScatter(csc, x, w); });
     return out;
 }
 
@@ -182,18 +138,8 @@ gsddmmAdd(const graph::CsrGraph &csc, const Tensor &a_dst,
                    "gsddmmAdd: operand cols mismatch");
     const int64_t h = a_dst.cols();
     Tensor out;
-    runKernel(ctx, sddmmDesc(csc, h, ctx.costs), [&] {
-        out = Tensor::empty(csc.numEdges(), h);
-        for (NodeId d = 0; d < csc.numRows; ++d) {
-            const float *arow = a_dst.row(d);
-            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
-                const float *brow = b_src.row(csc.indices[e]);
-                float *orow = out.row(e);
-                for (int64_t j = 0; j < h; ++j)
-                    orow[j] = arow[j] + brow[j];
-            }
-        }
-    });
+    runKernel(ctx, sddmmDesc(csc, h, ctx.costs),
+              [&] { out = kernels::sddmmAdd(csc, a_dst, b_src); });
     return out;
 }
 
@@ -208,19 +154,8 @@ gsddmmDot(const graph::CsrGraph &csc, const Tensor &a_dst,
                    "gsddmmDot: operand cols mismatch");
     const int64_t f = a_dst.cols();
     Tensor out;
-    runKernel(ctx, sddmmDesc(csc, f, ctx.costs), [&] {
-        out = Tensor::empty(csc.numEdges(), 1);
-        for (NodeId d = 0; d < csc.numRows; ++d) {
-            const float *arow = a_dst.row(d);
-            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
-                const float *brow = b_src.row(csc.indices[e]);
-                float acc = 0.0f;
-                for (int64_t j = 0; j < f; ++j)
-                    acc += arow[j] * brow[j];
-                out(e, 0) = acc;
-            }
-        }
-    });
+    runKernel(ctx, sddmmDesc(csc, f, ctx.costs),
+              [&] { out = kernels::sddmmDot(csc, a_dst, b_src); });
     return out;
 }
 
@@ -310,16 +245,10 @@ gspmmEdgeScalar(const graph::CsrGraph &csc, const Tensor &x,
     const int64_t f = x.cols();
     Tensor out;
     runKernel(ctx, spmmDesc(csc, f, true, ctx.costs), [&] {
-        out = Tensor(csc.numRows, f);
-        for (NodeId d = 0; d < csc.numRows; ++d) {
-            float *orow = out.row(d);
-            for (EdgeId e = csc.indptr[d]; e < csc.indptr[d + 1]; ++e) {
-                const float *xrow = x.row(csc.indices[e]);
-                const float we = att(e, 0);
-                for (int64_t j = 0; j < f; ++j)
-                    orow[j] += we * xrow[j];
-            }
-        }
+        // att is E x 1, so its storage is exactly the per-edge
+        // weight array in csc traversal order.
+        out = kernels::spmm(csc, x, kernels::ReduceOp::Sum,
+                            att.data());
     });
     return out;
 }
@@ -410,23 +339,11 @@ segmentSumRows(const graph::CsrGraph &csc, const Tensor &x,
 {
     GNNBENCH_CHECK(x.rows() == csc.numEdges(),
                    "segmentSumRows: one row per edge required");
-    const int64_t h = x.cols();
     Tensor out;
     runKernel(ctx,
               elemDesc("segment_sum",
                        static_cast<double>(x.numel()), ctx.costs),
-              [&] {
-                  out = Tensor(csc.numRows, h);
-                  for (NodeId d = 0; d < csc.numRows; ++d) {
-                      float *orow = out.row(d);
-                      for (EdgeId e = csc.indptr[d];
-                           e < csc.indptr[d + 1]; ++e) {
-                          const float *xrow = x.row(e);
-                          for (int64_t j = 0; j < h; ++j)
-                              orow[j] += xrow[j];
-                      }
-                  }
-              });
+              [&] { out = kernels::segmentSumRows(csc, x); });
     return out;
 }
 
@@ -436,20 +353,11 @@ scatterSumCols(const graph::CsrGraph &csc, const Tensor &x,
 {
     GNNBENCH_CHECK(x.rows() == csc.numEdges(),
                    "scatterSumCols: one row per edge required");
-    const int64_t h = x.cols();
     Tensor out;
     runKernel(ctx,
               elemDesc("scatter_sum_cols",
                        static_cast<double>(x.numel()), ctx.costs),
-              [&] {
-                  out = Tensor(csc.numCols, h);
-                  for (EdgeId e = 0; e < csc.numEdges(); ++e) {
-                      float *orow = out.row(csc.indices[e]);
-                      const float *xrow = x.row(e);
-                      for (int64_t j = 0; j < h; ++j)
-                          orow[j] += xrow[j];
-                  }
-              });
+              [&] { out = kernels::scatterSumCols(csc, x); });
     return out;
 }
 

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal helpers shared by the kernel-layer translation units.
+ * Not installed with the public API; include kernels.h instead.
+ */
+
+#ifndef GNNBENCH_KERNELS_DETAIL_H
+#define GNNBENCH_KERNELS_DETAIL_H
+
+#include <cstdint>
+
+#include "gnnbench/kernels/kernels.h"
+
+namespace gnnbench {
+namespace kernels {
+namespace detail {
+
+/**
+ * Record one kernel call in the metrics registry: bumps
+ * "kernels.<family>.calls" / ".rows" / ".nnz" / ".bytes" and the
+ * per-variant "kernels.variant.<name>" counter.  @p bytes is the
+ * kernel's modeled memory traffic (reads + writes).
+ */
+void noteCall(const char *family, uint64_t rows, uint64_t nnz,
+              uint64_t bytes, KernelVariant chosen);
+
+} // namespace detail
+} // namespace kernels
+} // namespace gnnbench
+
+#endif // GNNBENCH_KERNELS_DETAIL_H

@@ -1,5 +1,7 @@
 #include "gnnbench/pygx/message_passing.h"
 
+#include "gnnbench/kernels/kernels.h"
+
 namespace gnnbench {
 namespace pygx {
 
@@ -80,16 +82,20 @@ MessagePassing::propagate(const std::vector<NodeId> &src,
 {
     GNNBENCH_CHECK(src.size() == dst.size(),
                    "propagate: src/dst length mismatch");
+    kernels::ReduceOp op;
+    GNNBENCH_CHECK(kernels::parseReduceOp(aggr, &op),
+                   "propagate: unknown aggregator '", aggr, "'");
     core::Tensor msgs = gather(x, src, ctx);
     if (edge_weight)
         msgs = mulEdgeScalar(msgs, *edge_weight, ctx);
-    if (aggr == "sum")
+    switch (op) {
+    case kernels::ReduceOp::Sum:
         return scatterSum(msgs, dst, out_rows, ctx);
-    if (aggr == "mean")
+    case kernels::ReduceOp::Mean:
         return scatterMean(msgs, dst, out_rows, ctx);
-    if (aggr == "max")
+    case kernels::ReduceOp::Max:
         return scatterMax(msgs, dst, out_rows, ctx);
-    GNNBENCH_CHECK(false, "propagate: unknown aggregator '", aggr, "'");
+    }
     __builtin_unreachable();
 }
 

@@ -7,6 +7,7 @@
 
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/core/timer.h"
+#include "gnnbench/kernels/kernels.h"
 
 namespace gnnbench {
 namespace pygx {
@@ -100,15 +101,7 @@ gather(const Tensor &x, const std::vector<NodeId> &idx,
     runKernel(ctx,
               makeDesc("gather", 0.0, 8.0 * e * f + 8.0 * e,
                        ctx.costs.gpuGatherEff, ctx.costs),
-              [&] {
-                  out = Tensor::empty(e, f);
-                  parallelFor(0, e, rowGrain(f),
-                              [&](int64_t r0, int64_t r1) {
-                                  for (int64_t i = r0; i < r1; ++i)
-                                      std::copy_n(x.row(idx[i]), f,
-                                                  out.row(i));
-                              });
-              });
+              [&] { out = kernels::gatherRows(x, idx); });
     return out;
 }
 
@@ -126,23 +119,11 @@ scatterSum(const Tensor &src, const std::vector<NodeId> &idx,
                        12.0 * e * f + 8.0 * e,
                        ctx.costs.gpuScatterEff, ctx.costs),
               [&] {
-                  // Indexed accumulation (PyG's CPU scatter path),
-                  // column-blocked: duplicate destination indices make
-                  // row-parallel writes race, so each chunk owns a
-                  // disjoint feature-column range across all edges.
-                  // Per-element accumulation order stays the serial
-                  // ascending-edge order, so results are bit-identical
+                  // Indexed accumulation (PyG's CPU scatter path);
+                  // the unified kernel keeps the ascending-edge
+                  // per-element order, so results are bit-identical
                   // at any thread count.
-                  out = Tensor(out_rows, f);
-                  parallelFor(0, f, kColGrain,
-                              [&](int64_t j0, int64_t j1) {
-                                  for (int64_t i = 0; i < e; ++i) {
-                                      const float *srow = src.row(i);
-                                      float *orow = out.row(idx[i]);
-                                      for (int64_t j = j0; j < j1; ++j)
-                                          orow[j] += srow[j];
-                                  }
-                              });
+                  out = kernels::scatterSum(src, idx, out_rows);
               });
     return out;
 }
@@ -151,21 +132,23 @@ Tensor
 scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
             NodeId out_rows, const KernelCtx &ctx)
 {
-    Tensor out = scatterSum(src, idx, out_rows, ctx);
-    std::vector<int64_t> counts(out_rows, 0);
+    Tensor sum = scatterSum(src, idx, out_rows, ctx);
+    Tensor out;
     runKernel(ctx,
               makeDesc("scatter_mean_div",
-                       static_cast<double>(out.numel()),
-                       8.0 * out.numel(), ctx.costs.gpuElemEff,
+                       static_cast<double>(sum.numel()),
+                       8.0 * sum.numel(), ctx.costs.gpuElemEff,
                        ctx.costs),
               [&] {
+                  out = std::move(sum);
+                  std::vector<int64_t> counts(out_rows, 0);
                   for (NodeId i : idx)
                       ++counts[i];
                   parallelFor(
                       0, out.rows(), rowGrain(out.cols()),
                       [&](int64_t r0, int64_t r1) {
                           for (int64_t r = r0; r < r1; ++r) {
-                              if (counts[r] == 0)
+                              if (counts[r] <= 1)
                                   continue;
                               const float inv =
                                   1.0f / static_cast<float>(counts[r]);
@@ -192,30 +175,7 @@ scatterMax(const Tensor &src, const std::vector<NodeId> &idx,
         makeDesc("scatter_max", static_cast<double>(e) * f,
                  12.0 * e * f + 8.0 * e, ctx.costs.gpuScatterEff,
                  ctx.costs),
-        [&] {
-            out = Tensor(out_rows, f);
-            out.fill(-std::numeric_limits<float>::infinity());
-            // Touched flags first (serial, O(E)); the max pass is
-            // column-blocked so concurrent chunks never write the
-            // same element.
-            std::vector<uint8_t> touched(out_rows, 0);
-            for (int64_t i = 0; i < e; ++i)
-                touched[idx[i]] = 1;
-            parallelFor(0, f, kColGrain, [&](int64_t j0, int64_t j1) {
-                for (int64_t i = 0; i < e; ++i) {
-                    const float *srow = src.row(i);
-                    float *orow = out.row(idx[i]);
-                    for (int64_t j = j0; j < j1; ++j)
-                        orow[j] = std::max(orow[j], srow[j]);
-                }
-            });
-            parallelFor(0, out_rows, rowGrain(f),
-                        [&](int64_t r0, int64_t r1) {
-                            for (int64_t r = r0; r < r1; ++r)
-                                if (!touched[r])
-                                    std::fill_n(out.row(r), f, 0.0f);
-                        });
-        });
+        [&] { out = kernels::scatterMax(src, idx, out_rows); });
     return out;
 }
 
@@ -313,26 +273,8 @@ spmm(const graph::CsrGraph &csc, const Tensor &x, const float *w,
                        4.0 * (e * f + csc.numRows * f) + 12.0 * e,
                        ctx.costs.gpuSpmmEff, ctx.costs),
               [&] {
-                  out = Tensor(csc.numRows, f);
-                  // Plain CSR loop — correct, but without the blocked
-                  // and unrolled inner kernel dglx uses.  Parallel
-                  // over destination rows: each owns its output row.
-                  parallelFor(
-                      0, csc.numRows, rowGrain(f),
-                      [&](int64_t d0, int64_t d1) {
-                          for (NodeId d = static_cast<NodeId>(d0);
-                               d < d1; ++d) {
-                              float *orow = out.row(d);
-                              for (EdgeId i = csc.indptr[d];
-                                   i < csc.indptr[d + 1]; ++i) {
-                                  const float *xrow =
-                                      x.row(csc.indices[i]);
-                                  const float we = w ? w[i] : 1.0f;
-                                  for (int64_t j = 0; j < f; ++j)
-                                      orow[j] += we * xrow[j];
-                              }
-                          }
-                      });
+                  out = kernels::spmm(csc, x, kernels::ReduceOp::Sum,
+                                      w);
               });
     return out;
 }

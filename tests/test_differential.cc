@@ -101,6 +101,26 @@ TEST(Differential, InducedStepAgrees)
         opts(60)));
 }
 
+TEST(Differential, UnifiedAggregationBitExact)
+{
+    EXPECT_TRUE(checkProperty(
+        "unified-aggregation",
+        [](const GraphCase &c) {
+            return diffUnifiedAggregation(c, c.seed ^ 0x5E);
+        },
+        opts(60)));
+}
+
+TEST(Differential, UnifiedAggregationBitExactSlow)
+{
+    EXPECT_TRUE(checkProperty(
+        "unified-aggregation-slow",
+        [](const GraphCase &c) {
+            return diffUnifiedAggregation(c, c.seed ^ 0x5F);
+        },
+        opts(200)));
+}
+
 TEST(Differential, InducedExtractionAgrees)
 {
     EXPECT_TRUE(checkProperty(
