@@ -28,8 +28,7 @@ main(int argc, char **argv)
     profiling::Table table({"Dataset", "Cache", "Hit rate",
                             "Movement (modeled)", "vs no-cache"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
 
         // One epoch of sampled input-node sets (fixed across

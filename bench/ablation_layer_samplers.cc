@@ -34,8 +34,7 @@ main(int argc, char **argv)
                             "Input nodes", "Edges",
                             "Isolated dst"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
         core::Rng rng(opts.seed);
         std::vector<std::vector<NodeId>> batches;

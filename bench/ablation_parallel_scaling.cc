@@ -127,8 +127,7 @@ main(int argc, char **argv)
                             "Stall", "MaxDepth"});
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
         pygx::LoadedData pyg = pygx::DataLoader::load(ds);
         const NodeId n = ds.numNodes();
@@ -206,8 +205,7 @@ main(int argc, char **argv)
     const int restore_threads = core::parallel::numThreads();
     profiling::Table lt({"Dataset", "Threads", "DGL load", "PyG load"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         for (int t : kWorkerCounts) {
             core::parallel::setNumThreads(t);
             core::Timer timer;

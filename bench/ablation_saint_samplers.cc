@@ -27,8 +27,7 @@ main(int argc, char **argv)
     profiling::Table table({"Dataset", "Sampler", "Time/batch",
                             "Nodes", "Edges", "Edges/node"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
         const NodeId n = ds.numNodes();
         const int32_t roots = std::min<int32_t>(3000, n / 4);

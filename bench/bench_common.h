@@ -11,8 +11,13 @@
  *   --json path        write the unified run report (Chrome-trace
  *                      JSON + structured results) and enable tracing
  *   --workers n        dataloader num_workers for the model benches
- *   --kernel-variant v sparse-kernel variant (auto/reference/tiled)
- *                      for the shared gnnbench::kernels layer
+ *   --kernel-variant v sparse-kernel variant (see
+ *                      kernels::validVariantList()) for the shared
+ *                      gnnbench::kernels layer
+ *   --reorder m        graph-reordering locality pass (none/degree/
+ *                      rcm) applied to every loaded dataset before
+ *                      the bench runs — results are permutation-
+ *                      equivalent to the unordered run
  */
 
 #ifndef GNNBENCH_BENCH_COMMON_H
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "gnnbench/graph/datasets.h"
+#include "gnnbench/graph/reorder.h"
 #include "gnnbench/kernels/kernels.h"
 #include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/report.h"
@@ -47,6 +53,8 @@ struct Options
     std::string jsonPath;
     /** Dataloader num_workers for benches that train models. */
     int numWorkers = 0;
+    /** Locality pass applied by bench::loadDataset (--reorder). */
+    graph::ReorderMethod reorder = graph::ReorderMethod::None;
 };
 
 inline std::vector<std::string>
@@ -70,6 +78,10 @@ splitCsv(const std::string &s)
 inline Options
 parseOptions(int argc, char **argv, Options opts = Options{})
 {
+    // Force the lazy GNNBENCH_KERNEL_VARIANT read now, so a bad env
+    // value dies at startup with the clear message instead of being
+    // silently ignored by benches that never dispatch a kernel.
+    kernels::defaultVariant();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -94,15 +106,20 @@ parseOptions(int argc, char **argv, Options opts = Options{})
             const std::string v = next();
             kernels::KernelVariant kv;
             GNNBENCH_CHECK(kernels::parseVariant(v, &kv),
-                           "--kernel-variant must be "
-                           "auto/reference/tiled, got ",
-                           v);
+                           "--kernel-variant must be one of ",
+                           kernels::validVariantList(), ", got ", v);
             kernels::setDefaultVariant(kv);
+        } else if (arg == "--reorder") {
+            const std::string v = next();
+            GNNBENCH_CHECK(
+                graph::parseReorderMethod(v, &opts.reorder),
+                "--reorder must be one of ",
+                graph::validReorderMethodList(), ", got ", v);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--datasets a,b,c] [--scale f] "
                         "[--epochs n] [--seed s] [--csv prefix] "
                         "[--json path] [--workers n] "
-                        "[--kernel-variant v]\n",
+                        "[--kernel-variant v] [--reorder m]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -131,7 +148,29 @@ optionPairs(const Options &opts)
             // The sparse-kernel dispatch policy active during the
             // bench, so reports are comparable across variants.
             {"kernel_variant",
-             kernels::variantName(kernels::defaultVariant())}};
+             kernels::variantName(kernels::defaultVariant())},
+            // What that policy actually resolves to on this machine
+            // (post-Auto, post-CPU-feature dispatch): "simd[avx2]",
+            // "simd[portable]", "tiled", or "reference".
+            {"kernel_variant_resolved",
+             kernels::resolvedVariantLabel(
+                 kernels::defaultVariant())},
+            {"reorder", graph::reorderMethodName(opts.reorder)}};
+}
+
+/**
+ * Load a Table-1 dataset and apply the --reorder locality pass.  All
+ * benches load through this helper so the reordering preprocessing is
+ * uniformly exposed; results stay permutation-equivalent to the
+ * unordered run (see graph::reorderDataset).
+ */
+inline graph::Dataset
+loadDataset(const std::string &name, const Options &opts)
+{
+    graph::Dataset ds =
+        graph::loadDataset(name, opts.scale, opts.seed);
+    graph::reorderDataset(ds, opts.reorder);
+    return ds;
 }
 
 /**

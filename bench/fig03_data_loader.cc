@@ -28,8 +28,7 @@ main(int argc, char **argv)
     profiling::Table table(
         {"Dataset", "DGL", "PyG", "DGL/PyG"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         // Median over repeats: the first iterations can be skewed by
         // allocator warmup after dataset synthesis.
         std::vector<double> dgl_times, pyg_times;

@@ -63,8 +63,7 @@ main(int argc, char **argv)
                             "PyG/DGL"});
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
         pygx::LoadedData pyg = pygx::DataLoader::load(ds);
         const NodeId n = ds.numNodes();

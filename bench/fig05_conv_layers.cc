@@ -62,8 +62,7 @@ main(int argc, char **argv)
                           "DGL-GPU", "PyG-GPU", "DGL GPU speedup"});
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         dglx::LoadedData dgl = dglx::DataLoader::load(ds);
         pygx::LoadedData pyg = pygx::DataLoader::load(ds);
         pyg.data->csc();  // conversion not part of the layer test

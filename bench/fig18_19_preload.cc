@@ -35,8 +35,7 @@ main(int argc, char **argv)
                                "Extra speedup"});
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         for (auto fw :
              {models::Framework::Dglx, models::Framework::Pygx}) {
             models::TrainConfig cfg;

@@ -36,8 +36,7 @@ main(int argc, char **argv)
                                 "Sampling%"});
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         models::TrainConfig cfg;
         cfg.framework = models::Framework::Dglx;
         cfg.epochs = opts.epochs;

@@ -29,8 +29,7 @@ main(int argc, char **argv)
     profiling::Table table({"Dataset", "Config", "Time/epoch",
                             "AvgPower", "Energy/epoch"});
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         for (auto fw :
              {models::Framework::Dglx, models::Framework::Pygx}) {
             for (auto mode :

@@ -52,8 +52,7 @@ runModelFigure(const char *model_name, const Options &opts,
     std::vector<profiling::RunRecord> runs;
 
     for (const auto &name : opts.datasets) {
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         for (auto [fw, mode] : standardConfigs()) {
             models::TrainConfig cfg;
             cfg.framework = fw;

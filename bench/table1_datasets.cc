@@ -21,8 +21,7 @@ main(int argc, char **argv)
                             "#Edges(synth)"});
     for (const auto &name : opts.datasets) {
         const auto &info = graph::datasetInfo(name);
-        graph::Dataset ds =
-            graph::loadDataset(name, opts.scale, opts.seed);
+        graph::Dataset ds = bench::loadDataset(name, opts);
         char split[64];
         std::snprintf(split, sizeof(split), "%.2f/%.2f/%.2f",
                       info.trainFrac, info.valFrac, info.testFrac);

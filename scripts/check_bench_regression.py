@@ -1,19 +1,36 @@
 #!/usr/bin/env python3
 """Kernel-variant performance regression gate.
 
-Runs ``micro_kernels --json`` (the Reference-vs-Tiled SpMM comparison
-on the fig05 conv-layer aggregation workload), appends the record to
-the BENCH_kernels.json history at the repository root, and fails when
-the tiled variant's speedup regresses by more than --threshold
-(default 10%) against the previous entry for any reduce op, or drops
-below the --min-speedup floor (default 1.5x, the paper-reproduction
-acceptance bar).  With no existing history the run is recorded and the
-gate passes ("no baseline" is not a failure).
+Runs ``micro_kernels --json`` (the Reference vs Tiled vs Simd SpMM
+comparison on the fig05 conv-layer aggregation workload, plus the
+single-thread graph-reordering measurement), appends the record to the
+BENCH_kernels.json history at the repository root, and fails when
+
+  * any result row's speedup drops below its own ``floor`` field
+    (1.5x for Tiled, 6.0x for Simd, 1.0x for the best reordering
+    method; rows without a floor fall back to --min-speedup), or
+  * a row's speedup regresses by more than --threshold (default 30%)
+    against the same row of the previous entry.  The floors are the
+    primary gate; the history comparison is a drift tripwire, and its
+    default threshold is sized for the ~±15% process-to-process
+    timing noise of a shared single-core runner.  Reorder rows (and
+    any row flagged ``no_regress``) are exempt from the history
+    comparison — which reordering method wins, and by how much, is
+    workload- and machine-dependent — but the best method's floor
+    still applies.
+
+Rows are keyed ``variant:op`` (reorder rows ``reorder:op:method``).
+Entries recorded before the per-variant format carry bare ``op`` keys
+that never match the new form, so the history comparison effectively
+restarts at the first per-variant entry instead of raising spurious
+regressions across the measurement-definition change.  With no
+matching baseline the run is recorded and the gate passes ("no
+baseline" is not a failure).
 
 Usage:
     check_bench_regression.py <micro_kernels-binary>
         [--history PATH] [--threshold FRACTION] [--min-speedup X]
-        [--threads N] [--repeats N]
+        [--threads N] [--repeats N] [--reorder METHOD]
 """
 
 import argparse
@@ -33,13 +50,17 @@ def parse_args(argv):
     p.add_argument("--history",
                    default=str(REPO_ROOT / "BENCH_kernels.json"),
                    help="speedup history file (JSON array)")
-    p.add_argument("--threshold", type=float, default=0.10,
+    p.add_argument("--threshold", type=float, default=0.30,
                    help="max allowed fractional speedup regression "
                         "vs the previous entry")
     p.add_argument("--min-speedup", type=float, default=1.5,
-                   help="absolute speedup floor per reduce op")
+                   help="speedup floor for rows without their own "
+                        "floor field")
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--reorder", default="none",
+                   help="reordering applied to the variant-comparison "
+                        "workload (none/rcm/degree)")
     return p.parse_args(argv)
 
 
@@ -47,12 +68,13 @@ def run_bench(args):
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
         cmd = [args.binary, "--json", tmp.name,
                "--threads", str(args.threads),
-               "--repeats", str(args.repeats)]
+               "--repeats", str(args.repeats),
+               "--reorder", args.reorder]
         print("+", " ".join(cmd), flush=True)
         proc = subprocess.run(cmd)
         if proc.returncode != 0:
-            sys.exit("FAIL: %s exited %d (tiled output diverged "
-                     "from the reference golden model?)"
+            sys.exit("FAIL: %s exited %d (an optimized variant "
+                     "diverged from the reference golden model?)"
                      % (args.binary, proc.returncode))
         with open(tmp.name) as f:
             return json.load(f)
@@ -70,8 +92,23 @@ def load_history(path):
     return history
 
 
-def speedups(record):
-    return {r["op"]: r["speedup"] for r in record["results"]}
+def row_key(r):
+    """Stable identity of a result row across history entries.
+
+    Pre-variant entries carry only ``op``; the bare key never collides
+    with the ``variant:op`` form, which keeps the two history formats
+    from being compared against each other.
+    """
+    if "variant" not in r:
+        return r["op"]
+    key = "%s:%s" % (r["variant"], r["op"])
+    if "method" in r:
+        key += ":" + r["method"]
+    return key
+
+
+def speedup_rows(record):
+    return {row_key(r): r for r in record["results"]}
 
 
 def main(argv):
@@ -80,34 +117,47 @@ def main(argv):
     record["timestamp"] = (datetime.datetime.now(datetime.timezone.utc)
                            .strftime("%Y-%m-%dT%H:%M:%SZ"))
 
+    # Reorder rows carry no bit_exact field (they are timing-only; the
+    # permutation-equivalence contract is covered by test_reorder).
     for r in record["results"]:
-        if not r["bit_exact"]:
-            sys.exit("FAIL: tiled spmm %s is not bit-exact vs the "
-                     "reference golden model" % r["op"])
+        if not r.get("bit_exact", True):
+            sys.exit("FAIL: %s spmm %s is not bit-exact vs the "
+                     "reference golden model"
+                     % (r.get("variant", "tiled"), r["op"]))
 
     failures = []
-    for op, new in sorted(speedups(record).items()):
-        if new < args.min_speedup:
+    rows = speedup_rows(record)
+    for key, r in sorted(rows.items()):
+        # Reorder rows are gated only when they carry an explicit
+        # floor (the best method); the --min-speedup fallback applies
+        # to kernel-variant rows alone.
+        floor = r.get("floor")
+        if floor is None:
+            if "method" in r:
+                continue
+            floor = args.min_speedup
+        if r["speedup"] < floor:
             failures.append(
-                "spmm %s: speedup %.2fx below the %.2fx floor"
-                % (op, new, args.min_speedup))
+                "%s: speedup %.2fx below the %.2fx floor"
+                % (key, r["speedup"], floor))
 
     history_path = pathlib.Path(args.history)
     history = load_history(history_path)
     if history:
-        base = speedups(history[-1])
-        for op, new in sorted(speedups(record).items()):
-            old = base.get(op)
-            if old is None:
+        base = speedup_rows(history[-1])
+        for key, r in sorted(rows.items()):
+            old = base.get(key)
+            if old is None or r.get("no_regress") or "method" in r:
                 continue
-            if new < old * (1.0 - args.threshold):
+            if r["speedup"] < old["speedup"] * (1.0 - args.threshold):
                 failures.append(
-                    "spmm %s: speedup regressed %.2fx -> %.2fx "
+                    "%s: speedup regressed %.2fx -> %.2fx "
                     "(>%d%% vs previous entry)"
-                    % (op, old, new, round(args.threshold * 100)))
+                    % (key, old["speedup"], r["speedup"],
+                       round(args.threshold * 100)))
             else:
-                print("  spmm %-4s  %.2fx vs baseline %.2fx  ok"
-                      % (op, new, old))
+                print("  %-20s %.2fx vs baseline %.2fx  ok"
+                      % (key, r["speedup"], old["speedup"]))
     else:
         print("no baseline in %s; recording first entry"
               % history_path)

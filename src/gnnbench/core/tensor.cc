@@ -13,13 +13,21 @@ Tensor::Tensor(int64_t rows, int64_t cols)
         std::memset(data_.get(), 0, bytes());
 }
 
+std::unique_ptr<float[], Tensor::AlignedFree>
+Tensor::allocate(size_t numel)
+{
+    return std::unique_ptr<float[], AlignedFree>(
+        static_cast<float *>(::operator new[](
+            numel * sizeof(float), std::align_val_t(kAlignment))));
+}
+
 Tensor::Tensor(int64_t rows, int64_t cols, Uninit)
     : rows_(rows), cols_(cols)
 {
     GNNBENCH_CHECK(rows >= 0 && cols >= 0, "negative tensor shape ", rows,
                    "x", cols);
-    data_ = std::make_unique_for_overwrite<float[]>(
-        static_cast<size_t>(rows) * static_cast<size_t>(cols));
+    data_ = allocate(static_cast<size_t>(rows) *
+                     static_cast<size_t>(cols));
 }
 
 Tensor::Tensor(const Tensor &other)
@@ -36,8 +44,7 @@ Tensor::operator=(const Tensor &other)
         if (rows_ != other.rows_ || cols_ != other.cols_) {
             rows_ = other.rows_;
             cols_ = other.cols_;
-            data_ = std::make_unique_for_overwrite<float[]>(
-                static_cast<size_t>(numel()));
+            data_ = allocate(static_cast<size_t>(numel()));
         }
         if (numel() > 0)
             std::memcpy(data_.get(), other.data_.get(), bytes());

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 
 #include "gnnbench/core/common.h"
 #include "gnnbench/core/rng.h"
@@ -114,17 +115,35 @@ class Tensor
     float sum() const;
     float maxAbs() const;
 
+    /** Alignment of the storage returned by data(): one cache line,
+     *  so vector kernels can use aligned/streaming accesses whenever
+     *  cols() keeps row starts on the same boundary. */
+    static constexpr size_t kAlignment = 64;
+
   private:
     struct Uninit
     {
     };
 
+    /** Frees storage obtained from the aligned allocation path. */
+    struct AlignedFree
+    {
+        void
+        operator()(float *p) const
+        {
+            ::operator delete[](p, std::align_val_t(kAlignment));
+        }
+    };
+
     /** Internal: allocate without initialization. */
     Tensor(int64_t rows, int64_t cols, Uninit);
 
+    static std::unique_ptr<float[], AlignedFree>
+    allocate(size_t numel);
+
     int64_t rows_ = 0;
     int64_t cols_ = 0;
-    std::unique_ptr<float[]> data_;
+    std::unique_ptr<float[], AlignedFree> data_;
 };
 
 } // namespace core

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * RCM and degree-sort node relabelings (see reorder.h for the model).
+ */
+
+#include "gnnbench/graph/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/graph/convert.h"
+
+namespace gnnbench {
+namespace graph {
+
+const char *
+reorderMethodName(ReorderMethod m)
+{
+    switch (m) {
+    case ReorderMethod::None:
+        return "none";
+    case ReorderMethod::DegreeSort:
+        return "degree";
+    case ReorderMethod::Rcm:
+        return "rcm";
+    }
+    return "?";
+}
+
+const char *
+validReorderMethodList()
+{
+    return "none/degree/rcm";
+}
+
+bool
+parseReorderMethod(std::string_view name, ReorderMethod *out)
+{
+    if (name == "none") {
+        *out = ReorderMethod::None;
+        return true;
+    }
+    if (name == "degree" || name == "degree_sort") {
+        *out = ReorderMethod::DegreeSort;
+        return true;
+    }
+    if (name == "rcm") {
+        *out = ReorderMethod::Rcm;
+        return true;
+    }
+    return false;
+}
+
+void
+Reordering::validate() const
+{
+    const NodeId n = numNodes();
+    GNNBENCH_CHECK(inverse.size() == perm.size(),
+                   "Reordering: perm/inverse size mismatch");
+    for (NodeId v = 0; v < n; ++v) {
+        const NodeId old = perm[v];
+        GNNBENCH_CHECK(old >= 0 && old < n,
+                       "Reordering: perm entry out of range");
+        GNNBENCH_CHECK(inverse[old] == v,
+                       "Reordering: inverse does not invert perm");
+    }
+}
+
+Reordering
+identityOrder(NodeId n)
+{
+    Reordering r;
+    r.perm.resize(static_cast<size_t>(n));
+    std::iota(r.perm.begin(), r.perm.end(), NodeId{0});
+    r.inverse = r.perm;
+    return r;
+}
+
+namespace {
+
+Reordering
+fromVisitOrder(std::vector<NodeId> perm)
+{
+    Reordering r;
+    r.inverse.resize(perm.size());
+    for (size_t v = 0; v < perm.size(); ++v)
+        r.inverse[static_cast<size_t>(perm[v])] =
+            static_cast<NodeId>(v);
+    r.perm = std::move(perm);
+    return r;
+}
+
+} // namespace
+
+Reordering
+degreeSortOrder(const CsrGraph &adj)
+{
+    GNNBENCH_CHECK(adj.numRows == adj.numCols,
+                   "degreeSortOrder: adjacency must be square");
+    const NodeId n = adj.numRows;
+    std::vector<NodeId> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), NodeId{0});
+    // Stable: equal-degree nodes keep their original relative ids, so
+    // the permutation is deterministic and locality inside a degree
+    // class is preserved.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) {
+                         return adj.degree(a) > adj.degree(b);
+                     });
+    return fromVisitOrder(std::move(order));
+}
+
+Reordering
+rcmOrder(const CsrGraph &adj)
+{
+    GNNBENCH_CHECK(adj.numRows == adj.numCols,
+                   "rcmOrder: adjacency must be square");
+    const NodeId n = adj.numRows;
+    std::vector<NodeId> order;
+    order.reserve(static_cast<size_t>(n));
+    std::vector<char> visited(static_cast<size_t>(n), 0);
+
+    // Component seeds in ascending (degree, id) order: each BFS starts
+    // from a pseudo-peripheral-ish minimum-degree node.
+    std::vector<NodeId> seeds(static_cast<size_t>(n));
+    std::iota(seeds.begin(), seeds.end(), NodeId{0});
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [&](NodeId a, NodeId b) {
+                         return adj.degree(a) < adj.degree(b);
+                     });
+
+    std::vector<NodeId> neigh;
+    for (const NodeId seed : seeds) {
+        if (visited[static_cast<size_t>(seed)])
+            continue;
+        visited[static_cast<size_t>(seed)] = 1;
+        // order doubles as the BFS queue: everything appended is
+        // already visited, and `head` walks it exactly once.
+        size_t head = order.size();
+        order.push_back(seed);
+        while (head < order.size()) {
+            const NodeId u = order[head++];
+            neigh.assign(adj.rowBegin(u), adj.rowEnd(u));
+            std::stable_sort(neigh.begin(), neigh.end(),
+                             [&](NodeId a, NodeId b) {
+                                 return adj.degree(a) < adj.degree(b);
+                             });
+            for (const NodeId v : neigh) {
+                if (visited[static_cast<size_t>(v)])
+                    continue;
+                visited[static_cast<size_t>(v)] = 1;
+                order.push_back(v);
+            }
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return fromVisitOrder(std::move(order));
+}
+
+Reordering
+computeReordering(const CsrGraph &adj, ReorderMethod m)
+{
+    switch (m) {
+    case ReorderMethod::None:
+        return identityOrder(adj.numRows);
+    case ReorderMethod::DegreeSort:
+        return degreeSortOrder(adj);
+    case ReorderMethod::Rcm:
+        return rcmOrder(adj);
+    }
+    GNNBENCH_CHECK(false, "computeReordering: unknown method");
+    return identityOrder(adj.numRows);
+}
+
+CsrGraph
+applyReordering(const CsrGraph &adj, const Reordering &r)
+{
+    GNNBENCH_CHECK(adj.numRows == adj.numCols,
+                   "applyReordering: adjacency must be square");
+    GNNBENCH_CHECK(r.numNodes() == adj.numRows,
+                   "applyReordering: permutation size mismatch");
+    const NodeId n = adj.numRows;
+    CsrGraph out;
+    out.numRows = n;
+    out.numCols = n;
+    out.indptr.resize(static_cast<size_t>(n) + 1);
+    out.indices.resize(adj.indices.size());
+    out.indptr[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        const NodeId old = r.perm[v];
+        const EdgeId deg = adj.degree(old);
+        EdgeId w = out.indptr[v];
+        for (const NodeId *p = adj.rowBegin(old);
+             p != adj.rowEnd(old); ++p)
+            out.indices[static_cast<size_t>(w++)] =
+                r.inverse[static_cast<size_t>(*p)];
+        out.indptr[v + 1] = out.indptr[v] + deg;
+        std::sort(out.indices.begin() +
+                      static_cast<ptrdiff_t>(out.indptr[v]),
+                  out.indices.begin() +
+                      static_cast<ptrdiff_t>(out.indptr[v + 1]));
+    }
+    return out;
+}
+
+CooGraph
+applyReordering(const CooGraph &g, const Reordering &r)
+{
+    GNNBENCH_CHECK(r.numNodes() == g.numNodes,
+                   "applyReordering: permutation size mismatch");
+    CooGraph out;
+    out.numNodes = g.numNodes;
+    out.src.resize(g.src.size());
+    out.dst.resize(g.dst.size());
+    for (size_t e = 0; e < g.src.size(); ++e) {
+        out.src[e] = r.inverse[static_cast<size_t>(g.src[e])];
+        out.dst[e] = r.inverse[static_cast<size_t>(g.dst[e])];
+    }
+    return out;
+}
+
+core::Tensor
+permuteRows(const core::Tensor &x, const Reordering &r)
+{
+    GNNBENCH_CHECK(x.rows() == r.numNodes(),
+                   "permuteRows: row count mismatch");
+    const int64_t f = x.cols();
+    core::Tensor out = core::Tensor::empty(x.rows(), f);
+    for (NodeId v = 0; v < r.numNodes(); ++v)
+        std::memcpy(out.row(v), x.row(r.perm[v]),
+                    static_cast<size_t>(f) * sizeof(float));
+    return out;
+}
+
+std::vector<int32_t>
+permuteLabels(const std::vector<int32_t> &labels, const Reordering &r)
+{
+    GNNBENCH_CHECK(labels.size() == r.perm.size(),
+                   "permuteLabels: label count mismatch");
+    std::vector<int32_t> out(labels.size());
+    for (size_t v = 0; v < labels.size(); ++v)
+        out[v] = labels[static_cast<size_t>(r.perm[v])];
+    return out;
+}
+
+std::vector<NodeId>
+remapIds(const std::vector<NodeId> &ids, const Reordering &r)
+{
+    std::vector<NodeId> out(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+        GNNBENCH_CHECK(ids[i] >= 0 && ids[i] < r.numNodes(),
+                       "remapIds: id out of range");
+        out[i] = r.inverse[static_cast<size_t>(ids[i])];
+    }
+    return out;
+}
+
+Reordering
+reorderDataset(Dataset &dataset, ReorderMethod m)
+{
+    if (m == ReorderMethod::None)
+        return identityOrder(dataset.graph.numNodes);
+    const CsrGraph adj = cooToCsr(dataset.graph);
+    Reordering r = computeReordering(adj, m);
+    dataset.graph = applyReordering(dataset.graph, r);
+    dataset.features = permuteRows(dataset.features, r);
+    dataset.labels = permuteLabels(dataset.labels, r);
+    dataset.trainIdx = remapIds(dataset.trainIdx, r);
+    dataset.valIdx = remapIds(dataset.valIdx, r);
+    dataset.testIdx = remapIds(dataset.testIdx, r);
+    return r;
+}
+
+double
+averageBandwidth(const CsrGraph &adj)
+{
+    if (adj.numEdges() == 0)
+        return 0.0;
+    double total = 0.0;
+    for (NodeId r = 0; r < adj.numRows; ++r)
+        for (const NodeId *p = adj.rowBegin(r); p != adj.rowEnd(r);
+             ++p)
+            total += std::abs(static_cast<double>(r) -
+                              static_cast<double>(*p));
+    return total / static_cast<double>(adj.numEdges());
+}
+
+} // namespace graph
+} // namespace gnnbench

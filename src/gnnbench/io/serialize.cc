@@ -10,6 +10,7 @@ namespace {
 
 constexpr uint64_t kDatasetMagic = 0x474e4e42444154ULL;  // "GNNBDAT"
 constexpr uint64_t kParamsMagic = 0x474e4e42505253ULL;   // "GNNBPRS"
+constexpr uint64_t kCsrMagic = 0x474e4e42435352ULL;      // "GNNBCSR"
 constexpr uint32_t kFormatVersion = 1;
 
 template <typename T>
@@ -70,6 +71,50 @@ readString(std::istream &in)
         GNNBENCH_CHECK(in.good(), "serialized file truncated");
     }
     return s;
+}
+
+// Zigzag maps signed deltas onto small unsigned codes (0, -1, 1, -2,
+// ... -> 0, 1, 2, 3, ...) so LEB128 varints stay short either way.
+uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+zigzagDecode(uint64_t u)
+{
+    return static_cast<int64_t>(u >> 1) ^
+           -static_cast<int64_t>(u & 1);
+}
+
+void
+writeVarint(std::ostream &out, uint64_t u)
+{
+    while (u >= 0x80) {
+        const char byte = static_cast<char>((u & 0x7f) | 0x80);
+        out.put(byte);
+        u >>= 7;
+    }
+    out.put(static_cast<char>(u));
+}
+
+uint64_t
+readVarint(std::istream &in)
+{
+    uint64_t u = 0;
+    int shift = 0;
+    while (true) {
+        const int c = in.get();
+        GNNBENCH_CHECK(c != std::char_traits<char>::eof(),
+                       "serialized file truncated");
+        GNNBENCH_CHECK(shift < 64, "varint overlong");
+        u |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return u;
+        shift += 7;
+    }
 }
 
 } // namespace
@@ -153,6 +198,107 @@ loadDatasetFile(const std::string &path)
                            static_cast<size_t>(ds.graph.numNodes),
                    "dataset sections inconsistent in '", path, "'");
     return ds;
+}
+
+void
+writeCsr(std::ostream &out, const graph::CsrGraph &g,
+         CsrStorageMode mode)
+{
+    writePod<uint32_t>(out, static_cast<uint32_t>(mode));
+    writePod<NodeId>(out, g.numRows);
+    writePod<NodeId>(out, g.numCols);
+    if (mode == CsrStorageMode::Raw) {
+        writeVec(out, g.indptr);
+        writeVec(out, g.indices);
+        return;
+    }
+    GNNBENCH_CHECK(mode == CsrStorageMode::DeltaVarint,
+                   "writeCsr: unknown storage mode");
+    writePod<uint64_t>(out, g.indices.size());
+    for (NodeId r = 0; r < g.numRows; ++r) {
+        writeVarint(out, static_cast<uint64_t>(g.degree(r)));
+        NodeId prev = 0;
+        bool first = true;
+        for (const NodeId *p = g.rowBegin(r); p != g.rowEnd(r); ++p) {
+            // First id is a signed delta from the row index itself —
+            // after a locality pass neighbors sit near the diagonal,
+            // so even the anchor stays short.
+            const int64_t delta =
+                first ? static_cast<int64_t>(*p) -
+                            static_cast<int64_t>(r)
+                      : static_cast<int64_t>(*p) -
+                            static_cast<int64_t>(prev);
+            writeVarint(out, zigzagEncode(delta));
+            prev = *p;
+            first = false;
+        }
+    }
+}
+
+graph::CsrGraph
+readCsr(std::istream &in)
+{
+    const auto mode =
+        static_cast<CsrStorageMode>(readPod<uint32_t>(in));
+    graph::CsrGraph g;
+    g.numRows = readPod<NodeId>(in);
+    g.numCols = readPod<NodeId>(in);
+    GNNBENCH_CHECK(g.numRows >= 0 && g.numCols >= 0,
+                   "serialized CSR has invalid shape");
+    if (mode == CsrStorageMode::Raw) {
+        g.indptr = readVec<EdgeId>(in);
+        g.indices = readVec<NodeId>(in);
+        g.validate();
+        return g;
+    }
+    GNNBENCH_CHECK(mode == CsrStorageMode::DeltaVarint,
+                   "serialized CSR has unknown storage mode");
+    const auto nnz = readPod<uint64_t>(in);
+    g.indptr.resize(static_cast<size_t>(g.numRows) + 1);
+    g.indices.reserve(nnz);
+    g.indptr[0] = 0;
+    for (NodeId r = 0; r < g.numRows; ++r) {
+        const auto deg = readVarint(in);
+        int64_t prev = static_cast<int64_t>(r);
+        for (uint64_t k = 0; k < deg; ++k) {
+            prev += zigzagDecode(readVarint(in));
+            GNNBENCH_CHECK(prev >= 0 && prev < g.numCols,
+                           "serialized CSR index out of range");
+            g.indices.push_back(static_cast<NodeId>(prev));
+        }
+        g.indptr[r + 1] =
+            g.indptr[r] + static_cast<EdgeId>(deg);
+    }
+    GNNBENCH_CHECK(g.indices.size() == nnz,
+                   "serialized CSR nnz mismatch");
+    g.validate();
+    return g;
+}
+
+void
+saveCsr(const graph::CsrGraph &g, const std::string &path,
+        CsrStorageMode mode)
+{
+    std::ofstream out(path, std::ios::binary);
+    GNNBENCH_CHECK(out.is_open(), "cannot open '", path,
+                   "' for writing");
+    writePod(out, kCsrMagic);
+    writePod(out, kFormatVersion);
+    writeCsr(out, g, mode);
+    GNNBENCH_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+graph::CsrGraph
+loadCsr(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GNNBENCH_CHECK(in.is_open(), "cannot open '", path,
+                   "' for reading");
+    GNNBENCH_CHECK(readPod<uint64_t>(in) == kCsrMagic, "'", path,
+                   "' is not a gnnbench CSR file");
+    GNNBENCH_CHECK(readPod<uint32_t>(in) == kFormatVersion,
+                   "unsupported CSR format version in '", path, "'");
+    return readCsr(in);
 }
 
 void

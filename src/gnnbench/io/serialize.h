@@ -19,10 +19,40 @@
 #include <vector>
 
 #include "gnnbench/core/autograd.h"
+#include "gnnbench/graph/csr.h"
 #include "gnnbench/graph/datasets.h"
 
 namespace gnnbench {
 namespace io {
+
+/** On-disk encodings for a CSR adjacency. */
+enum class CsrStorageMode : uint32_t
+{
+    Raw = 0,          ///< indptr/indices as raw little-endian arrays
+    /**
+     * Zigzag-varint delta encoding: per row, the neighbor list is
+     * stored as first-id-then-ascending-deltas (reordered graphs keep
+     * neighbor ids close together, so most deltas fit one byte), and
+     * indptr is stored as per-row degrees, also varint.  Lossless;
+     * pays off after a locality pass (graph/reorder.h) shrinks the
+     * index bandwidth.
+     */
+    DeltaVarint = 1,
+};
+
+/** Serialize a CSR adjacency to @p out in the given storage mode. */
+void writeCsr(std::ostream &out, const graph::CsrGraph &g,
+              CsrStorageMode mode = CsrStorageMode::Raw);
+
+/** Deserialize a CSR written by writeCsr (mode is self-describing). */
+graph::CsrGraph readCsr(std::istream &in);
+
+/** writeCsr to a file with a magic/version header. */
+void saveCsr(const graph::CsrGraph &g, const std::string &path,
+             CsrStorageMode mode = CsrStorageMode::Raw);
+
+/** Load a file written by saveCsr. */
+graph::CsrGraph loadCsr(const std::string &path);
 
 /** Serialize one tensor (shape + raw float32 data). */
 void writeTensor(std::ostream &out, const core::Tensor &t);

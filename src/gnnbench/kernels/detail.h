@@ -24,6 +24,13 @@ namespace detail {
 void noteCall(const char *family, uint64_t rows, uint64_t nnz,
               uint64_t bytes, KernelVariant chosen);
 
+/**
+ * Parse one GNNBENCH_KERNEL_VARIANT value; fatal (exit 1) with a
+ * message listing validVariantList() on anything unknown.  Split out
+ * of the env-latching path so tests can exercise the rejection.
+ */
+KernelVariant variantFromEnvValue(const char *value);
+
 } // namespace detail
 } // namespace kernels
 } // namespace gnnbench

@@ -11,6 +11,7 @@
 #include "gnnbench/core/common.h"
 #include "gnnbench/kernels/detail.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/kernels/simd.h"
 #include "gnnbench/profiling/metrics_registry.h"
 
 namespace gnnbench {
@@ -42,8 +43,16 @@ variantName(KernelVariant v)
         return "reference";
     case KernelVariant::Tiled:
         return "tiled";
+    case KernelVariant::Simd:
+        return "simd";
     }
     return "?";
+}
+
+const char *
+validVariantList()
+{
+    return "auto/reference/tiled/simd";
 }
 
 bool
@@ -79,23 +88,36 @@ parseVariant(std::string_view name, KernelVariant *out)
         *out = KernelVariant::Tiled;
         return true;
     }
+    if (name == "simd") {
+        *out = KernelVariant::Simd;
+        return true;
+    }
     return false;
 }
+
+namespace detail {
+
+KernelVariant
+variantFromEnvValue(const char *value)
+{
+    if (!value || !*value)
+        return KernelVariant::Auto;
+    KernelVariant v;
+    GNNBENCH_CHECK(parseVariant(value, &v),
+                   "GNNBENCH_KERNEL_VARIANT must be one of ",
+                   validVariantList(), ", got '", value, "'");
+    return v;
+}
+
+} // namespace detail
 
 namespace {
 
 KernelVariant
 variantFromEnv()
 {
-    const char *env = std::getenv("GNNBENCH_KERNEL_VARIANT");
-    if (!env || !*env)
-        return KernelVariant::Auto;
-    KernelVariant v;
-    GNNBENCH_CHECK(parseVariant(env, &v),
-                   "GNNBENCH_KERNEL_VARIANT must be one of "
-                   "auto/reference/tiled, got '",
-                   env, "'");
-    return v;
+    return detail::variantFromEnvValue(
+        std::getenv("GNNBENCH_KERNEL_VARIANT"));
 }
 
 std::atomic<KernelVariant> &
@@ -128,7 +150,20 @@ resolveVariant(KernelVariant v, EdgeId nnz, int64_t f)
         return v;
     (void)f;
     return nnz < Tiling::kAutoReferenceNnz ? KernelVariant::Reference
-                                           : KernelVariant::Tiled;
+                                           : KernelVariant::Simd;
+}
+
+std::string
+resolvedVariantLabel(KernelVariant v)
+{
+    // Report the Auto policy's large-problem choice — benches always
+    // run well above the Reference cutover.
+    const KernelVariant chosen =
+        resolveVariant(v, Tiling::kAutoReferenceNnz + 1, 1);
+    std::string label = variantName(chosen);
+    if (chosen == KernelVariant::Simd)
+        label += std::string("[") + simd::isaLabel() + "]";
+    return label;
 }
 
 namespace detail {

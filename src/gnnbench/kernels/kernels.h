@@ -19,6 +19,12 @@
  *    nnz (Gunrock-style load-balanced row partitioning), and
  *    heavy-row parallelism across feature tiles, all running over
  *    core/parallel.
+ *  - KernelVariant::Simd — Tiled's decomposition with explicitly
+ *    vectorized inner loops (AVX2 selected by runtime CPU-feature
+ *    dispatch, register-blocked `restrict` fallback elsewhere) that
+ *    keep each output feature tile in registers across a row's whole
+ *    edge list.  Same arithmetic order as Reference, so still
+ *    bit-identical (see kernels/simd.h).
  *
  * Determinism contract: work decomposes into chunks that depend only
  * on the problem (graph + feature width), never on the pool size, a
@@ -39,6 +45,7 @@
 #define GNNBENCH_KERNELS_KERNELS_H
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -58,15 +65,19 @@ enum class KernelVariant
     Auto,       ///< resolve per call (size-based policy)
     Reference,  ///< naive scalar golden model (serial)
     Tiled,      ///< tiled + row-panel load-balanced parallel path
+    Simd,       ///< Tiled decomposition + vectorized inner loops
 };
 
 const char *reduceOpName(ReduceOp op);
 const char *variantName(KernelVariant v);
 
+/** "auto/reference/tiled/simd" — for error messages and help text. */
+const char *validVariantList();
+
 /** Parse "sum"/"mean"/"max"; false on unknown. */
 bool parseReduceOp(std::string_view name, ReduceOp *out);
 
-/** Parse "auto"/"reference"/"tiled"; false on unknown. */
+/** Parse a name from validVariantList(); false on unknown. */
 bool parseVariant(std::string_view name, KernelVariant *out);
 
 /**
@@ -81,10 +92,20 @@ void setDefaultVariant(KernelVariant v);
 /**
  * Resolve Auto into a concrete variant for a problem of @p nnz stored
  * entries and feature width @p f: tiny problems stay on Reference
- * (the panel build would dominate), everything else runs Tiled.
+ * (the panel build would dominate), everything else runs Simd.
  * Explicit variants pass through untouched.
  */
 KernelVariant resolveVariant(KernelVariant v, EdgeId nnz, int64_t f);
+
+/**
+ * Human-readable label of what @p v actually executes on this machine
+ * once Auto policy and CPU-feature dispatch are applied, for bench
+ * reports: e.g. Auto -> "simd[avx2]" (large-problem policy choice on
+ * an AVX2 CPU), "simd[portable]", "tiled", "reference".  The Auto
+ * policy is reported for the large-problem regime (nnz above
+ * Tiling::kAutoReferenceNnz), which is what benches measure.
+ */
+std::string resolvedVariantLabel(KernelVariant v = KernelVariant::Auto);
 
 /** Tiling/partitioning parameters of the Tiled variant. */
 struct Tiling

@@ -19,6 +19,7 @@
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/kernels/detail.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/kernels/simd.h"
 
 namespace gnnbench {
 namespace kernels {
@@ -87,12 +88,24 @@ scatterSum(const Tensor &src, const std::vector<NodeId> &idx,
                 orow[j] += srow[j];
         }
     };
-    if (chosen == KernelVariant::Reference)
+    auto scatterTileSimd = [&](int64_t j0, int64_t j1) {
+        const int64_t len = j1 - j0;
+        for (int64_t i = 0; i < n; ++i)
+            simd::add(out.row(idx[static_cast<size_t>(i)]) + j0,
+                      src.row(i) + j0, len);
+    };
+    if (chosen == KernelVariant::Reference) {
         scatterTile(0, f);
-    else
-        core::parallel::parallelFor(
-            0, f, Tiling::kFeatTile,
-            [&](int64_t j0, int64_t j1) { scatterTile(j0, j1); });
+        return out;
+    }
+    const bool useSimd = chosen == KernelVariant::Simd;
+    core::parallel::parallelFor(
+        0, f, Tiling::kFeatTile, [&](int64_t j0, int64_t j1) {
+            if (useSimd)
+                scatterTileSimd(j0, j1);
+            else
+                scatterTile(j0, j1);
+        });
     return out;
 }
 
@@ -109,6 +122,7 @@ scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
         ++count[static_cast<size_t>(r)];
     const KernelVariant chosen =
         resolveVariant(v, static_cast<EdgeId>(idx.size()), f);
+    const bool useSimd = chosen == KernelVariant::Simd;
     auto divideRows = [&](int64_t b, int64_t e) {
         for (int64_t r = b; r < e; ++r) {
             const int64_t c = count[static_cast<size_t>(r)];
@@ -116,6 +130,10 @@ scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
                 continue;
             const float inv = 1.0f / static_cast<float>(c);
             float *__restrict orow = out.row(r);
+            if (useSimd) {
+                simd::scale(orow, inv, f);
+                continue;
+            }
             for (int64_t j = 0; j < f; ++j)
                 orow[j] *= inv;
         }
@@ -149,6 +167,7 @@ scatterMax(const Tensor &src, const std::vector<NodeId> &idx,
     for (const NodeId r : idx)
         touched[static_cast<size_t>(r)] = 1;
 
+    const bool useSimd = chosen == KernelVariant::Simd;
     auto maxTile = [&](int64_t j0, int64_t j1) {
         for (int64_t r = 0; r < out_rows; ++r) {
             float *__restrict orow = out.row(r);
@@ -157,10 +176,15 @@ scatterMax(const Tensor &src, const std::vector<NodeId> &idx,
             for (int64_t j = j0; j < j1; ++j)
                 orow[j] = init;
         }
+        const int64_t len = j1 - j0;
         for (int64_t i = 0; i < n; ++i) {
             float *__restrict orow =
                 out.row(idx[static_cast<size_t>(i)]);
             const float *__restrict srow = src.row(i);
+            if (useSimd) {
+                simd::maxInto(orow + j0, srow + j0, len);
+                continue;
+            }
             for (int64_t j = j0; j < j1; ++j)
                 orow[j] = std::max(orow[j], srow[j]);
         }

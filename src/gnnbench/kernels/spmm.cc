@@ -21,6 +21,7 @@
 #include "gnnbench/core/timer.h"
 #include "gnnbench/kernels/detail.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/kernels/simd.h"
 
 namespace gnnbench {
 namespace kernels {
@@ -209,14 +210,24 @@ spmm(const CsrGraph &adj, const Tensor &x, ReduceOp op, const float *w,
         return out;
     }
 
+    const bool useSimd = chosen == KernelVariant::Simd;
     const std::vector<RowTask> tasks = buildRowTasks(adj, f);
     runTasks(tasks, stats, [&](const RowTask &t) {
-        if (op == ReduceOp::Max)
-            spmmMaxRange(adj, x, out, t.rowBegin, t.rowEnd, t.jBegin,
-                         t.jEnd);
-        else
-            spmmSumRange(adj, x, w, mean, out, t.rowBegin, t.rowEnd,
-                         t.jBegin, t.jEnd);
+        if (op == ReduceOp::Max) {
+            if (useSimd)
+                simd::spmmMaxRows(adj, x, out, t.rowBegin, t.rowEnd,
+                                  t.jBegin, t.jEnd);
+            else
+                spmmMaxRange(adj, x, out, t.rowBegin, t.rowEnd,
+                             t.jBegin, t.jEnd);
+        } else {
+            if (useSimd)
+                simd::spmmSumRows(adj, x, w, mean, out, t.rowBegin,
+                                  t.rowEnd, t.jBegin, t.jEnd);
+            else
+                spmmSumRange(adj, x, w, mean, out, t.rowBegin,
+                             t.rowEnd, t.jBegin, t.jEnd);
+        }
     });
     return out;
 }
@@ -261,12 +272,33 @@ spmmScatter(const CsrGraph &adj, const Tensor &x, const float *w,
             }
         }
     };
-    if (chosen == KernelVariant::Reference)
+    auto scatterTileSimd = [&](int64_t j0, int64_t j1) {
+        const int64_t len = j1 - j0;
+        for (NodeId r = 0; r < adj.numRows; ++r) {
+            const float *xrow = x.row(r) + j0;
+            const EdgeId e0 = adj.indptr[r];
+            const EdgeId e1 = adj.indptr[r + 1];
+            for (EdgeId e = e0; e < e1; ++e) {
+                float *orow = out.row(idx[e]) + j0;
+                if (w)
+                    simd::axpy(orow, xrow, w[e], len);
+                else
+                    simd::add(orow, xrow, len);
+            }
+        }
+    };
+    if (chosen == KernelVariant::Reference) {
         scatterTile(0, f);
-    else
-        core::parallel::parallelFor(
-            0, f, Tiling::kFeatTile,
-            [&](int64_t j0, int64_t j1) { scatterTile(j0, j1); });
+        return out;
+    }
+    const bool useSimd = chosen == KernelVariant::Simd;
+    core::parallel::parallelFor(
+        0, f, Tiling::kFeatTile, [&](int64_t j0, int64_t j1) {
+            if (useSimd)
+                scatterTileSimd(j0, j1);
+            else
+                scatterTile(j0, j1);
+        });
     return out;
 }
 
@@ -370,9 +402,14 @@ segmentSumRows(const CsrGraph &adj, const Tensor &x, KernelVariant v)
         sumRows(0, adj.numRows, 0, f);
         return out;
     }
+    const bool useSimd = chosen == KernelVariant::Simd;
     const std::vector<RowTask> tasks = buildRowTasks(adj, f);
     runTasks(tasks, nullptr, [&](const RowTask &t) {
-        sumRows(t.rowBegin, t.rowEnd, t.jBegin, t.jEnd);
+        if (useSimd)
+            simd::segmentSumRows(adj, x, out, t.rowBegin, t.rowEnd,
+                                 t.jBegin, t.jEnd);
+        else
+            sumRows(t.rowBegin, t.rowEnd, t.jBegin, t.jEnd);
     });
     return out;
 }
@@ -402,12 +439,24 @@ scatterSumCols(const CsrGraph &adj, const Tensor &x, KernelVariant v)
                 orow[j] += xrow[j];
         }
     };
-    if (chosen == KernelVariant::Reference)
+    auto scatterTileSimd = [&](int64_t j0, int64_t j1) {
+        const EdgeId nnz = adj.numEdges();
+        const int64_t len = j1 - j0;
+        for (EdgeId e = 0; e < nnz; ++e)
+            simd::add(out.row(idx[e]) + j0, x.row(e) + j0, len);
+    };
+    if (chosen == KernelVariant::Reference) {
         scatterTile(0, f);
-    else
-        core::parallel::parallelFor(
-            0, f, Tiling::kFeatTile,
-            [&](int64_t j0, int64_t j1) { scatterTile(j0, j1); });
+        return out;
+    }
+    const bool useSimd = chosen == KernelVariant::Simd;
+    core::parallel::parallelFor(
+        0, f, Tiling::kFeatTile, [&](int64_t j0, int64_t j1) {
+            if (useSimd)
+                scatterTileSimd(j0, j1);
+            else
+                scatterTile(j0, j1);
+        });
     return out;
 }
 

@@ -24,7 +24,9 @@
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/core/rng.h"
 #include "gnnbench/graph/convert.h"
+#include "gnnbench/kernels/detail.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/kernels/simd.h"
 
 #include "test_support.h"
 
@@ -38,6 +40,17 @@ using check::Result;
 using core::Tensor;
 
 constexpr int64_t kWidths[] = {1, 7, 16, 64, 257};
+
+/** The optimized variants checked against Reference. */
+constexpr KernelVariant kOptVariants[] = {KernelVariant::Tiled,
+                                          KernelVariant::Simd};
+
+/** RAII: run a scope on the portable Simd family, then restore. */
+struct ForcePortableScope
+{
+    ForcePortableScope() { simd::setForcePortable(true); }
+    ~ForcePortableScope() { simd::setForcePortable(false); }
+};
 
 PropertyOptions
 opts(int cases)
@@ -134,10 +147,12 @@ compareOutputs(ReduceOp op, const Tensor &tiled, const Tensor &ref,
     return bitEqual(tiled, ref, what);
 }
 
-/** spmm conformance on one generated case at one feature width. */
+/** spmm conformance on one generated case at one feature width.
+ *  For Simd the case additionally reruns on the portable family and
+ *  requires the two ISA implementations to agree bit-for-bit. */
 Result
-spmmConformance(const GraphCase &c, ReduceOp op, int64_t f,
-                bool weighted)
+spmmConformance(const GraphCase &c, KernelVariant variant,
+                ReduceOp op, int64_t f, bool weighted)
 {
     const graph::CsrGraph csc = graph::cooToCsc(c.coo);
     const Tensor x = randFeat(csc.numCols, f, c.seed ^ 0x5A5A);
@@ -147,84 +162,98 @@ spmmConformance(const GraphCase &c, ReduceOp op, int64_t f,
         w = randWeights(csc.numEdges(), c.seed ^ 0x77);
         wp = w.data();
     }
+    const std::string what = std::string("spmm/") +
+                             variantName(variant) + "/" +
+                             reduceOpName(op) +
+                             "/f=" + std::to_string(f);
     const Tensor ref =
         spmm(csc, x, op, wp, KernelVariant::Reference);
-    const Tensor tiled = spmm(csc, x, op, wp, KernelVariant::Tiled);
-    return compareOutputs(op, tiled, ref,
-                          std::string("spmm/") + reduceOpName(op) +
-                              "/f=" + std::to_string(f));
+    const Tensor out = spmm(csc, x, op, wp, variant);
+    Result r = compareOutputs(op, out, ref, what);
+    if (!r || variant != KernelVariant::Simd ||
+        !simd::avx2Active())
+        return r;
+    ForcePortableScope portable;
+    return bitEqual(spmm(csc, x, op, wp, variant), out,
+                    what + " (avx2 vs portable)");
 }
 
-struct OpWidth
+struct VariantOpWidth
 {
+    KernelVariant variant;
     ReduceOp op;
     int64_t f;
 };
 
-class SpmmConformance : public ::testing::TestWithParam<OpWidth>
+class SpmmConformance
+    : public ::testing::TestWithParam<VariantOpWidth>
 {
 };
 
-TEST_P(SpmmConformance, TiledMatchesReference)
+TEST_P(SpmmConformance, MatchesReference)
 {
-    const OpWidth p = GetParam();
+    const VariantOpWidth p = GetParam();
     EXPECT_TRUE(checkProperty(
-        std::string("spmm-") + reduceOpName(p.op) + "-f" +
-            std::to_string(p.f),
+        std::string("spmm-") + variantName(p.variant) + "-" +
+            reduceOpName(p.op) + "-f" + std::to_string(p.f),
         [p](const GraphCase &c) {
-            return spmmConformance(c, p.op, p.f, false);
+            return spmmConformance(c, p.variant, p.op, p.f, false);
         },
         opts(12)));
 }
 
-TEST_P(SpmmConformance, WeightedTiledMatchesReference)
+TEST_P(SpmmConformance, WeightedMatchesReference)
 {
-    const OpWidth p = GetParam();
+    const VariantOpWidth p = GetParam();
     if (p.op == ReduceOp::Max)
         GTEST_SKIP() << "max takes no edge weights";
     EXPECT_TRUE(checkProperty(
-        std::string("spmm-weighted-") + reduceOpName(p.op) + "-f" +
-            std::to_string(p.f),
+        std::string("spmm-weighted-") + variantName(p.variant) +
+            "-" + reduceOpName(p.op) + "-f" + std::to_string(p.f),
         [p](const GraphCase &c) {
-            return spmmConformance(c, p.op, p.f, true);
+            return spmmConformance(c, p.variant, p.op, p.f, true);
         },
         opts(12)));
 }
 
-std::vector<OpWidth>
-allOpWidths()
+std::vector<VariantOpWidth>
+allVariantOpWidths()
 {
-    std::vector<OpWidth> v;
-    for (ReduceOp op :
-         {ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max})
-        for (int64_t f : kWidths)
-            v.push_back({op, f});
+    std::vector<VariantOpWidth> v;
+    for (KernelVariant variant : kOptVariants)
+        for (ReduceOp op :
+             {ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max})
+            for (int64_t f : kWidths)
+                v.push_back({variant, op, f});
     return v;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllOpsAllWidths, SpmmConformance,
-    ::testing::ValuesIn(allOpWidths()), [](const auto &info) {
-        return std::string(reduceOpName(info.param.op)) + "_f" +
+    AllVariantsOpsWidths, SpmmConformance,
+    ::testing::ValuesIn(allVariantOpWidths()), [](const auto &info) {
+        return std::string(variantName(info.param.variant)) + "_" +
+               reduceOpName(info.param.op) + "_f" +
                std::to_string(info.param.f);
     });
 
 /** The scatter/gather/sddmm/segment family on one case. */
 Result
-familyConformance(const GraphCase &c, int64_t f)
+familyConformance(const GraphCase &c, KernelVariant variant,
+                  int64_t f)
 {
     const graph::CsrGraph csc = graph::cooToCsc(c.coo);
     const NodeId n = c.coo.numNodes;
     const EdgeId m = csc.numEdges();
-    const auto tag = [f](const char *k) {
-        return std::string(k) + "/f=" + std::to_string(f);
+    const auto tag = [variant, f](const char *k) {
+        return std::string(k) + "/" + variantName(variant) +
+               "/f=" + std::to_string(f);
     };
 
     {
         const Tensor x = randFeat(csc.numRows, f, c.seed ^ 0x11);
         const auto w = randWeights(m, c.seed ^ 0x12);
         Result r = bitEqual(
-            spmmScatter(csc, x, w.data(), KernelVariant::Tiled),
+            spmmScatter(csc, x, w.data(), variant),
             spmmScatter(csc, x, w.data(), KernelVariant::Reference),
             tag("spmmScatter"));
         if (!r)
@@ -233,7 +262,7 @@ familyConformance(const GraphCase &c, int64_t f)
     {
         const Tensor x = randFeat(n, f, c.seed ^ 0x21);
         Result r = bitEqual(
-            gatherRows(x, c.coo.src, KernelVariant::Tiled),
+            gatherRows(x, c.coo.src, variant),
             gatherRows(x, c.coo.src, KernelVariant::Reference),
             tag("gatherRows"));
         if (!r)
@@ -242,19 +271,19 @@ familyConformance(const GraphCase &c, int64_t f)
     {
         const Tensor src = randFeat(c.coo.numEdges(), f, c.seed ^ 0x31);
         Result r = bitEqual(
-            scatterSum(src, c.coo.dst, n, KernelVariant::Tiled),
+            scatterSum(src, c.coo.dst, n, variant),
             scatterSum(src, c.coo.dst, n, KernelVariant::Reference),
             tag("scatterSum"));
         if (!r)
             return r;
         r = bitEqual(
-            scatterMean(src, c.coo.dst, n, KernelVariant::Tiled),
+            scatterMean(src, c.coo.dst, n, variant),
             scatterMean(src, c.coo.dst, n, KernelVariant::Reference),
             tag("scatterMean"));
         if (!r)
             return r;
         r = ulpEqual(
-            scatterMax(src, c.coo.dst, n, KernelVariant::Tiled),
+            scatterMax(src, c.coo.dst, n, variant),
             scatterMax(src, c.coo.dst, n, KernelVariant::Reference),
             2, tag("scatterMax"));
         if (!r)
@@ -264,12 +293,12 @@ familyConformance(const GraphCase &c, int64_t f)
         const Tensor a = randFeat(csc.numRows, f, c.seed ^ 0x41);
         const Tensor b = randFeat(csc.numCols, f, c.seed ^ 0x42);
         Result r =
-            bitEqual(sddmmAdd(csc, a, b, KernelVariant::Tiled),
+            bitEqual(sddmmAdd(csc, a, b, variant),
                      sddmmAdd(csc, a, b, KernelVariant::Reference),
                      tag("sddmmAdd"));
         if (!r)
             return r;
-        r = bitEqual(sddmmDot(csc, a, b, KernelVariant::Tiled),
+        r = bitEqual(sddmmDot(csc, a, b, variant),
                      sddmmDot(csc, a, b, KernelVariant::Reference),
                      tag("sddmmDot"));
         if (!r)
@@ -278,13 +307,13 @@ familyConformance(const GraphCase &c, int64_t f)
     {
         const Tensor x = randFeat(m, f, c.seed ^ 0x51);
         Result r = bitEqual(
-            segmentSumRows(csc, x, KernelVariant::Tiled),
+            segmentSumRows(csc, x, variant),
             segmentSumRows(csc, x, KernelVariant::Reference),
             tag("segmentSumRows"));
         if (!r)
             return r;
         r = bitEqual(
-            scatterSumCols(csc, x, KernelVariant::Tiled),
+            scatterSumCols(csc, x, variant),
             scatterSumCols(csc, x, KernelVariant::Reference),
             tag("scatterSumCols"));
         if (!r)
@@ -293,24 +322,51 @@ familyConformance(const GraphCase &c, int64_t f)
     return Result::pass();
 }
 
-class FamilyConformance : public ::testing::TestWithParam<int64_t>
+struct VariantWidth
+{
+    KernelVariant variant;
+    int64_t f;
+};
+
+class FamilyConformance
+    : public ::testing::TestWithParam<VariantWidth>
 {
 };
 
-TEST_P(FamilyConformance, TiledMatchesReference)
+TEST_P(FamilyConformance, MatchesReference)
 {
-    const int64_t f = GetParam();
+    const VariantWidth p = GetParam();
     EXPECT_TRUE(checkProperty(
-        "kernel-family-f" + std::to_string(f),
-        [f](const GraphCase &c) { return familyConformance(c, f); },
+        std::string("kernel-family-") + variantName(p.variant) +
+            "-f" + std::to_string(p.f),
+        [p](const GraphCase &c) {
+            Result r = familyConformance(c, p.variant, p.f);
+            if (!r || p.variant != KernelVariant::Simd ||
+                !simd::avx2Active())
+                return r;
+            // The whole family must also conform on the portable ISA.
+            ForcePortableScope portable;
+            return familyConformance(c, p.variant, p.f);
+        },
         opts(10)));
 }
 
-INSTANTIATE_TEST_SUITE_P(AllWidths, FamilyConformance,
-                         ::testing::ValuesIn(kWidths),
-                         [](const auto &info) {
-                             return "f" + std::to_string(info.param);
-                         });
+std::vector<VariantWidth>
+allVariantWidths()
+{
+    std::vector<VariantWidth> v;
+    for (KernelVariant variant : kOptVariants)
+        for (int64_t f : kWidths)
+            v.push_back({variant, f});
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsWidths, FamilyConformance,
+    ::testing::ValuesIn(allVariantWidths()), [](const auto &info) {
+        return std::string(variantName(info.param.variant)) + "_f" +
+               std::to_string(info.param.f);
+    });
 
 /** Results must not depend on GNNBENCH_NUM_THREADS (pool size). */
 TEST(KernelDeterminism, ThreadCountInvariant)
@@ -321,19 +377,21 @@ TEST(KernelDeterminism, ThreadCountInvariant)
         [&](const GraphCase &c) {
             const graph::CsrGraph csc = graph::cooToCsc(c.coo);
             const Tensor x = randFeat(csc.numCols, 33, c.seed ^ 0x91);
-            core::parallel::setNumThreads(1);
-            const Tensor base =
-                spmm(csc, x, ReduceOp::Sum, nullptr,
-                     KernelVariant::Tiled);
-            for (int t : {2, 4}) {
-                core::parallel::setNumThreads(t);
-                Result r = bitEqual(
-                    spmm(csc, x, ReduceOp::Sum, nullptr,
-                         KernelVariant::Tiled),
-                    base,
-                    "spmm threads=" + std::to_string(t));
-                if (!r)
-                    return r;
+            for (KernelVariant variant : kOptVariants) {
+                core::parallel::setNumThreads(1);
+                const Tensor base =
+                    spmm(csc, x, ReduceOp::Sum, nullptr, variant);
+                for (int t : {2, 4}) {
+                    core::parallel::setNumThreads(t);
+                    Result r = bitEqual(
+                        spmm(csc, x, ReduceOp::Sum, nullptr,
+                             variant),
+                        base,
+                        std::string("spmm ") + variantName(variant) +
+                            " threads=" + std::to_string(t));
+                    if (!r)
+                        return r;
+                }
             }
             return Result::pass();
         },
@@ -362,13 +420,17 @@ TEST(KernelHeavyRow, TiledMatchesReference)
              {ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max}) {
             const Tensor ref =
                 spmm(adj, x, op, nullptr, KernelVariant::Reference);
-            const Tensor tiled =
-                spmm(adj, x, op, nullptr, KernelVariant::Tiled);
-            Result r = compareOutputs(
-                op, tiled, ref,
-                std::string("heavy-row/") + reduceOpName(op) +
-                    "/f=" + std::to_string(f));
-            EXPECT_TRUE(r.ok) << r.message;
+            for (KernelVariant variant : kOptVariants) {
+                const Tensor out =
+                    spmm(adj, x, op, nullptr, variant);
+                Result r = compareOutputs(
+                    op, out, ref,
+                    std::string("heavy-row/") +
+                        variantName(variant) + "/" +
+                        reduceOpName(op) +
+                        "/f=" + std::to_string(f));
+                EXPECT_TRUE(r.ok) << r.message;
+            }
         }
     }
 }
@@ -381,17 +443,23 @@ TEST(KernelMaxArg, RecordsFirstMaximalSource)
             const graph::CsrGraph csc = graph::cooToCsc(c.coo);
             const int64_t f = 9;
             const Tensor x = randFeat(csc.numCols, f, c.seed ^ 0xA1);
-            std::vector<NodeId> argT, argR;
+            std::vector<NodeId> argR;
             const Tensor outR =
                 spmmMaxArg(csc, x, &argR, KernelVariant::Reference);
-            const Tensor outT =
-                spmmMaxArg(csc, x, &argT, KernelVariant::Tiled);
-            Result r = ulpEqual(outT, outR, 2, "spmmMaxArg values");
-            if (!r)
-                return r;
-            if (argT != argR)
-                return Result::fail("spmmMaxArg: argmax sources "
-                                    "differ between variants");
+            for (KernelVariant variant : kOptVariants) {
+                std::vector<NodeId> argV;
+                const Tensor outV =
+                    spmmMaxArg(csc, x, &argV, variant);
+                Result r = ulpEqual(outV, outR, 2,
+                                    std::string("spmmMaxArg ") +
+                                        variantName(variant));
+                if (!r)
+                    return r;
+                if (argV != argR)
+                    return Result::fail(
+                        "spmmMaxArg: argmax sources differ between "
+                        "variants");
+            }
             // Reference semantics: the recorded source is the first
             // in-edge attaining the row maximum.
             for (NodeId d = 0; d < csc.numRows; ++d) {
@@ -434,11 +502,52 @@ TEST(KernelDispatch, ParseAndNames)
     KernelVariant v;
     for (KernelVariant k :
          {KernelVariant::Auto, KernelVariant::Reference,
-          KernelVariant::Tiled}) {
+          KernelVariant::Tiled, KernelVariant::Simd}) {
         EXPECT_TRUE(parseVariant(variantName(k), &v));
         EXPECT_EQ(v, k);
+        EXPECT_NE(std::string(validVariantList())
+                      .find(variantName(k)),
+                  std::string::npos);
     }
     EXPECT_FALSE(parseVariant("fused", &v));
+}
+
+TEST(KernelDispatch, EnvParsingRejectsUnknownVariants)
+{
+    EXPECT_EQ(detail::variantFromEnvValue(nullptr),
+              KernelVariant::Auto);
+    EXPECT_EQ(detail::variantFromEnvValue(""), KernelVariant::Auto);
+    EXPECT_EQ(detail::variantFromEnvValue("simd"),
+              KernelVariant::Simd);
+    // Unknown values are fatal with a message listing the valid set —
+    // not a silent fallback to Auto.
+    EXPECT_EXIT(detail::variantFromEnvValue("fused"),
+                ::testing::ExitedWithCode(1),
+                "must be one of auto/reference/tiled/simd");
+}
+
+TEST(KernelDispatch, ResolvedVariantLabel)
+{
+    const KernelVariant saved = defaultVariant();
+    setDefaultVariant(KernelVariant::Auto);
+    const std::string expectSimd =
+        std::string("simd[") + simd::isaLabel() + "]";
+    EXPECT_EQ(resolvedVariantLabel(), expectSimd);
+    EXPECT_EQ(resolvedVariantLabel(KernelVariant::Tiled), "tiled");
+    EXPECT_EQ(resolvedVariantLabel(KernelVariant::Reference),
+              "reference");
+    setDefaultVariant(KernelVariant::Reference);
+    EXPECT_EQ(resolvedVariantLabel(), "reference");
+    setDefaultVariant(saved);
+
+    // The ISA label is consistent with the dispatch predicate, and
+    // the portable override flips it.
+    EXPECT_STREQ(simd::isaLabel(),
+                 simd::avx2Active() ? "avx2" : "portable");
+    if (simd::avx2Active()) {
+        ForcePortableScope portable;
+        EXPECT_STREQ(simd::isaLabel(), "portable");
+    }
 }
 
 TEST(KernelDispatch, AutoPolicyAndDefaultOverride)
@@ -448,7 +557,9 @@ TEST(KernelDispatch, AutoPolicyAndDefaultOverride)
               KernelVariant::Reference);
     EXPECT_EQ(resolveVariant(KernelVariant::Tiled, 1, 1),
               KernelVariant::Tiled);
-    // Auto: tiny problems stay serial, large ones tile.
+    // Auto: tiny problems stay serial, large ones run Simd (which is
+    // bit-identical to Tiled, so the policy switch is unobservable in
+    // results).
     const KernelVariant saved = defaultVariant();
     setDefaultVariant(KernelVariant::Auto);
     EXPECT_EQ(resolveVariant(KernelVariant::Auto,
@@ -456,7 +567,7 @@ TEST(KernelDispatch, AutoPolicyAndDefaultOverride)
               KernelVariant::Reference);
     EXPECT_EQ(resolveVariant(KernelVariant::Auto,
                              Tiling::kAutoReferenceNnz, 64),
-              KernelVariant::Tiled);
+              KernelVariant::Simd);
     // A process-wide default redirects Auto call sites.
     setDefaultVariant(KernelVariant::Reference);
     EXPECT_EQ(resolveVariant(KernelVariant::Auto, 1 << 20, 64),

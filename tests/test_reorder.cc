@@ -1,0 +1,332 @@
+/**
+ * Tests for the graph-reordering locality pass
+ * (src/gnnbench/graph/reorder.h): RCM and degree-sort must produce
+ * valid permutations on every gnncheck graph shape, reduce the average
+ * index bandwidth on graphs with room to improve, and leave SpMM
+ * results permutation-equivalent (exactly for max, up to float
+ * accumulation order for sum).  Dataset-level reordering and the CSR
+ * delta-varint storage mode ride along.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gnnbench/check/property.h"
+#include "gnnbench/core/rng.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/datasets.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/graph/reorder.h"
+#include "gnnbench/io/serialize.h"
+#include "gnnbench/kernels/kernels.h"
+
+#include "test_support.h"
+
+namespace gnnbench {
+namespace graph {
+namespace {
+
+using check::GraphCase;
+using check::PropertyOptions;
+using check::Result;
+using core::Tensor;
+
+PropertyOptions
+opts(int cases)
+{
+    PropertyOptions o;
+    o.numCases = cases;
+    o.baseSeed = testenv::seed();
+    return o;
+}
+
+/** Undirected (symmetrized) CSR of a generated case — both reorder
+ *  methods are defined on square adjacencies. */
+CsrGraph
+caseCsr(const GraphCase &c)
+{
+    return cooToCsr(symmetrize(c.coo));
+}
+
+constexpr ReorderMethod kMethods[] = {ReorderMethod::DegreeSort,
+                                      ReorderMethod::Rcm};
+
+TEST(ReorderMethodNames, ParseAndNames)
+{
+    ReorderMethod m;
+    for (ReorderMethod k :
+         {ReorderMethod::None, ReorderMethod::DegreeSort,
+          ReorderMethod::Rcm}) {
+        EXPECT_TRUE(parseReorderMethod(reorderMethodName(k), &m));
+        EXPECT_EQ(m, k);
+        EXPECT_NE(std::string(validReorderMethodList())
+                      .find(reorderMethodName(k)),
+                  std::string::npos);
+    }
+    EXPECT_FALSE(parseReorderMethod("metis", &m));
+}
+
+/** Every method yields a bijection perm/inverse on every shape. */
+TEST(ReorderPermutation, ValidOnAllShapes)
+{
+    EXPECT_TRUE(checkProperty(
+        "reorder-valid-permutation",
+        [](const GraphCase &c) {
+            const CsrGraph adj = caseCsr(c);
+            for (ReorderMethod m : kMethods) {
+                const Reordering r = computeReordering(adj, m);
+                if (r.numNodes() != adj.numRows)
+                    return Result::fail(
+                        std::string(reorderMethodName(m)) +
+                        ": wrong permutation size");
+                r.validate();
+                // validate() is fatal on violation; double-check the
+                // bijection non-fatally so shrinking can kick in.
+                std::vector<char> seen(
+                    static_cast<size_t>(adj.numRows), 0);
+                for (const NodeId old : r.perm) {
+                    if (old < 0 || old >= adj.numRows ||
+                        seen[static_cast<size_t>(old)])
+                        return Result::fail(
+                            std::string(reorderMethodName(m)) +
+                            ": not a permutation");
+                    seen[static_cast<size_t>(old)] = 1;
+                }
+            }
+            return Result::pass();
+        },
+        opts(20)));
+}
+
+/** Relabeling preserves the multiset of (remapped) edges. */
+TEST(ReorderPermutation, RelabelPreservesEdges)
+{
+    EXPECT_TRUE(checkProperty(
+        "reorder-relabel-preserves-edges",
+        [](const GraphCase &c) {
+            const CsrGraph adj = caseCsr(c);
+            for (ReorderMethod m : kMethods) {
+                const Reordering r = computeReordering(adj, m);
+                const CsrGraph re = applyReordering(adj, r);
+                if (re.numEdges() != adj.numEdges())
+                    return Result::fail("edge count changed");
+                std::vector<std::pair<NodeId, NodeId>> a, b;
+                for (NodeId v = 0; v < adj.numRows; ++v)
+                    for (const NodeId *p = adj.rowBegin(v);
+                         p != adj.rowEnd(v); ++p)
+                        a.push_back({r.inverse[v],
+                                     r.inverse[static_cast<size_t>(
+                                         *p)]});
+                for (NodeId v = 0; v < re.numRows; ++v)
+                    for (const NodeId *p = re.rowBegin(v);
+                         p != re.rowEnd(v); ++p)
+                        b.push_back({v, *p});
+                std::sort(a.begin(), a.end());
+                std::sort(b.begin(), b.end());
+                if (a != b)
+                    return Result::fail(
+                        std::string(reorderMethodName(m)) +
+                        ": relabeled edge set differs");
+            }
+            return Result::pass();
+        },
+        opts(15)));
+}
+
+/** RCM shrinks the average index bandwidth on a graph with poor
+ *  initial locality (randomly shuffled path + chords). */
+TEST(ReorderBandwidth, RcmReducesBandwidthOnShuffledMesh)
+{
+    core::Rng rng(testenv::seed() ^ 0xBAD1);
+    // A path graph relabeled at random: original bandwidth ~n/3,
+    // RCM should restore near-diagonal structure.
+    const NodeId n = 2000;
+    std::vector<NodeId> shuffle(static_cast<size_t>(n));
+    for (NodeId i = 0; i < n; ++i)
+        shuffle[static_cast<size_t>(i)] = i;
+    for (NodeId i = n - 1; i > 0; --i)
+        std::swap(shuffle[static_cast<size_t>(i)],
+                  shuffle[rng.uniformInt(
+                      static_cast<uint64_t>(i) + 1)]);
+    CooGraph coo;
+    coo.numNodes = n;
+    for (NodeId i = 0; i + 1 < n; ++i) {
+        coo.addEdge(shuffle[static_cast<size_t>(i)],
+                    shuffle[static_cast<size_t>(i) + 1]);
+        coo.addEdge(shuffle[static_cast<size_t>(i) + 1],
+                    shuffle[static_cast<size_t>(i)]);
+    }
+    const CsrGraph adj = cooToCsr(coo);
+    const double before = averageBandwidth(adj);
+    const CsrGraph rcm =
+        applyReordering(adj, rcmOrder(adj));
+    const double after = averageBandwidth(rcm);
+    // RCM on a path recovers bandwidth O(1); anything near the
+    // shuffled baseline would mean the pass is broken.
+    EXPECT_LT(after, before * 0.1)
+        << "rcm bandwidth " << after << " vs shuffled " << before;
+    EXPECT_LT(after, 10.0);
+}
+
+TEST(ReorderBandwidth, DegreeSortPacksHubs)
+{
+    // R-MAT graphs have skewed degrees; after degree sort the first
+    // rows must hold the highest degrees, monotonically.
+    core::Rng rng(testenv::seed());
+    const CooGraph coo = symmetrize(rmat(4000, 24000, rng));
+    const CsrGraph adj = cooToCsr(coo);
+    const CsrGraph sorted =
+        applyReordering(adj, degreeSortOrder(adj));
+    for (NodeId v = 0; v + 1 < sorted.numRows; ++v)
+        ASSERT_GE(sorted.degree(v), sorted.degree(v + 1))
+            << "degree sort not monotone at row " << v;
+}
+
+/** SpMM through a reordering is permutation-equivalent: bit-exact
+ *  for max (order-insensitive), tolerance-checked for sum (float
+ *  accumulation order legitimately changes with the edge order). */
+TEST(ReorderEquivalence, SpmmPermutationEquivalent)
+{
+    EXPECT_TRUE(checkProperty(
+        "reorder-spmm-equivalence",
+        [](const GraphCase &c) {
+            const CsrGraph adj = caseCsr(c);
+            const int64_t f = 17;
+            core::Rng rng(c.seed ^ 0xFEA7);
+            const Tensor x =
+                Tensor::uniform(adj.numCols, f, rng, -1.0f, 1.0f);
+            for (ReorderMethod m : kMethods) {
+                const Reordering r = computeReordering(adj, m);
+                const CsrGraph re = applyReordering(adj, r);
+                const Tensor xp = permuteRows(x, r);
+                using kernels::ReduceOp;
+                for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max}) {
+                    const Tensor base =
+                        kernels::spmm(adj, x, op, nullptr);
+                    const Tensor reord =
+                        kernels::spmm(re, xp, op, nullptr);
+                    // Undo the permutation: row v of base is row
+                    // inverse[v] of reord.
+                    for (NodeId v = 0; v < adj.numRows; ++v) {
+                        const float *a = base.row(v);
+                        const float *b =
+                            reord.row(r.inverse[static_cast<size_t>(
+                                v)]);
+                        for (int64_t j = 0; j < f; ++j) {
+                            const float tol =
+                                op == ReduceOp::Max
+                                    ? 0.0f
+                                    : 1e-5f *
+                                          (1.0f + std::abs(a[j]));
+                            if (std::abs(a[j] - b[j]) > tol)
+                                return Result::fail(
+                                    std::string(
+                                        reorderMethodName(m)) +
+                                    "/" +
+                                    kernels::reduceOpName(op) +
+                                    ": row " + std::to_string(v) +
+                                    " col " + std::to_string(j) +
+                                    " differs: " +
+                                    std::to_string(a[j]) + " vs " +
+                                    std::to_string(b[j]));
+                        }
+                    }
+                }
+            }
+            return Result::pass();
+        },
+        opts(10)));
+}
+
+/** Dataset-level reordering moves graph, features, labels, and splits
+ *  through the same permutation. */
+TEST(ReorderDataset, PermutesAllSections)
+{
+    Dataset ds = loadDataset("ppi", 0.25, testenv::seed());
+    Dataset base = ds;
+    const Reordering r = reorderDataset(ds, ReorderMethod::Rcm);
+    r.validate();
+    ASSERT_EQ(ds.graph.numNodes, base.graph.numNodes);
+    ASSERT_EQ(ds.graph.numEdges(), base.graph.numEdges());
+    // Feature/label rows moved with their nodes.
+    for (NodeId v = 0; v < ds.graph.numNodes; ++v) {
+        const NodeId old = r.perm[v];
+        EXPECT_EQ(ds.labels[static_cast<size_t>(v)],
+                  base.labels[static_cast<size_t>(old)]);
+        EXPECT_EQ(ds.features(v, 0), base.features(old, 0));
+    }
+    // Splits are the same node sets under the relabeling.
+    ASSERT_EQ(ds.trainIdx.size(), base.trainIdx.size());
+    for (size_t i = 0; i < ds.trainIdx.size(); ++i)
+        EXPECT_EQ(ds.trainIdx[i],
+                  r.inverse[static_cast<size_t>(base.trainIdx[i])]);
+    // None is the identity and touches nothing.
+    Dataset same = base;
+    const Reordering id =
+        reorderDataset(same, ReorderMethod::None);
+    for (NodeId v = 0; v < id.numNodes(); ++v)
+        EXPECT_EQ(id.perm[v], v);
+    EXPECT_EQ(same.graph.src, base.graph.src);
+}
+
+/** CSR round-trips losslessly through both storage modes, and the
+ *  delta-varint encoding is smaller after a locality pass. */
+TEST(ReorderSerialize, CsrRoundTripBothModes)
+{
+    core::Rng rng(testenv::seed() ^ 1);
+    const CooGraph coo = symmetrize(rmat(3000, 18000, rng));
+    const CsrGraph adj = cooToCsr(coo);
+    const CsrGraph rcm = applyReordering(adj, rcmOrder(adj));
+
+    const std::string dir = ::testing::TempDir();
+    const auto roundTrip = [&](const CsrGraph &g,
+                               io::CsrStorageMode mode,
+                               const std::string &path) {
+        io::saveCsr(g, path, mode);
+        const CsrGraph back = io::loadCsr(path);
+        EXPECT_EQ(back.numRows, g.numRows);
+        EXPECT_EQ(back.numCols, g.numCols);
+        EXPECT_EQ(back.indptr, g.indptr);
+        EXPECT_EQ(back.indices, g.indices);
+        std::FILE *fp = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(fp, nullptr);
+        std::fseek(fp, 0, SEEK_END);
+        const long size = std::ftell(fp);
+        std::fclose(fp);
+        std::remove(path.c_str());
+        return size;
+    };
+
+    const long raw =
+        roundTrip(rcm, io::CsrStorageMode::Raw, dir + "/csr_raw.bin");
+    const long delta = roundTrip(rcm, io::CsrStorageMode::DeltaVarint,
+                                 dir + "/csr_delta.bin");
+    // Reordered neighbors sit near the diagonal: one-byte deltas vs
+    // 4-byte raw ids (plus the 8-byte indptr array it drops).
+    EXPECT_LT(delta, raw / 2)
+        << "delta-varint " << delta << " B vs raw " << raw << " B";
+
+    // Degenerate shapes round-trip too.
+    EXPECT_TRUE(checkProperty(
+        "csr-delta-roundtrip",
+        [&](const GraphCase &c) {
+            const CsrGraph g = caseCsr(c);
+            const std::string path = dir + "/csr_case.bin";
+            io::saveCsr(g, path, io::CsrStorageMode::DeltaVarint);
+            const CsrGraph back = io::loadCsr(path);
+            std::remove(path.c_str());
+            if (back.indptr != g.indptr || back.indices != g.indices)
+                return Result::fail("delta round-trip mismatch");
+            return Result::pass();
+        },
+        opts(10)));
+}
+
+} // namespace
+} // namespace graph
+} // namespace gnnbench
