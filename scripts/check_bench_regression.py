@@ -1,36 +1,46 @@
 #!/usr/bin/env python3
-"""Kernel-variant performance regression gate.
+"""Benchmark performance regression gate.
 
-Runs ``micro_kernels --json`` (the Reference vs Tiled vs Simd SpMM
-comparison on the fig05 conv-layer aggregation workload, plus the
-single-thread graph-reordering measurement), appends the record to the
-BENCH_kernels.json history at the repository root, and fails when
+Two modes, selected with ``--mode`` and gated against separate
+history files (``--bench-file``):
 
-  * any result row's speedup drops below its own ``floor`` field
-    (1.5x for Tiled, 6.0x for Simd, 1.0x for the best reordering
-    method; rows without a floor fall back to --min-speedup), or
-  * a row's speedup regresses by more than --threshold (default 30%)
-    against the same row of the previous entry.  The floors are the
-    primary gate; the history comparison is a drift tripwire, and its
-    default threshold is sized for the ~±15% process-to-process
-    timing noise of a shared single-core runner.  Reorder rows (and
-    any row flagged ``no_regress``) are exempt from the history
-    comparison — which reordering method wins, and by how much, is
-    workload- and machine-dependent — but the best method's floor
-    still applies.
+``kernels`` (default, history ``BENCH_kernels.json``)
+  Runs ``micro_kernels --json`` (the Reference vs Tiled vs Simd SpMM
+  comparison on the fig05 conv-layer aggregation workload, plus the
+  single-thread graph-reordering measurement).  Row values are
+  speedups; the gate fails when a row drops below its ``floor``
+  (1.5x for Tiled, 6.0x for Simd, 1.0x for the best reordering
+  method; rows without a floor fall back to --min-speedup), or when
+  a row regresses by more than --threshold (default 30%) against the
+  previous history entry.  The floors are the primary gate; the
+  history comparison is a drift tripwire sized for the ~±15%
+  process-to-process timing noise of a shared single-core runner.
+  Reorder rows (and any row flagged ``no_regress``) are exempt from
+  the history comparison, but explicit floors still apply.
 
-Rows are keyed ``variant:op`` (reorder rows ``reorder:op:method``).
-Entries recorded before the per-variant format carry bare ``op`` keys
-that never match the new form, so the history comparison effectively
-restarts at the first per-variant entry instead of raising spurious
-regressions across the measurement-definition change.  With no
-matching baseline the run is recorded and the gate passes ("no
-baseline" is not a failure).
+``serve`` (history ``BENCH_serve.json``)
+  Runs ``serve_throughput --json`` (multi-tenant inference serving
+  under synthetic load).  Row values are absolute figures of merit
+  carried in each row's ``value`` field — sustained QPS (gated by a
+  ``floor``), p99 latency in ms (gated by a ``ceiling``), and
+  ungated informational rows.  Serve rows are ``no_regress`` (tail
+  latency is too machine-sensitive for the drift tripwire), so the
+  absolute floor/ceiling gates are the whole contract.
+
+In both modes every run that passes is appended to the history file
+so drift stays observable.  Rows are keyed ``variant:op`` (reorder
+rows ``variant:op:method``); entries recorded before the per-variant
+format carry bare ``op`` keys that never match the new form, so the
+history comparison effectively restarts at the first per-variant
+entry.  With no matching baseline the run is recorded and the gate
+passes ("no baseline" is not a failure).
 
 Usage:
-    check_bench_regression.py <micro_kernels-binary>
-        [--history PATH] [--threshold FRACTION] [--min-speedup X]
+    check_bench_regression.py <bench-binary>
+        [--mode kernels|serve] [--bench-file PATH]
+        [--threshold FRACTION] [--min-speedup X]
         [--threads N] [--repeats N] [--reorder METHOD]
+        [--requests N] [--target-qps Q]
 """
 
 import argparse
@@ -43,33 +53,59 @@ import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+DEFAULT_BENCH_FILES = {
+    "kernels": "BENCH_kernels.json",
+    "serve": "BENCH_serve.json",
+}
+
 
 def parse_args(argv):
     p = argparse.ArgumentParser(description=__doc__)
-    p.add_argument("binary", help="path to the micro_kernels binary")
-    p.add_argument("--history",
-                   default=str(REPO_ROOT / "BENCH_kernels.json"),
-                   help="speedup history file (JSON array)")
+    p.add_argument("binary", help="path to the benchmark binary")
+    p.add_argument("--mode", choices=sorted(DEFAULT_BENCH_FILES),
+                   default="kernels",
+                   help="which benchmark/gate profile to run")
+    p.add_argument("--bench-file", default=None,
+                   help="history file (JSON array); defaults to the "
+                        "mode's file at the repository root")
+    p.add_argument("--history", dest="bench_file",
+                   help=argparse.SUPPRESS)  # pre---bench-file alias
     p.add_argument("--threshold", type=float, default=0.30,
-                   help="max allowed fractional speedup regression "
-                        "vs the previous entry")
+                   help="max allowed fractional regression vs the "
+                        "previous entry (kernels mode)")
     p.add_argument("--min-speedup", type=float, default=1.5,
-                   help="speedup floor for rows without their own "
-                        "floor field")
+                   help="speedup floor for kernels rows without "
+                        "their own floor field")
+    # kernels-mode bench arguments
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--repeats", type=int, default=5)
     p.add_argument("--reorder", default="none",
                    help="reordering applied to the variant-comparison "
                         "workload (none/rcm/degree)")
-    return p.parse_args(argv)
+    # serve-mode bench arguments
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--target-qps", type=float, default=2000.0)
+    args = p.parse_args(argv)
+    if args.bench_file is None:
+        args.bench_file = str(
+            REPO_ROOT / DEFAULT_BENCH_FILES[args.mode])
+    return args
+
+
+def bench_cmd(args, json_path):
+    if args.mode == "kernels":
+        return [args.binary, "--json", json_path,
+                "--threads", str(args.threads),
+                "--repeats", str(args.repeats),
+                "--reorder", args.reorder]
+    return [args.binary, "--json", json_path,
+            "--requests", str(args.requests),
+            "--target-qps", str(args.target_qps)]
 
 
 def run_bench(args):
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
-        cmd = [args.binary, "--json", tmp.name,
-               "--threads", str(args.threads),
-               "--repeats", str(args.repeats),
-               "--reorder", args.reorder]
+        cmd = bench_cmd(args, tmp.name)
         print("+", " ".join(cmd), flush=True)
         proc = subprocess.run(cmd)
         if proc.returncode != 0:
@@ -107,57 +143,84 @@ def row_key(r):
     return key
 
 
-def speedup_rows(record):
+def row_value(r):
+    """The gated figure of merit: kernel rows carry ``speedup``,
+    serve rows an absolute ``value``."""
+    return r["speedup"] if "speedup" in r else r["value"]
+
+
+def result_rows(record):
+    if "results" not in record:
+        sys.exit("FAIL: bench JSON carries no top-level 'results' "
+                 "array (not a gate-enabled --json report?)")
     return {row_key(r): r for r in record["results"]}
+
+
+def history_record(record):
+    """The slice of a bench report worth recording: unified run
+    reports embed the whole Chrome trace and metrics snapshot, which
+    would bloat the history file — keep the gate rows and options."""
+    slim = {k: v for k, v in record.items()
+            if k not in ("traceEvents", "displayTimeUnit",
+                         "gnnbench")}
+    gnnbench = record.get("gnnbench")
+    if isinstance(gnnbench, dict) and "options" in gnnbench:
+        slim["options"] = gnnbench["options"]
+    return slim
 
 
 def main(argv):
     args = parse_args(argv)
-    record = run_bench(args)
+    record = history_record(run_bench(args))
     record["timestamp"] = (datetime.datetime.now(datetime.timezone.utc)
                            .strftime("%Y-%m-%dT%H:%M:%SZ"))
+    rows = result_rows(record)
 
-    # Reorder rows carry no bit_exact field (they are timing-only; the
-    # permutation-equivalence contract is covered by test_reorder).
+    # Reorder/serve rows carry no bit_exact field (timing-only; the
+    # bit-exactness contracts are covered by test_reorder/test_serve).
     for r in record["results"]:
         if not r.get("bit_exact", True):
-            sys.exit("FAIL: %s spmm %s is not bit-exact vs the "
+            sys.exit("FAIL: %s %s is not bit-exact vs the "
                      "reference golden model"
-                     % (r.get("variant", "tiled"), r["op"]))
+                     % (r.get("variant", "?"), r["op"]))
 
     failures = []
-    rows = speedup_rows(record)
     for key, r in sorted(rows.items()):
-        # Reorder rows are gated only when they carry an explicit
-        # floor (the best method); the --min-speedup fallback applies
-        # to kernel-variant rows alone.
+        value = row_value(r)
+        ceiling = r.get("ceiling")
+        if ceiling is not None and value > ceiling:
+            failures.append(
+                "%s: %.2f above the %.2f ceiling"
+                % (key, value, ceiling))
         floor = r.get("floor")
         if floor is None:
-            if "method" in r:
+            # The --min-speedup fallback applies to kernel-variant
+            # speedup rows alone; method (reorder) and serve value
+            # rows are gated only by explicit floors/ceilings.
+            if "method" in r or "speedup" not in r:
                 continue
             floor = args.min_speedup
-        if r["speedup"] < floor:
+        if value < floor:
             failures.append(
-                "%s: speedup %.2fx below the %.2fx floor"
-                % (key, r["speedup"], floor))
+                "%s: %.2f below the %.2f floor" % (key, value, floor))
 
-    history_path = pathlib.Path(args.history)
+    history_path = pathlib.Path(args.bench_file)
     history = load_history(history_path)
     if history:
-        base = speedup_rows(history[-1])
+        base = result_rows(history[-1])
         for key, r in sorted(rows.items()):
             old = base.get(key)
             if old is None or r.get("no_regress") or "method" in r:
                 continue
-            if r["speedup"] < old["speedup"] * (1.0 - args.threshold):
+            if row_value(r) < row_value(old) * (1.0 - args.threshold):
                 failures.append(
-                    "%s: speedup regressed %.2fx -> %.2fx "
-                    "(>%d%% vs previous entry)"
-                    % (key, old["speedup"], r["speedup"],
+                    "%s: regressed %.2f -> %.2f (>%d%% vs previous "
+                    "entry)"
+                    % (key, row_value(old), row_value(r),
                        round(args.threshold * 100)))
             else:
-                print("  %-20s %.2fx vs baseline %.2fx  ok"
-                      % (key, r["speedup"], old["speedup"]))
+                print("  %-20s %.2f vs baseline %.2f  ok"
+                      % (key, row_value(r), row_value(old)))
     else:
         print("no baseline in %s; recording first entry"
               % history_path)

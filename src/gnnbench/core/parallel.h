@@ -291,12 +291,22 @@ class BoundedQueue
         return item;
     }
 
-    /** Close the queue and wake all blocked producers/consumers. */
+    /**
+     * Close the queue and wake all blocked producers/consumers.
+     * Idempotent: the first call flips the closed flag and broadcasts
+     * on both condition variables exactly once; later calls (racing
+     * closers, destructor-after-shutdown paths) observe the flag and
+     * return without re-notifying, so a closer can never interleave
+     * a stale broadcast with a queue that was already drained and
+     * re-checked by its waiters.
+     */
     void
     close()
     {
         {
             std::lock_guard lock(mutex_);
+            if (closed_)
+                return;
             closed_ = true;
         }
         notFull_.notify_all();

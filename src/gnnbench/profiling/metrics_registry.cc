@@ -68,6 +68,70 @@ Histogram::reset()
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double
+Histogram::percentile(double p) const
+{
+    GNNBENCH_CHECK(p >= 0.0 && p <= 1.0,
+                   "percentile rank must be in [0, 1], got ", p);
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    const double target = p * static_cast<double>(n);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const uint64_t c =
+            counts_[i].load(std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        const uint64_t next = cumulative + c;
+        if (static_cast<double>(next) >= target) {
+            // +inf bucket: the best claim we can make is the last
+            // finite bound (or the mean for a bound-less histogram).
+            if (i >= bounds_.size())
+                return bounds_.empty() ? mean() : bounds_.back();
+            const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            const double hi = bounds_[i];
+            const double frac =
+                (target - static_cast<double>(cumulative)) /
+                static_cast<double>(c);
+            return lo + (hi - lo) * frac;
+        }
+        cumulative = next;
+    }
+    return bounds_.empty() ? mean() : bounds_.back();
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    GNNBENCH_CHECK(!sorted.empty(),
+                   "percentileSorted needs at least one sample");
+    GNNBENCH_CHECK(p >= 0.0 && p <= 1.0,
+                   "percentile rank must be in [0, 1], got ", p);
+    GNNBENCH_ASSERT(sorted.front() <= sorted.back(),
+                    "percentileSorted input must be ascending");
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+LatencySummary
+latencySummary(const std::vector<double> &sorted)
+{
+    LatencySummary s;
+    if (sorted.empty())
+        return s;
+    s.p50 = percentileSorted(sorted, 0.50);
+    s.p95 = percentileSorted(sorted, 0.95);
+    s.p99 = percentileSorted(sorted, 0.99);
+    return s;
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {

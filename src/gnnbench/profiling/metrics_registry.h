@@ -142,12 +142,42 @@ class Histogram
 
     void reset();
 
+    /**
+     * Approximate quantile (0 <= p <= 1) reconstructed from the
+     * bucket counts by linear interpolation inside the containing
+     * bucket (Prometheus histogram_quantile semantics).  The first
+     * bucket interpolates from 0; an observation landing in the +inf
+     * bucket clamps to the last finite bound.  Returns 0 for an
+     * empty histogram.
+     */
+    double percentile(double p) const;
+
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<uint64_t>> counts_;
     std::atomic<double> sum_{0.0};
     std::atomic<uint64_t> total_{0};
 };
+
+/**
+ * Exact sample quantile (0 <= p <= 1) of an ascending-sorted sample
+ * set, with linear interpolation between order statistics (the
+ * "linear" / type-7 estimator numpy defaults to).  Fatal when the
+ * samples are empty or unsorted-looking endpoints are passed; used by
+ * the serve bench for per-tenant p50/p95/p99 so callers stop
+ * hand-rolling percentile math.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Convenience: {p50, p95, p99} of an ascending-sorted sample set. */
+struct LatencySummary
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+LatencySummary latencySummary(const std::vector<double> &sorted);
 
 /**
  * Name -> metric registry.  Lookup takes a mutex (cache the returned

@@ -294,6 +294,8 @@ writeRunReport(const std::string &path, const RunReportContext &ctx)
         w.beginArray("traceEvents");
         w.endArray();
     }
+    if (ctx.resultsEmitter)
+        ctx.resultsEmitter(w);
     w.beginObject("gnnbench");
     w.value("bench", ctx.benchName);
     w.beginObject("options");

@@ -220,6 +220,16 @@ struct RunReportContext
     const ProfileNode *profile = nullptr;
     const TraceRecorder *trace = nullptr;
     const MetricsRegistry *metrics = nullptr;
+    /**
+     * Optional perf-gate rows.  When set, invoked with the writer
+     * positioned inside the root object; the emitter must write one
+     * complete `"results"` array (beginArray("results") ...
+     * endArray()).  scripts/check_bench_regression.py reads this
+     * top-level key, so a bench with gate rows emits ONE document
+     * that is simultaneously a Chrome trace, a unified run report,
+     * and a regression-gate record.
+     */
+    std::function<void(JsonWriter &)> resultsEmitter;
 };
 
 /**

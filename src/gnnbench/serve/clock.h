@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Injectable clock for the serving subsystem.
+ *
+ * Every latency-bearing timestamp in serve/ — request arrival,
+ * deadline, batch flush decisions, response completion — is read off
+ * a Clock interface instead of std::chrono directly.  Production and
+ * the throughput bench use RealClock (monotonic wall time); the unit
+ * tests use ManualClock, which only moves when the test advances it,
+ * so deadline-trigger and SLO-accounting behaviour is exercised
+ * deterministically without real sleeps.
+ */
+
+#ifndef GNNBENCH_SERVE_CLOCK_H
+#define GNNBENCH_SERVE_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+
+namespace gnnbench {
+namespace serve {
+
+/** Monotonic seconds source; implementations must be thread-safe. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Seconds since an arbitrary fixed epoch (monotonic). */
+    virtual double now() const = 0;
+};
+
+/** Wall-clock time since construction (steady_clock). */
+class RealClock final : public Clock
+{
+  public:
+    RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+    double
+    now() const override
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * Test clock: time stands still until advance()/set() moves it.
+ * Writers and readers may race (atomic double, monotonicity is the
+ * test's responsibility).
+ */
+class ManualClock final : public Clock
+{
+  public:
+    explicit ManualClock(double start = 0.0) : t_(start) {}
+
+    double
+    now() const override
+    {
+        return t_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advance(double dt)
+    {
+        double cur = t_.load(std::memory_order_relaxed);
+        while (!t_.compare_exchange_weak(cur, cur + dt,
+                                         std::memory_order_relaxed))
+            ;
+    }
+
+    void
+    set(double t)
+    {
+        t_.store(t, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> t_;
+};
+
+} // namespace serve
+} // namespace gnnbench
+
+#endif // GNNBENCH_SERVE_CLOCK_H

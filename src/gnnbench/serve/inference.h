@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Forward-only GraphSAGE inference over sampled neighborhoods.
+ *
+ * The serving path never records an autograd tape: it runs the same
+ * arithmetic as dglx::SageConv::forwardBlock — CSR SpMM(Sum) through
+ * the shared kernels:: dispatch, a 1/in-degree row scale, dense
+ * feature transforms, bias, ReLU between layers — directly on
+ * core::Tensor.  The op order is identical to the training forward,
+ * so serve logits are bit-identical to a dglx forward pass with the
+ * same weights (see tests/test_serve.cc), and bit-identical across
+ * serving worker counts because each request's sampled neighborhood
+ * is a pure function of its request id.
+ */
+
+#ifndef GNNBENCH_SERVE_INFERENCE_H
+#define GNNBENCH_SERVE_INFERENCE_H
+
+#include "gnnbench/core/tensor.h"
+#include "gnnbench/sampling/subgraph.h"
+#include "gnnbench/serve/weight_store.h"
+
+namespace gnnbench {
+namespace serve {
+
+/**
+ * One SAGE mean-aggregation layer over a sampled bipartite block:
+ * out = x_dst * W_self + mean_agg(x_src) * W_neigh + bias, where
+ * x_dst is the first |dst| rows of @p x_src (block prefix invariant).
+ */
+core::Tensor sageBlockForward(const sampling::Block &block,
+                              const core::Tensor &x_src,
+                              const SageLayerWeights &w);
+
+/**
+ * Full forward pass for one neighbor sample: applies every layer of
+ * @p weights over the sample's blocks (input-side first) with ReLU
+ * between layers, returning |seeds| x numClasses logits.
+ * @param x_input features of sample.inputNodes(), in that order.
+ */
+core::Tensor inferLogits(const sampling::NeighborSample &sample,
+                         const core::Tensor &x_input,
+                         const ModelWeights &weights);
+
+/** Row-wise argmax of logits (ties keep the lowest class index). */
+int32_t argmaxClass(const core::Tensor &logits, int64_t row);
+
+} // namespace serve
+} // namespace gnnbench
+
+#endif // GNNBENCH_SERVE_INFERENCE_H

@@ -1,0 +1,166 @@
+#include "gnnbench/serve/loadgen.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace serve {
+
+const char *
+arrivalName(Arrival a)
+{
+    switch (a) {
+    case Arrival::Poisson:
+        return "poisson";
+    case Arrival::ClosedLoop:
+        return "closed";
+    }
+    return "?";
+}
+
+const char *
+validArrivalList()
+{
+    return "poisson/closed";
+}
+
+bool
+parseArrival(std::string_view name, Arrival *out)
+{
+    if (name == "poisson") {
+        *out = Arrival::Poisson;
+        return true;
+    }
+    if (name == "closed" || name == "closed-loop") {
+        *out = Arrival::ClosedLoop;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Wait until @p clock reads @p target.  Under a RealClock this is a
+ * short-sleep loop (pacing granularity ~50us, far below the serve
+ * SLOs); under a ManualClock a driver thread must advance time, and
+ * the sleep keeps the spin polite.
+ */
+void
+waitUntil(const Clock &clock, double target)
+{
+    while (clock.now() < target)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+LoadGenResult
+runPoisson(Server &server, const LoadGenConfig &config,
+           const Clock &clock)
+{
+    LoadGenResult out;
+    core::Rng rng(config.seed);
+    const int64_t nodes = server.numNodes();
+    double next = clock.now();
+    out.firstSubmit = next;
+    for (int64_t i = 0; i < config.requests; ++i) {
+        waitUntil(clock, next);
+        const auto node =
+            static_cast<NodeId>(rng.uniformInt(
+                static_cast<uint64_t>(nodes)));
+        const auto tenant =
+            static_cast<int32_t>(i % config.tenants);
+        if (server.submit(tenant, node))
+            ++out.submitted;
+        else
+            ++out.shed;
+        out.lastSubmit = clock.now();
+        // Exponential inter-arrival; the schedule is anchored to the
+        // previous *scheduled* time, not the submit time, so the
+        // generator stays open-loop even when submission lags.
+        next += -std::log(1.0 - rng.uniform()) / config.targetQps;
+    }
+    return out;
+}
+
+LoadGenResult
+runClosedLoop(Server &server, const LoadGenConfig &config,
+              const Clock &clock)
+{
+    LoadGenResult out;
+    core::Rng rng(config.seed);
+    const int64_t nodes = server.numNodes();
+
+    // Counting semaphore released by the collector thread's response
+    // callback: at most closedLoopClients requests in flight.
+    std::mutex mutex;
+    std::condition_variable cv;
+    int inflight = 0;
+    server.setOnResponse([&](const Response &) {
+        {
+            std::lock_guard lock(mutex);
+            --inflight;
+        }
+        cv.notify_one();
+    });
+
+    out.firstSubmit = clock.now();
+    for (int64_t i = 0; i < config.requests; ++i) {
+        {
+            std::unique_lock lock(mutex);
+            cv.wait(lock, [&] {
+                return inflight < config.closedLoopClients;
+            });
+            ++inflight;
+        }
+        const auto node =
+            static_cast<NodeId>(rng.uniformInt(
+                static_cast<uint64_t>(nodes)));
+        const auto tenant =
+            static_cast<int32_t>(i % config.tenants);
+        if (server.submit(tenant, node)) {
+            ++out.submitted;
+        } else {
+            // Shed requests never produce a response, so release the
+            // slot here or the loop wedges at capacity.
+            ++out.shed;
+            {
+                std::lock_guard lock(mutex);
+                --inflight;
+            }
+            cv.notify_one();
+        }
+        out.lastSubmit = clock.now();
+    }
+    // Every admitted request must be answered before the callback's
+    // captures go out of scope.
+    server.drain();
+    server.setOnResponse(nullptr);
+    return out;
+}
+
+} // namespace
+
+LoadGenResult
+runLoadGen(Server &server, const LoadGenConfig &config,
+           const Clock &clock)
+{
+    GNNBENCH_CHECK(config.requests > 0,
+                   "load generator request count must be positive");
+    GNNBENCH_CHECK(config.tenants > 0,
+                   "tenant count must be positive");
+    GNNBENCH_CHECK(config.targetQps > 0.0,
+                   "target QPS must be positive");
+    GNNBENCH_CHECK(config.closedLoopClients > 0,
+                   "closed-loop client count must be positive");
+    if (config.arrival == Arrival::Poisson)
+        return runPoisson(server, config, clock);
+    return runClosedLoop(server, config, clock);
+}
+
+} // namespace serve
+} // namespace gnnbench

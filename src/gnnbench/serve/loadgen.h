@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic load generators for the serving layer.
+ *
+ * Two arrival processes drive the SLO benchmark:
+ *  - Poisson: an *open-loop* generator — exponential inter-arrival
+ *    times at a target QPS, submitted regardless of how far the
+ *    server has fallen behind.  This is the methodology-correct way
+ *    to measure tail latency (closed-loop clients coordinate with the
+ *    server and hide queueing delay).
+ *  - ClosedLoop: a fixed number of concurrent clients, each
+ *    submitting its next request when its previous one completes —
+ *    the saturation-throughput measurement.
+ *
+ * Tenants and target nodes are assigned deterministically from the
+ * generator seed, and all pacing reads the injectable serve::Clock;
+ * under a ManualClock the schedule is replayed without real sleeps.
+ */
+
+#ifndef GNNBENCH_SERVE_LOADGEN_H
+#define GNNBENCH_SERVE_LOADGEN_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "gnnbench/serve/server.h"
+
+namespace gnnbench {
+namespace serve {
+
+enum class Arrival
+{
+    Poisson,    ///< open-loop, exponential inter-arrivals
+    ClosedLoop, ///< fixed concurrency, submit-on-completion
+};
+
+const char *arrivalName(Arrival a);
+
+/** "poisson/closed" — for error messages and help text. */
+const char *validArrivalList();
+
+/** Parse a name from validArrivalList(); false on unknown. */
+bool parseArrival(std::string_view name, Arrival *out);
+
+struct LoadGenConfig
+{
+    Arrival arrival = Arrival::Poisson;
+    /** Open-loop target rate (Poisson only). */
+    double targetQps = 1000.0;
+    /** Concurrent clients (ClosedLoop only). */
+    int closedLoopClients = 8;
+    int tenants = 4;
+    int64_t requests = 1000;
+    uint64_t seed = 7;
+};
+
+struct LoadGenResult
+{
+    int64_t submitted = 0; ///< admitted by the server
+    int64_t shed = 0;      ///< rejected at admission
+    double firstSubmit = 0.0;
+    double lastSubmit = 0.0;
+};
+
+/**
+ * Run the generator to completion on the calling thread: submits
+ * config.requests requests to @p server (tenant i%tenants, node
+ * drawn uniformly from the graph), pacing with @p clock, and returns
+ * the admission tally.  Does NOT drain the server — callers decide
+ * when to wait.  ClosedLoop installs the server's onResponse hook.
+ */
+LoadGenResult runLoadGen(Server &server, const LoadGenConfig &config,
+                         const Clock &clock);
+
+} // namespace serve
+} // namespace gnnbench
+
+#endif // GNNBENCH_SERVE_LOADGEN_H

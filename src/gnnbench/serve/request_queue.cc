@@ -1,0 +1,114 @@
+#include "gnnbench/serve/request_queue.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gnnbench {
+namespace serve {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity)
+{
+    GNNBENCH_CHECK(capacity > 0,
+                   "request queue capacity must be positive");
+}
+
+bool
+RequestQueue::tryEnqueue(Request r)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_ || items_.size() >= capacity_) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        items_.push_back(r);
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        const size_t depth = items_.size();
+        size_t cur = peakDepth_.load(std::memory_order_relaxed);
+        while (depth > cur &&
+               !peakDepth_.compare_exchange_weak(
+                   cur, depth, std::memory_order_relaxed))
+            ;
+    }
+    notEmpty_.notify_one();
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+    }
+    notEmpty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard lock(mutex_);
+    return closed_;
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard lock(mutex_);
+    return items_.size();
+}
+
+MicroBatcher::MicroBatcher(RequestQueue &queue, BatcherConfig config,
+                           const Clock &clock)
+    : queue_(queue), config_(config), clock_(clock)
+{
+    GNNBENCH_CHECK(config_.maxBatch > 0,
+                   "micro-batch size must be positive");
+    GNNBENCH_CHECK(config_.flushSlackSeconds >= 0.0,
+                   "flush slack must be non-negative");
+    GNNBENCH_CHECK(config_.pollSeconds > 0.0,
+                   "poll interval must be positive");
+}
+
+std::optional<RequestBatch>
+MicroBatcher::nextBatch()
+{
+    const auto max = static_cast<size_t>(config_.maxBatch);
+    std::unique_lock lock(queue_.mutex_);
+    for (;;) {
+        if (!queue_.items_.empty()) {
+            if (queue_.items_.size() >= max || queue_.closed_)
+                break; // size trigger (or shutdown flush)
+            const double flush_at = queue_.items_.front().deadline -
+                                    config_.flushSlackSeconds;
+            const double now = clock_.now();
+            if (now >= flush_at)
+                break; // deadline-slack trigger
+            // Wake on new arrivals/close; re-poll the injectable
+            // clock at least every pollSeconds so a ManualClock
+            // advanced by another thread is observed promptly.
+            const double wait =
+                std::min(config_.pollSeconds, flush_at - now);
+            queue_.notEmpty_.wait_for(
+                lock, std::chrono::duration<double>(wait));
+        } else {
+            if (queue_.closed_)
+                return std::nullopt;
+            queue_.notEmpty_.wait(lock);
+        }
+    }
+    RequestBatch batch;
+    batch.batchId = nextBatchId_.fetch_add(1) + 1;
+    const size_t n = std::min(queue_.items_.size(), max);
+    batch.requests.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        batch.requests.push_back(queue_.items_.front());
+        queue_.items_.pop_front();
+    }
+    return batch;
+}
+
+} // namespace serve
+} // namespace gnnbench

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Admission-controlled request queue and dynamic micro-batcher of the
+ * serving layer.
+ *
+ * RequestQueue is the front door: a bounded FIFO that *never blocks
+ * the caller* — when the queue is full the request is shed
+ * immediately (admission control / backpressure), counted under
+ * "serve.requests_rejected", and the client sees the rejection
+ * instead of unbounded queueing delay.  close() wakes every blocked
+ * consumer exactly once and lets already-admitted requests drain.
+ *
+ * MicroBatcher coalesces admitted requests into batches with two
+ * triggers, whichever fires first:
+ *   - size: maxBatch requests are pending, or
+ *   - deadline slack: the oldest pending request is within
+ *     flushSlackSeconds of its deadline, so waiting any longer for
+ *     more batching would risk the SLO.
+ * Time is read off the injectable serve::Clock, so tests drive the
+ * deadline trigger deterministically with a ManualClock.
+ */
+
+#ifndef GNNBENCH_SERVE_REQUEST_QUEUE_H
+#define GNNBENCH_SERVE_REQUEST_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/serve/clock.h"
+
+namespace gnnbench {
+namespace serve {
+
+/** One admitted node-classification request. */
+struct Request
+{
+    uint64_t id = 0;       ///< process-unique, assigned at submit
+    int32_t tenant = 0;    ///< tenant the latency is accounted to
+    NodeId node = 0;       ///< node to classify
+    double arrival = 0.0;  ///< clock seconds at submission
+    double deadline = 0.0; ///< arrival + the tenant's SLO budget
+};
+
+/** A batch of requests served under one weight snapshot. */
+struct RequestBatch
+{
+    uint64_t batchId = 0;
+    std::vector<Request> requests;
+};
+
+/**
+ * Bounded, shed-on-overload MPMC request queue.  tryEnqueue() and
+ * close() never block; dequeue waiting lives in MicroBatcher.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t capacity);
+
+    /**
+     * Admit @p r, or shed it when the queue is at capacity or closed.
+     * @return true iff admitted.
+     */
+    bool tryEnqueue(Request r);
+
+    /** Stop admitting; wake blocked consumers (idempotent). */
+    void close();
+
+    bool closed() const;
+    size_t depth() const;
+    uint64_t admitted() const { return admitted_.load(); }
+    uint64_t rejected() const { return rejected_.load(); }
+    /** Highest depth ever observed at admission. */
+    size_t peakDepth() const { return peakDepth_.load(); }
+
+  private:
+    friend class MicroBatcher;
+
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::deque<Request> items_;
+    size_t capacity_;
+    bool closed_ = false;
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<size_t> peakDepth_{0};
+};
+
+/** Batching triggers (see file comment). */
+struct BatcherConfig
+{
+    int maxBatch = 16;
+    /** Flush when the oldest request is this close to its deadline. */
+    double flushSlackSeconds = 0.005;
+    /** Real-time poll granularity while waiting for the deadline
+     *  trigger (bounds staleness under a ManualClock). */
+    double pollSeconds = 0.0005;
+};
+
+/**
+ * Pulls batches off a RequestQueue.  Multiple workers may call
+ * nextBatch() concurrently; each admitted request lands in exactly
+ * one batch and batch ids are process-unique.
+ */
+class MicroBatcher
+{
+  public:
+    MicroBatcher(RequestQueue &queue, BatcherConfig config,
+                 const Clock &clock);
+
+    /**
+     * Block until a trigger fires, then return up to maxBatch
+     * requests in admission order; empty optional once the queue is
+     * closed and fully drained.  A closed queue flushes immediately
+     * (no deadline wait) so shutdown never stalls on slack.
+     */
+    std::optional<RequestBatch> nextBatch();
+
+    /** Batches formed so far. */
+    uint64_t batches() const { return nextBatchId_.load(); }
+
+  private:
+    RequestQueue &queue_;
+    BatcherConfig config_;
+    const Clock &clock_;
+    std::atomic<uint64_t> nextBatchId_{0};
+};
+
+} // namespace serve
+} // namespace gnnbench
+
+#endif // GNNBENCH_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,73 @@
+#include "gnnbench/serve/weight_store.h"
+
+#include <utility>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/core/rng.h"
+
+namespace gnnbench {
+namespace serve {
+
+uint64_t
+ModelWeights::paramBytes() const
+{
+    uint64_t bytes = 0;
+    for (const SageLayerWeights &l : layers)
+        bytes += l.self.bytes() + l.neigh.bytes() + l.bias.bytes();
+    return bytes;
+}
+
+ModelWeights
+makeSageWeights(int64_t in_dim, int64_t hidden_dim,
+                int64_t num_classes, uint64_t seed)
+{
+    GNNBENCH_CHECK(in_dim > 0 && hidden_dim > 0 && num_classes > 0,
+                   "model dimensions must be positive");
+    ModelWeights w;
+    w.inDim = in_dim;
+    w.hiddenDim = hidden_dim;
+    w.numClasses = num_classes;
+    // Same derivation as the GraphSAGE trainer: the layer RNG is one
+    // fork of the run seed, and each SageConv draws self-weight then
+    // neighbor-weight glorot tensors from it in construction order.
+    core::Rng rng(seed);
+    core::Rng wrng = rng.fork();
+    const int64_t dims[3] = {in_dim, hidden_dim, num_classes};
+    for (int layer = 0; layer < 2; ++layer) {
+        SageLayerWeights l{
+            core::Tensor::glorot(dims[layer], dims[layer + 1], wrng),
+            core::Tensor::glorot(dims[layer], dims[layer + 1], wrng),
+            core::Tensor::zeros(1, dims[layer + 1])};
+        w.layers.push_back(std::move(l));
+    }
+    return w;
+}
+
+WeightSnapshot
+WeightStore::acquire() const
+{
+    std::lock_guard lock(mutex_);
+    return current_;
+}
+
+uint64_t
+WeightStore::publish(ModelWeights w)
+{
+    GNNBENCH_CHECK(!w.layers.empty(),
+                   "cannot publish an empty weight set");
+    auto snapshot = std::make_shared<ModelWeights>(std::move(w));
+    std::lock_guard lock(mutex_);
+    snapshot->version = nextVersion_++;
+    current_ = std::move(snapshot);
+    return current_->version;
+}
+
+uint64_t
+WeightStore::version() const
+{
+    std::lock_guard lock(mutex_);
+    return current_ ? current_->version : 0;
+}
+
+} // namespace serve
+} // namespace gnnbench

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Versioned, snapshot-isolated model weights for the serving layer.
+ *
+ * A serving worker must never observe a half-published weight set: a
+ * "retrain" publishes a complete new ModelWeights and every batch
+ * acquires exactly one immutable snapshot before touching any tensor,
+ * so all requests coalesced into one batch are answered by the same
+ * weight version (no torn batch).  Snapshots are shared_ptr-held and
+ * immutable after publish; in-flight batches keep serving the old
+ * version until they finish, then the last reference releases it.
+ */
+
+#ifndef GNNBENCH_SERVE_WEIGHT_STORE_H
+#define GNNBENCH_SERVE_WEIGHT_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gnnbench/core/tensor.h"
+
+namespace gnnbench {
+namespace serve {
+
+/** One SAGE layer's parameters (mirrors dglx::SageConv). */
+struct SageLayerWeights
+{
+    core::Tensor self;   ///< in_dim x out_dim
+    core::Tensor neigh;  ///< in_dim x out_dim
+    core::Tensor bias;   ///< 1 x out_dim
+};
+
+/** A complete, immutable-after-publish inference model. */
+struct ModelWeights
+{
+    /** Assigned by WeightStore::publish (0 = never published). */
+    uint64_t version = 0;
+    int64_t inDim = 0;
+    int64_t hiddenDim = 0;
+    int64_t numClasses = 0;
+    /** layers[0] consumes raw features; layers.back() emits logits. */
+    std::vector<SageLayerWeights> layers;
+
+    uint64_t paramBytes() const;
+};
+
+using WeightSnapshot = std::shared_ptr<const ModelWeights>;
+
+/**
+ * Build a two-layer GraphSAGE weight set with the same glorot
+ * initialization draw order as a pair of dglx::SageConv layers
+ * constructed from core::Rng(seed).fork() — bit-identical parameters,
+ * so serve-side inference can be differentially tested against the
+ * training framework's forward pass.
+ */
+ModelWeights makeSageWeights(int64_t in_dim, int64_t hidden_dim,
+                             int64_t num_classes, uint64_t seed);
+
+/**
+ * Atomic hot-swap store.  acquire() returns the current snapshot (a
+ * cheap shared_ptr copy under a mutex); publish() installs a new
+ * complete weight set with the next version number.  Neither call
+ * ever blocks on inference work.
+ */
+class WeightStore
+{
+  public:
+    /** Current snapshot; null until the first publish. */
+    WeightSnapshot acquire() const;
+
+    /** Install @p w as the new current version; returns the version
+     *  number assigned to it (monotonically increasing from 1). */
+    uint64_t publish(ModelWeights w);
+
+    /** Version of the current snapshot (0 before the first publish). */
+    uint64_t version() const;
+
+  private:
+    mutable std::mutex mutex_;
+    WeightSnapshot current_;
+    uint64_t nextVersion_ = 1;
+};
+
+} // namespace serve
+} // namespace gnnbench
+
+#endif // GNNBENCH_SERVE_WEIGHT_STORE_H

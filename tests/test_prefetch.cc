@@ -27,6 +27,73 @@ echoProducers(int workers)
     return out;
 }
 
+// Shutdown-hardening stress for the pipeline's backbone queue; this
+// binary is in GNNBENCH_TSAN_TESTS, so the race here also runs under
+// -fsanitize=thread.  Producers block on a tiny full queue while
+// several threads race close(): the first close must wake every
+// blocked producer and consumer exactly once (later closes are
+// no-ops), no item accepted by push() may be lost, and nothing may
+// deadlock.
+TEST(BoundedQueue, CloseRacesBlockedProducersWithoutLossOrHang)
+{
+    using core::parallel::BoundedQueue;
+    for (int round = 0; round < 25; ++round) {
+        core::parallel::QueueStats stats;
+        BoundedQueue<int> q(2, &stats);
+        std::atomic<int> accepted{0};
+        std::vector<std::thread> producers;
+        for (int p = 0; p < 4; ++p)
+            producers.emplace_back([&q, &accepted, p] {
+                for (int i = 0; i < 64; ++i) {
+                    if (!q.push(p * 64 + i))
+                        return; // closed while blocked
+                    accepted.fetch_add(1);
+                }
+            });
+        std::atomic<int> consumed{0};
+        std::thread consumer([&q, &consumed] {
+            for (int i = 0; i < 8; ++i)
+                if (q.pop())
+                    consumed.fetch_add(1);
+        });
+        std::vector<std::thread> closers;
+        for (int c = 0; c < 3; ++c)
+            closers.emplace_back([&q] { q.close(); });
+        for (auto &t : closers)
+            t.join();
+        for (auto &t : producers)
+            t.join(); // a lost wakeup would hang here
+        consumer.join();
+        int drained = 0;
+        while (q.pop())
+            ++drained;
+        // Conservation: everything push() accepted was delivered.
+        EXPECT_EQ(accepted.load(), consumed.load() + drained);
+        EXPECT_TRUE(q.closed());
+        q.close(); // idempotent after the race settles
+    }
+}
+
+TEST(BoundedQueue, CloseWakesConsumersBlockedOnEmptyQueue)
+{
+    core::parallel::BoundedQueue<int> q(4);
+    std::vector<std::thread> consumers;
+    std::atomic<int> emptied{0};
+    for (int c = 0; c < 3; ++c)
+        consumers.emplace_back([&q, &emptied] {
+            if (!q.pop().has_value())
+                emptied.fetch_add(1);
+        });
+    // Give the consumers a moment to block on the empty queue, then
+    // close: all three must wake and observe the drained-empty state.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(emptied.load(), 3);
+    EXPECT_FALSE(q.push(1)); // closed queue refuses new work
+}
+
 TEST(Prefetcher, DeliversBatchesInSerialOrder)
 {
     for (int workers : {1, 2, 4}) {

@@ -274,6 +274,68 @@ TEST(Metrics, HistogramBucketsObservations)
     EXPECT_DOUBLE_EQ(h.mean(), 106.5 / 4.0);
 }
 
+TEST(Metrics, HistogramPercentileInterpolatesWithinBucket)
+{
+    Histogram h({1.0, 10.0});
+    h.observe(0.5);
+    h.observe(1.0);
+    h.observe(5.0);
+    h.observe(100.0);
+    // p50 target = 2 observations: exactly exhausts the first bucket
+    // (bounds 0..1), so linear interpolation lands on its bound.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 1.0);
+    // p99 lands in the +inf bucket, which clamps to the last finite
+    // bound -- the strongest claim a bounded histogram can make.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+    // p25 target = 1 of the 2 first-bucket observations: halfway.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.5);
+}
+
+TEST(Metrics, HistogramPercentileEdgeCases)
+{
+    Histogram empty({1.0});
+    EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+    EXPECT_EXIT(empty.percentile(1.5), ::testing::ExitedWithCode(1),
+                "percentile rank");
+}
+
+TEST(Metrics, PercentileSortedLinearInterpolation)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    // numpy-linear estimator: pos = p * (n - 1).
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.5), 50.5);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.95), 95.05);
+    EXPECT_DOUBLE_EQ(percentileSorted({10.0}, 0.99), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({1.0, 2.0}, 0.25), 1.25);
+}
+
+TEST(Metrics, PercentileSortedRejectsBadInput)
+{
+    EXPECT_EXIT(percentileSorted({}, 0.5),
+                ::testing::ExitedWithCode(1), "at least one sample");
+    EXPECT_EXIT(percentileSorted({1.0}, 1.5),
+                ::testing::ExitedWithCode(1), "percentile rank");
+}
+
+TEST(Metrics, LatencySummaryReportsTailOrder)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(i * 1e-3);
+    const LatencySummary s = latencySummary(v);
+    EXPECT_LT(s.p50, s.p95);
+    EXPECT_LT(s.p95, s.p99);
+    EXPECT_NEAR(s.p50, 0.5005, 1e-9);
+    EXPECT_NEAR(s.p99, 0.99001, 1e-5);
+    const LatencySummary zero = latencySummary({});
+    EXPECT_EQ(zero.p50, 0.0);
+    EXPECT_EQ(zero.p99, 0.0);
+}
+
 TEST(Metrics, RegistryIsStableAndWritesJson)
 {
     MetricsRegistry reg;
