@@ -18,6 +18,12 @@
  *                      rcm) applied to every loaded dataset before
  *                      the bench runs — results are permutation-
  *                      equivalent to the unordered run
+ *   --metrics-port p   serve the live OpenMetrics rendering of the
+ *                      process registry on 127.0.0.1:p while the
+ *                      bench runs (0 picks an ephemeral port; off by
+ *                      default)
+ *   --metrics-dump f   write the final OpenMetrics rendering to f
+ *                      (CI artifact capture; independent of --json)
  */
 
 #ifndef GNNBENCH_BENCH_COMMON_H
@@ -32,6 +38,7 @@
 #include "gnnbench/graph/datasets.h"
 #include "gnnbench/graph/reorder.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/profiling/exporter.h"
 #include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/report.h"
 #include "gnnbench/profiling/trace.h"
@@ -55,6 +62,12 @@ struct Options
     int numWorkers = 0;
     /** Locality pass applied by bench::loadDataset (--reorder). */
     graph::ReorderMethod reorder = graph::ReorderMethod::None;
+    /** Port for the live OpenMetrics listener (-1 = off, 0 =
+     *  ephemeral). */
+    int metricsPort = -1;
+    /** When non-empty, the final OpenMetrics rendering is written
+     *  here by writeJsonReport (works without --json). */
+    std::string metricsDumpPath;
 };
 
 inline std::vector<std::string>
@@ -115,11 +128,19 @@ parseOptions(int argc, char **argv, Options opts = Options{})
                 graph::parseReorderMethod(v, &opts.reorder),
                 "--reorder must be one of ",
                 graph::validReorderMethodList(), ", got ", v);
+        } else if (arg == "--metrics-port") {
+            opts.metricsPort = std::stoi(next());
+            GNNBENCH_CHECK(opts.metricsPort >= 0 &&
+                               opts.metricsPort <= 65535,
+                           "--metrics-port must be in [0, 65535]");
+        } else if (arg == "--metrics-dump") {
+            opts.metricsDumpPath = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--datasets a,b,c] [--scale f] "
                         "[--epochs n] [--seed s] [--csv prefix] "
                         "[--json path] [--workers n] "
-                        "[--kernel-variant v] [--reorder m]\n",
+                        "[--kernel-variant v] [--reorder m] "
+                        "[--metrics-port p] [--metrics-dump f]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -130,6 +151,21 @@ parseOptions(int argc, char **argv, Options opts = Options{})
     // the process recorder right at option-parse time.
     if (!opts.jsonPath.empty())
         profiling::TraceRecorder::global().enable();
+    // The metrics listener likewise starts before the bench body;
+    // it lives for the rest of the process (scrapes stay valid
+    // through report writing).
+    if (opts.metricsPort >= 0) {
+        static profiling::MetricsHttpServer server(
+            profiling::MetricsRegistry::global(), opts.metricsPort);
+        if (server.ok())
+            std::printf("serving OpenMetrics on 127.0.0.1:%d\n",
+                        server.port());
+        else
+            std::fprintf(stderr,
+                         "warning: --metrics-port %d: bind failed, "
+                         "metrics listener disabled\n",
+                         opts.metricsPort);
+    }
     return opts;
 }
 
@@ -184,8 +220,15 @@ writeJsonReport(
     std::vector<std::pair<std::string, const profiling::Table *>>
         tables,
     std::vector<profiling::RunRecord> runs = {},
-    const profiling::ProfileNode *profile = nullptr)
+    const profiling::ProfileNode *profile = nullptr,
+    std::function<void(profiling::JsonWriter &)> resultsEmitter = {})
 {
+    if (!opts.metricsDumpPath.empty()) {
+        profiling::writeOpenMetricsFile(
+            opts.metricsDumpPath, profiling::MetricsRegistry::global());
+        std::printf("metrics dump written to %s\n",
+                    opts.metricsDumpPath.c_str());
+    }
     if (opts.jsonPath.empty())
         return;
     profiling::RunReportContext ctx;
@@ -194,6 +237,7 @@ writeJsonReport(
     ctx.runs = std::move(runs);
     ctx.tables = std::move(tables);
     ctx.profile = profile;
+    ctx.resultsEmitter = std::move(resultsEmitter);
     ctx.trace = &profiling::TraceRecorder::global();
     ctx.metrics = &profiling::MetricsRegistry::global();
     profiling::writeRunReport(opts.jsonPath, ctx);

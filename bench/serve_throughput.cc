@@ -25,6 +25,7 @@
 
 #include "gnnbench/dglx/dataloader.h"
 #include "gnnbench/graph/datasets.h"
+#include "gnnbench/profiling/exporter.h"
 #include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/report.h"
 #include "gnnbench/profiling/trace.h"
@@ -44,6 +45,10 @@ struct ServeBenchOptions
     int hidden = 64;
     uint64_t seed = 42;
     std::string jsonPath;
+    /** OpenMetrics listener port (-1 off, 0 ephemeral). */
+    int metricsPort = -1;
+    /** OpenMetrics text dump written after the run. */
+    std::string metricsDumpPath;
     serve::ServeConfig serveCfg;
     serve::LoadGenConfig loadCfg;
     /** Gate thresholds embedded in the --json result rows. */
@@ -111,6 +116,14 @@ parseOptions(int argc, char **argv)
             opts.seed = std::stoull(next());
         } else if (arg == "--json") {
             opts.jsonPath = next();
+        } else if (arg == "--metrics-port") {
+            opts.metricsPort =
+                static_cast<int>(std::stoll(next()));
+            GNNBENCH_CHECK(opts.metricsPort >= 0 &&
+                               opts.metricsPort <= 65535,
+                           "--metrics-port must be in [0, 65535]");
+        } else if (arg == "--metrics-dump") {
+            opts.metricsDumpPath = next();
         } else if (arg == "--tenants") {
             opts.loadCfg.tenants =
                 static_cast<int>(parsePositiveCount(arg, next()));
@@ -150,7 +163,8 @@ parseOptions(int argc, char **argv)
                 "[--target-qps q] [--clients n] "
                 "[--arrival %s] [--workers n] [--max-batch n] "
                 "[--queue-depth n] [--slo-ms x] [--qps-floor q] "
-                "[--p99-ceiling-ms x]\n",
+                "[--p99-ceiling-ms x] [--metrics-port p] "
+                "[--metrics-dump path]\n",
                 argv[0], serve::validArrivalList());
             std::exit(0);
         } else {
@@ -162,6 +176,20 @@ parseOptions(int argc, char **argv)
     opts.loadCfg.seed = opts.seed ^ 0x10adceedULL;
     if (!opts.jsonPath.empty())
         profiling::TraceRecorder::global().enable();
+    if (opts.metricsPort >= 0) {
+        // Lives for the whole process so mid-run scrapes see the
+        // collector's live SLO gauges; a failed bind only warns.
+        static profiling::MetricsHttpServer server(
+            profiling::MetricsRegistry::global(), opts.metricsPort);
+        if (server.ok())
+            std::printf("serving OpenMetrics on 127.0.0.1:%d\n",
+                        server.port());
+        else
+            std::fprintf(stderr,
+                         "warning: --metrics-port %d bind failed; "
+                         "continuing without the listener\n",
+                         opts.metricsPort);
+    }
     return opts;
 }
 
@@ -329,6 +357,14 @@ main(int argc, char **argv)
         summary.addRow({"served by v" + std::to_string(v),
                         std::to_string(n)});
     summary.print();
+
+    if (!opts.metricsDumpPath.empty()) {
+        profiling::writeOpenMetricsFile(
+            opts.metricsDumpPath,
+            profiling::MetricsRegistry::global());
+        std::printf("wrote OpenMetrics dump to %s\n",
+                    opts.metricsDumpPath.c_str());
+    }
 
     if (!opts.jsonPath.empty()) {
         profiling::RunReportContext ctx;

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Trend / anomaly report over the benchmark history files.
+
+Reads the JSON-array history files maintained by
+``check_bench_regression.py`` (``BENCH_kernels.json`` and
+``BENCH_serve.json`` at the repository root) and prints one row per
+result series — the same ``variant:op[:method]`` keys the gate uses —
+with a unicode sparkline of the series, its spread, and the drift of
+the latest entry against the median of the preceding entries.
+
+Drift beyond ``--drift`` (default 10%) in either direction is flagged:
+a kernel speedup sliding down is a slow regression the 30% gate
+tripwire has not caught yet, and a serve p99 creeping up is tail-
+latency erosion the no_regress rows never gate.  The report is
+informational by default (exit 0 so the CI step never blocks a merge
+on machine noise); ``--strict`` exits 1 when anything is flagged.
+
+Usage:
+    analyze_bench_history.py [FILE ...] [--drift FRACTION]
+                             [--last N] [--strict]
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_serve.json"]
+
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("files", nargs="*",
+                   help="history files (default: the BENCH_*.json "
+                        "files at the repository root)")
+    p.add_argument("--drift", type=float, default=0.10,
+                   help="fractional drift of the latest entry vs the "
+                        "median of earlier entries that gets flagged")
+    p.add_argument("--last", type=int, default=30,
+                   help="analyze at most the last N history entries")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any series is flagged")
+    return p.parse_args(argv)
+
+
+def row_key(r):
+    """Same series identity as check_bench_regression.row_key."""
+    if "variant" not in r:
+        return r["op"]
+    key = "%s:%s" % (r["variant"], r["op"])
+    if "method" in r:
+        key += ":" + r["method"]
+    return key
+
+
+def row_value(r):
+    if "speedup" in r:
+        return r["speedup"]
+    if "value" in r:
+        return r["value"]
+    return None
+
+
+def load_series(path, last):
+    """{key: [values in history order]} over the last N entries."""
+    text = path.read_text().strip()
+    if not text:
+        return {}
+    history = json.loads(text)
+    if not isinstance(history, list):
+        sys.exit("error: %s is not a JSON array" % path)
+    series = {}
+    for entry in history[-last:]:
+        for r in entry.get("results", []):
+            value = row_value(r)
+            if value is not None:
+                series.setdefault(row_key(r), []).append(value)
+    return series
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_TICKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        SPARK_TICKS[min(len(SPARK_TICKS) - 1,
+                        int((v - lo) / span * len(SPARK_TICKS)))]
+        for v in values)
+
+
+def analyze_file(path, drift_threshold):
+    """Print the per-series table; return the flagged series keys."""
+    series = load_series(path, ARGS.last)
+    if not series:
+        print("%s: no history entries" % path.name)
+        return []
+    print("%s (%d series):" % (path.name, len(series)))
+    header = "  %-28s %3s %10s %10s %10s %8s  %s" % (
+        "series", "n", "median", "latest", "drift", "flag", "trend")
+    print(header)
+    flagged = []
+    for key in sorted(series):
+        values = series[key]
+        latest = values[-1]
+        prior = values[:-1]
+        if prior:
+            base = statistics.median(prior)
+            drift = (latest - base) / base if base else 0.0
+            drift_text = "%+6.1f%%" % (drift * 100.0)
+        else:
+            base = latest
+            drift = 0.0
+            drift_text = "      -"
+        flag = ""
+        if prior and abs(drift) > drift_threshold:
+            flag = "DRIFT"
+            flagged.append("%s %s: %s" % (path.name, key, drift_text))
+        print("  %-28s %3d %10.3f %10.3f %10s %8s  %s"
+              % (key, len(values), base, latest, drift_text, flag,
+                 sparkline(values)))
+    print()
+    return flagged
+
+
+def main(argv):
+    global ARGS
+    ARGS = parse_args(argv)
+    paths = ([pathlib.Path(f) for f in ARGS.files] if ARGS.files else
+             [REPO_ROOT / f for f in DEFAULT_FILES])
+    flagged = []
+    for path in paths:
+        if not path.exists():
+            print("%s: missing (no history yet)" % path)
+            continue
+        flagged += analyze_file(path, ARGS.drift)
+    if flagged:
+        print("flagged %d series drifting >%d%% vs their median:"
+              % (len(flagged), round(ARGS.drift * 100)))
+        for f in flagged:
+            print("  " + f)
+        if ARGS.strict:
+            return 1
+    else:
+        print("no series drifting beyond %d%%"
+              % round(ARGS.drift * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,14 +3,27 @@
 # bench with tracing enabled and validate the emitted document — one
 # JSON file that is both a Perfetto-loadable Chrome trace (lanes for
 # the main thread, the prefetch workers, and the modeled device) and
-# the structured run report under the "gnnbench" key.
+# the structured run report under the "gnnbench" key.  The report's
+# observability sections are part of the schema: every document must
+# carry "gnnbench.roofline" (measured ceilings + per-family
+# FLOP/byte aggregates) and "gnnbench.perf" (the PMU availability
+# label), and every trace slice must have a non-negative timestamp
+# with per-lane starts in non-decreasing order.
+#
+# When a second binary (ablation_magnifying_glass) is given, its
+# report is additionally validated for the per-kernel breakdown rows:
+# all three explicit variants present, each row carrying intensity
+# and roofline_fraction, and either real PMU deltas ("perf": "ok")
+# or the explicit "perf": "unavailable" fallback.
 #
 # Usage: check_trace.sh [path-to-fig06_09_graphsage]
-# Without an argument the binary is taken from build/bench/.
+#                       [path-to-ablation_magnifying_glass]
+# Without arguments the binaries are taken from build/bench/.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 bench="${1:-$repo/build/bench/fig06_09_graphsage}"
+ablation="${2:-$repo/build/bench/ablation_magnifying_glass}"
 
 if [ ! -x "$bench" ]; then
     echo "error: bench binary not found: $bench" >&2
@@ -19,23 +32,70 @@ if [ ! -x "$bench" ]; then
 fi
 
 out="$(mktemp -t gnnbench_trace.XXXXXX.json)"
-trap 'rm -f "$out"' EXIT
+aout="$(mktemp -t gnnbench_ablation.XXXXXX.json)"
+trap 'rm -f "$out" "$aout"' EXIT
 
 "$bench" --datasets flickr --scale 0.05 --epochs 1 --workers 2 \
     --json "$out" >/dev/null
 
+have_ablation=0
+if [ -x "$ablation" ]; then
+    "$ablation" --scale 0.1 --json "$aout" >/dev/null
+    have_ablation=1
+else
+    echo "note: ablation binary not found ($ablation); skipping its" \
+         "checks" >&2
+fi
+
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$out" <<'EOF'
+    python3 - "$out" "$aout" "$have_ablation" <<'EOF'
 import json
 import sys
 
-with open(sys.argv[1]) as f:
-    doc = json.load(f)  # also proves the document is valid JSON
 
-events = doc["traceEvents"]
-assert events, "traceEvents is empty"
+def check_common(path):
+    """Validate the trace + report schema every bench must emit."""
+    with open(path) as f:
+        doc = json.load(f)  # also proves the document is valid JSON
 
-lanes = {e["args"]["name"] for e in events
+    events = doc["traceEvents"]
+    assert events, "traceEvents is empty"
+
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete, "no complete ('X') events"
+    assert all(e["dur"] >= 0 for e in complete), "negative duration"
+    assert all(e["ts"] >= 0 for e in complete), "negative timestamp"
+    last = {}
+    for e in complete:
+        tid = e["tid"]
+        assert e["ts"] >= last.get(tid, 0.0), \
+            f"non-monotonic ts on tid {tid}: {e['ts']}"
+        last[tid] = e["ts"]
+
+    report = doc["gnnbench"]
+    assert report["bench"], "missing bench name"
+
+    roofline = report["roofline"]
+    for key in ("measured", "peak_flops_per_s",
+                "mem_bandwidth_bytes_per_s", "ridge_intensity",
+                "kernels"):
+        assert key in roofline, f"roofline missing {key}"
+    if roofline["measured"]:
+        assert roofline["peak_flops_per_s"] > 0, "zero FLOP peak"
+        assert roofline["mem_bandwidth_bytes_per_s"] > 0, \
+            "zero bandwidth"
+    for family, cost in roofline["kernels"].items():
+        assert cost["bytes"] > 0, f"{family}: zero bytes"
+        assert cost["intensity"] >= 0, f"{family}: bad intensity"
+
+    assert isinstance(report["perf"], str) and report["perf"], \
+        "missing perf availability label"
+    return doc, report, complete
+
+
+doc, report, complete = check_common(sys.argv[1])
+
+lanes = {e["args"]["name"] for e in doc["traceEvents"]
          if e["ph"] == "M" and e["name"] == "thread_name"}
 assert "main" in lanes, f"no 'main' lane in {sorted(lanes)}"
 assert any("/w" in l for l in lanes), \
@@ -44,12 +104,6 @@ assert any(l in ("gpu (modeled)", "pcie (modeled)") for l in lanes), \
     f"no modeled-device lane in {sorted(lanes)}"
 assert len(lanes) >= 3, f"expected >= 3 lanes, got {sorted(lanes)}"
 
-complete = [e for e in events if e["ph"] == "X"]
-assert complete, "no complete ('X') events"
-assert all(e["dur"] >= 0 for e in complete), "negative duration"
-
-report = doc["gnnbench"]
-assert report["bench"], "missing bench name"
 runs = report["runs"]
 assert runs, "no runs in the report"
 for run in runs:
@@ -63,6 +117,30 @@ for run in runs:
 
 print(f"trace OK: {len(lanes)} lanes, {len(complete)} events, "
       f"{len(runs)} runs")
+
+if sys.argv[3] == "1":
+    adoc, areport, _ = check_common(sys.argv[2])
+    rows = adoc["results"]
+    assert rows, "ablation emitted no results rows"
+    variants = {r["variant"] for r in rows}
+    assert variants == {"reference", "tiled", "simd"}, \
+        f"expected all three variants, got {sorted(variants)}"
+    perf_live = areport["perf"] == "available"
+    for r in rows:
+        for key in ("reorder", "op", "seconds", "flops", "bytes",
+                    "intensity", "roofline_fraction", "perf"):
+            assert key in r, f"results row missing {key}"
+        assert r["roofline_fraction"] >= 0, "negative roof fraction"
+        if r["perf"] == "ok":
+            assert perf_live, "perf rows but label says unavailable"
+            assert r["cycles"] > 0, "zero cycles on a live PMU"
+            assert "ipc" in r and "llc_miss_rate" in r, \
+                "missing derived PMU fields"
+        else:
+            assert r["perf"] == "unavailable", \
+                f"bad perf marker {r['perf']!r}"
+    print(f"ablation OK: {len(rows)} breakdown rows, "
+          f"perf={areport['perf']}")
 EOF
 else
     # Minimal fallback when python3 is unavailable.
@@ -72,6 +150,12 @@ else
     grep -qe '"gpu (modeled)"' -e '"pcie (modeled)"' "$out"
     grep -q '"gnnbench"' "$out"
     grep -q '"total_seconds"' "$out"
+    grep -q '"roofline"' "$out"
+    grep -q '"perf"' "$out"
+    if [ "$have_ablation" = 1 ]; then
+        grep -q '"roofline_fraction"' "$aout"
+        grep -q '"results"' "$aout"
+    fi
     echo "trace OK (grep fallback; python3 not found)"
 fi
 

@@ -9,7 +9,10 @@
 
 #include <cstdint>
 
+#include "gnnbench/core/timer.h"
 #include "gnnbench/kernels/kernels.h"
+#include "gnnbench/profiling/perf_counters.h"
+#include "gnnbench/profiling/roofline.h"
 
 namespace gnnbench {
 namespace kernels {
@@ -23,6 +26,45 @@ namespace detail {
  */
 void noteCall(const char *family, uint64_t rows, uint64_t nnz,
               uint64_t bytes, KernelVariant chosen);
+
+/**
+ * RAII attribution around one kernel dispatch — the single point
+ * where a kernel's analytic cost, hardware counters, metrics, and
+ * trace slice come together.  Construct it where noteCall used to be
+ * called (the cost's bytes must equal the old noteCall bytes) and let
+ * it live until the function returns.  The destructor then
+ *
+ *  - bumps the classic noteCall counters plus "<family>.flops",
+ *  - reads the PMU delta over the dispatch and accumulates it into
+ *    "perf.<family>.*" counters (no-op when the PMU is unavailable),
+ *  - fills the caller's KernelStats (seconds / cost / perf), and
+ *  - records a "<family>" slice with flops/bytes/intensity/
+ *    roofline_fraction and PMU args on the calling thread's trace
+ *    lane when tracing is enabled.
+ */
+class OpObserver
+{
+  public:
+    OpObserver(const char *family, uint64_t rows, uint64_t nnz,
+               const profiling::OpCost &cost, KernelVariant chosen,
+               KernelStats *stats);
+    ~OpObserver();
+
+    OpObserver(const OpObserver &) = delete;
+    OpObserver &operator=(const OpObserver &) = delete;
+
+  private:
+    const char *family_;
+    uint64_t rows_;
+    uint64_t nnz_;
+    profiling::OpCost cost_;
+    KernelVariant chosen_;
+    KernelStats *stats_;
+    core::Timer timer_;
+    profiling::PerfScope perf_;
+    bool traced_ = false;
+    double traceStart_ = 0.0;
+};
 
 /**
  * Parse one GNNBENCH_KERNEL_VARIANT value; fatal (exit 1) with a

@@ -13,6 +13,7 @@
 #include "gnnbench/kernels/kernels.h"
 #include "gnnbench/kernels/simd.h"
 #include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/trace.h"
 
 namespace gnnbench {
 namespace kernels {
@@ -182,7 +183,66 @@ noteCall(const char *family, uint64_t rows, uint64_t nnz,
         .add(1);
 }
 
+OpObserver::OpObserver(const char *family, uint64_t rows, uint64_t nnz,
+                       const profiling::OpCost &cost,
+                       KernelVariant chosen, KernelStats *stats)
+    : family_(family), rows_(rows), nnz_(nnz), cost_(cost),
+      chosen_(chosen), stats_(stats)
+{
+    auto &tr = profiling::TraceRecorder::global();
+    if (tr.enabled()) {
+        traced_ = true;
+        traceStart_ = tr.now();
+    }
+}
+
+OpObserver::~OpObserver()
+{
+    // Capture the measurements before anything expensive (the first
+    // roofline call may run the calibration probe).
+    const double secs = timer_.elapsed();
+    const profiling::PerfDelta d = perf_.stop();
+    double traceEnd = 0.0;
+    if (traced_)
+        traceEnd = profiling::TraceRecorder::global().now();
+
+    noteCall(family_, rows_, nnz_,
+             static_cast<uint64_t>(cost_.bytes), chosen_);
+    profiling::MetricsRegistry::global()
+        .counter(std::string(family_) + ".flops")
+        .add(static_cast<uint64_t>(cost_.flops));
+    profiling::addPerfDelta(std::string("perf.") + family_, d);
+
+    if (stats_) {
+        stats_->seconds = secs;
+        stats_->cost = cost_;
+        stats_->perf = d;
+    }
+
+    if (traced_) {
+        std::vector<std::pair<std::string, double>> args;
+        args.emplace_back("flops", cost_.flops);
+        args.emplace_back("bytes", cost_.bytes);
+        args.emplace_back("intensity", cost_.intensity());
+        args.emplace_back(
+            "roofline_fraction",
+            profiling::rooflineFraction(
+                cost_, secs, profiling::rooflineCalibration()));
+        profiling::appendPerfArgs(d, &args);
+        profiling::TraceRecorder::global().record(
+            family_, "kernel", traceStart_, traceEnd,
+            std::move(args));
+    }
+}
+
 } // namespace detail
+
+double
+KernelStats::rooflineFraction() const
+{
+    return profiling::rooflineFraction(
+        cost, seconds, profiling::rooflineCalibration());
+}
 
 core::ag::Var
 spmmVar(std::shared_ptr<const graph::CsrGraph> adj,

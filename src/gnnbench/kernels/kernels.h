@@ -52,6 +52,8 @@
 #include "gnnbench/core/autograd.h"
 #include "gnnbench/core/tensor.h"
 #include "gnnbench/graph/csr.h"
+#include "gnnbench/profiling/perf_counters.h"
+#include "gnnbench/profiling/roofline.h"
 
 namespace gnnbench {
 namespace kernels {
@@ -127,10 +129,34 @@ struct Tiling
  * chunk order); the variant-comparison bench replays those onto N
  * virtual threads to compute the critical path on this one-core
  * harness (the repo's virtual-time methodology).
+ *
+ * Every entry point additionally fills the dispatch-level fields:
+ * wall seconds, the analytic FLOP/byte cost (matching the
+ * "kernels.*" counters), and the PMU delta over the dispatch when
+ * the perf layer is live — together these place the call on the
+ * roofline (see profiling/roofline.h).
  */
 struct KernelStats
 {
     std::vector<double> chunkSeconds;
+
+    /** Wall seconds of the whole dispatch. */
+    double seconds = 0.0;
+    /** Analytic FLOPs and modeled bytes charged to the dispatch. */
+    profiling::OpCost cost;
+    /** Hardware-counter delta (valid only when the PMU is live). */
+    profiling::PerfDelta perf;
+
+    /** FLOPs per modeled byte. */
+    double
+    operationalIntensity() const
+    {
+        return cost.intensity();
+    }
+
+    /** Achieved fraction of the machine's roofline ceiling at this
+     *  op's intensity (triggers calibration on first use). */
+    double rooflineFraction() const;
 };
 
 /// @name CSR SpMM family
@@ -158,7 +184,8 @@ core::Tensor spmm(const graph::CsrGraph &adj, const core::Tensor &x,
  */
 core::Tensor spmmScatter(const graph::CsrGraph &adj,
                          const core::Tensor &x, const float *w = nullptr,
-                         KernelVariant v = KernelVariant::Auto);
+                         KernelVariant v = KernelVariant::Auto,
+                         KernelStats *stats = nullptr);
 
 /**
  * spmm(Max) that additionally records, per output element, the
@@ -169,7 +196,8 @@ core::Tensor spmmScatter(const graph::CsrGraph &adj,
 core::Tensor spmmMaxArg(const graph::CsrGraph &adj,
                         const core::Tensor &x,
                         std::vector<NodeId> *arg_src,
-                        KernelVariant v = KernelVariant::Auto);
+                        KernelVariant v = KernelVariant::Auto,
+                        KernelStats *stats = nullptr);
 
 /// @}
 /// @name SDDMM family
@@ -179,13 +207,15 @@ core::Tensor spmmMaxArg(const graph::CsrGraph &adj,
 core::Tensor sddmmAdd(const graph::CsrGraph &adj,
                       const core::Tensor &a_row,
                       const core::Tensor &b_col,
-                      KernelVariant v = KernelVariant::Auto);
+                      KernelVariant v = KernelVariant::Auto,
+                      KernelStats *stats = nullptr);
 
 /** For each stored entry e: out[e, 0] = <a_row[r(e), :], b_col[col(e), :]>. */
 core::Tensor sddmmDot(const graph::CsrGraph &adj,
                       const core::Tensor &a_row,
                       const core::Tensor &b_col,
-                      KernelVariant v = KernelVariant::Auto);
+                      KernelVariant v = KernelVariant::Auto,
+                      KernelStats *stats = nullptr);
 
 /// @}
 /// @name Edge-list gather/scatter family (the PyG-paradigm kernels)
@@ -194,24 +224,28 @@ core::Tensor sddmmDot(const graph::CsrGraph &adj,
 /** out[i, :] = x[idx[i], :]. */
 core::Tensor gatherRows(const core::Tensor &x,
                         const std::vector<NodeId> &idx,
-                        KernelVariant v = KernelVariant::Auto);
+                        KernelVariant v = KernelVariant::Auto,
+                        KernelStats *stats = nullptr);
 
 /** out[idx[i], :] += src[i, :] over @p out_rows rows (ascending-i
  *  accumulation order per element, any variant). */
 core::Tensor scatterSum(const core::Tensor &src,
                         const std::vector<NodeId> &idx, NodeId out_rows,
-                        KernelVariant v = KernelVariant::Auto);
+                        KernelVariant v = KernelVariant::Auto,
+                        KernelStats *stats = nullptr);
 
 /** Scatter sum divided by per-row contribution counts. */
 core::Tensor scatterMean(const core::Tensor &src,
                          const std::vector<NodeId> &idx,
                          NodeId out_rows,
-                         KernelVariant v = KernelVariant::Auto);
+                         KernelVariant v = KernelVariant::Auto,
+                         KernelStats *stats = nullptr);
 
 /** Scatter max; rows with no contribution become 0. */
 core::Tensor scatterMax(const core::Tensor &src,
                         const std::vector<NodeId> &idx, NodeId out_rows,
-                        KernelVariant v = KernelVariant::Auto);
+                        KernelVariant v = KernelVariant::Auto,
+                        KernelStats *stats = nullptr);
 
 /// @}
 /// @name Segment ops over an adjacency's stored entries
@@ -221,12 +255,14 @@ core::Tensor scatterMax(const core::Tensor &src,
  *  out[r, :] = sum over stored entries e of row r of x[e, :]. */
 core::Tensor segmentSumRows(const graph::CsrGraph &adj,
                             const core::Tensor &x,
-                            KernelVariant v = KernelVariant::Auto);
+                            KernelVariant v = KernelVariant::Auto,
+                            KernelStats *stats = nullptr);
 
 /** Scatter edge-major rows onto columns: out[col(e), :] += x[e, :]. */
 core::Tensor scatterSumCols(const graph::CsrGraph &adj,
                             const core::Tensor &x,
-                            KernelVariant v = KernelVariant::Auto);
+                            KernelVariant v = KernelVariant::Auto,
+                            KernelStats *stats = nullptr);
 
 /// @}
 

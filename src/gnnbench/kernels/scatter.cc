@@ -39,14 +39,16 @@ gatherGrain(int64_t f)
 
 Tensor
 gatherRows(const Tensor &x, const std::vector<NodeId> &idx,
-           KernelVariant v)
+           KernelVariant v, KernelStats *stats)
 {
     const int64_t n = static_cast<int64_t>(idx.size());
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, n, f);
-    detail::noteCall("kernels.gather", static_cast<uint64_t>(n),
-                     static_cast<uint64_t>(n),
-                     static_cast<uint64_t>(n) * f * 8, chosen);
+    detail::OpObserver obs(
+        "kernels.gather", static_cast<uint64_t>(n),
+        static_cast<uint64_t>(n),
+        profiling::gatherCost(static_cast<uint64_t>(n), f), chosen,
+        stats);
 
     Tensor out = Tensor::empty(n, f);
     if (f == 0 || n == 0)
@@ -65,16 +67,19 @@ gatherRows(const Tensor &x, const std::vector<NodeId> &idx,
 
 Tensor
 scatterSum(const Tensor &src, const std::vector<NodeId> &idx,
-           NodeId out_rows, KernelVariant v)
+           NodeId out_rows, KernelVariant v, KernelStats *stats)
 {
     GNNBENCH_CHECK(src.rows() == static_cast<int64_t>(idx.size()),
                    "scatterSum: one index per source row");
     const int64_t n = src.rows();
     const int64_t f = src.cols();
     const KernelVariant chosen = resolveVariant(v, n, f);
-    detail::noteCall("kernels.scatter", static_cast<uint64_t>(out_rows),
-                     static_cast<uint64_t>(n),
-                     static_cast<uint64_t>(n) * f * 8, chosen);
+    detail::OpObserver obs(
+        "kernels.scatter", static_cast<uint64_t>(out_rows),
+        static_cast<uint64_t>(n),
+        profiling::scatterCost(static_cast<uint64_t>(n),
+                               static_cast<uint64_t>(out_rows), f),
+        chosen, stats);
 
     Tensor out(out_rows, f);
     if (f == 0 || n == 0)
@@ -111,9 +116,9 @@ scatterSum(const Tensor &src, const std::vector<NodeId> &idx,
 
 Tensor
 scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
-            NodeId out_rows, KernelVariant v)
+            NodeId out_rows, KernelVariant v, KernelStats *stats)
 {
-    Tensor out = scatterSum(src, idx, out_rows, v);
+    Tensor out = scatterSum(src, idx, out_rows, v, stats);
     const int64_t f = src.cols();
     if (f == 0)
         return out;
@@ -148,16 +153,19 @@ scatterMean(const Tensor &src, const std::vector<NodeId> &idx,
 
 Tensor
 scatterMax(const Tensor &src, const std::vector<NodeId> &idx,
-           NodeId out_rows, KernelVariant v)
+           NodeId out_rows, KernelVariant v, KernelStats *stats)
 {
     GNNBENCH_CHECK(src.rows() == static_cast<int64_t>(idx.size()),
                    "scatterMax: one index per source row");
     const int64_t n = src.rows();
     const int64_t f = src.cols();
     const KernelVariant chosen = resolveVariant(v, n, f);
-    detail::noteCall("kernels.scatter", static_cast<uint64_t>(out_rows),
-                     static_cast<uint64_t>(n),
-                     static_cast<uint64_t>(n) * f * 8, chosen);
+    detail::OpObserver obs(
+        "kernels.scatter", static_cast<uint64_t>(out_rows),
+        static_cast<uint64_t>(n),
+        profiling::scatterCost(static_cast<uint64_t>(n),
+                               static_cast<uint64_t>(out_rows), f),
+        chosen, stats);
 
     Tensor out = Tensor::empty(out_rows, f);
     if (f == 0)

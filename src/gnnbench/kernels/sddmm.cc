@@ -67,7 +67,7 @@ runPanels(const CsrGraph &adj, KernelVariant chosen,
 
 Tensor
 sddmmAdd(const CsrGraph &adj, const Tensor &a_row, const Tensor &b_col,
-         KernelVariant v)
+         KernelVariant v, KernelStats *stats)
 {
     GNNBENCH_CHECK(a_row.rows() == adj.numRows,
                    "sddmmAdd: a_row rows must match adjacency rows");
@@ -77,10 +77,12 @@ sddmmAdd(const CsrGraph &adj, const Tensor &a_row, const Tensor &b_col,
                    "sddmmAdd: operand widths must match");
     const int64_t h = a_row.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), h);
-    detail::noteCall(
+    detail::OpObserver obs(
         "kernels.sddmm", static_cast<uint64_t>(adj.numRows),
         static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * h * 12, chosen);
+        profiling::sddmmAddCost(static_cast<uint64_t>(adj.numEdges()),
+                                h),
+        chosen, stats);
 
     Tensor out = Tensor::empty(adj.numEdges(), h);
     if (h == 0 || adj.numRows == 0)
@@ -109,7 +111,7 @@ sddmmAdd(const CsrGraph &adj, const Tensor &a_row, const Tensor &b_col,
 
 Tensor
 sddmmDot(const CsrGraph &adj, const Tensor &a_row, const Tensor &b_col,
-         KernelVariant v)
+         KernelVariant v, KernelStats *stats)
 {
     GNNBENCH_CHECK(a_row.rows() == adj.numRows,
                    "sddmmDot: a_row rows must match adjacency rows");
@@ -119,10 +121,12 @@ sddmmDot(const CsrGraph &adj, const Tensor &a_row, const Tensor &b_col,
                    "sddmmDot: operand widths must match");
     const int64_t h = a_row.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), h);
-    detail::noteCall(
+    detail::OpObserver obs(
         "kernels.sddmm", static_cast<uint64_t>(adj.numRows),
         static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * (h * 8 + 4), chosen);
+        profiling::sddmmDotCost(static_cast<uint64_t>(adj.numEdges()),
+                                h),
+        chosen, stats);
 
     Tensor out = Tensor::empty(adj.numEdges(), 1);
     if (adj.numRows == 0)

@@ -177,12 +177,19 @@ spmm(const CsrGraph &adj, const Tensor &x, ReduceOp op, const float *w,
                    "spmm: max reduce does not take edge weights");
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), f);
-    detail::noteCall(
-        "kernels.spmm", static_cast<uint64_t>(adj.numRows),
-        static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * f * 4 +
-            static_cast<uint64_t>(adj.numRows) * f * 4,
-        chosen);
+    const profiling::OpCost cost =
+        op == ReduceOp::Max
+            ? profiling::spmmMaxCost(
+                  static_cast<uint64_t>(adj.numRows),
+                  static_cast<uint64_t>(adj.numEdges()), f)
+            : profiling::spmmCost(
+                  static_cast<uint64_t>(adj.numRows),
+                  static_cast<uint64_t>(adj.numEdges()), f,
+                  w != nullptr, op == ReduceOp::Mean);
+    detail::OpObserver obs("kernels.spmm",
+                           static_cast<uint64_t>(adj.numRows),
+                           static_cast<uint64_t>(adj.numEdges()), cost,
+                           chosen, stats);
 
     Tensor out(adj.numRows, f);
     if (stats)
@@ -234,16 +241,18 @@ spmm(const CsrGraph &adj, const Tensor &x, ReduceOp op, const float *w,
 
 Tensor
 spmmScatter(const CsrGraph &adj, const Tensor &x, const float *w,
-            KernelVariant v)
+            KernelVariant v, KernelStats *stats)
 {
     GNNBENCH_CHECK(x.rows() == adj.numRows,
                    "spmmScatter: feature rows must match adjacency rows");
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), f);
-    detail::noteCall(
+    detail::OpObserver obs(
         "kernels.spmmScatter", static_cast<uint64_t>(adj.numCols),
         static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * f * 8, chosen);
+        profiling::spmmScatterCost(
+            static_cast<uint64_t>(adj.numEdges()), f, w != nullptr),
+        chosen, stats);
 
     Tensor out(adj.numCols, f);
     if (f == 0)
@@ -304,18 +313,23 @@ spmmScatter(const CsrGraph &adj, const Tensor &x, const float *w,
 
 Tensor
 spmmMaxArg(const CsrGraph &adj, const Tensor &x,
-           std::vector<NodeId> *arg_src, KernelVariant v)
+           std::vector<NodeId> *arg_src, KernelVariant v,
+           KernelStats *stats)
 {
     GNNBENCH_CHECK(x.rows() == adj.numCols,
                    "spmmMaxArg: feature rows must match adjacency columns");
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), f);
-    detail::noteCall(
-        "kernels.spmm", static_cast<uint64_t>(adj.numRows),
-        static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * f * 4 +
-            static_cast<uint64_t>(adj.numRows) * f * 8,
-        chosen);
+    profiling::OpCost cost = profiling::spmmMaxCost(
+        static_cast<uint64_t>(adj.numRows),
+        static_cast<uint64_t>(adj.numEdges()), f);
+    // The argmax writes one NodeId per output element on top of the
+    // plain max traffic.
+    cost.bytes += static_cast<double>(adj.numRows) * f * 4.0;
+    detail::OpObserver obs("kernels.spmm",
+                           static_cast<uint64_t>(adj.numRows),
+                           static_cast<uint64_t>(adj.numEdges()), cost,
+                           chosen, stats);
 
     Tensor out(adj.numRows, f);
     if (arg_src)
@@ -370,18 +384,20 @@ spmmMaxArg(const CsrGraph &adj, const Tensor &x,
 }
 
 Tensor
-segmentSumRows(const CsrGraph &adj, const Tensor &x, KernelVariant v)
+segmentSumRows(const CsrGraph &adj, const Tensor &x, KernelVariant v,
+               KernelStats *stats)
 {
     GNNBENCH_CHECK(x.rows() == adj.numEdges(),
                    "segmentSumRows: one feature row per stored entry");
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), f);
-    detail::noteCall(
+    detail::OpObserver obs(
         "kernels.segment", static_cast<uint64_t>(adj.numRows),
         static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * f * 4 +
-            static_cast<uint64_t>(adj.numRows) * f * 4,
-        chosen);
+        profiling::segmentSumCost(
+            static_cast<uint64_t>(adj.numRows),
+            static_cast<uint64_t>(adj.numEdges()), f),
+        chosen, stats);
 
     Tensor out(adj.numRows, f);
     if (f == 0 || adj.numRows == 0)
@@ -415,16 +431,19 @@ segmentSumRows(const CsrGraph &adj, const Tensor &x, KernelVariant v)
 }
 
 Tensor
-scatterSumCols(const CsrGraph &adj, const Tensor &x, KernelVariant v)
+scatterSumCols(const CsrGraph &adj, const Tensor &x, KernelVariant v,
+               KernelStats *stats)
 {
     GNNBENCH_CHECK(x.rows() == adj.numEdges(),
                    "scatterSumCols: one feature row per stored entry");
     const int64_t f = x.cols();
     const KernelVariant chosen = resolveVariant(v, adj.numEdges(), f);
-    detail::noteCall(
+    detail::OpObserver obs(
         "kernels.scatter", static_cast<uint64_t>(adj.numCols),
         static_cast<uint64_t>(adj.numEdges()),
-        static_cast<uint64_t>(adj.numEdges()) * f * 8, chosen);
+        profiling::scatterCost(static_cast<uint64_t>(adj.numEdges()),
+                               static_cast<uint64_t>(adj.numCols), f),
+        chosen, stats);
 
     Tensor out(adj.numCols, f);
     if (f == 0)

@@ -1,0 +1,294 @@
+#include "gnnbench/profiling/exporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gnnbench/core/common.h"
+#include "gnnbench/profiling/metrics_registry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GNNBENCH_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define GNNBENCH_HAVE_SOCKETS 0
+#endif
+
+namespace gnnbench {
+namespace profiling {
+
+namespace {
+
+/** Shortest round-trippable decimal for a sample value. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '_' ||
+                        ch == ':';
+        out.push_back(ok ? ch : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char ch : value) {
+        switch (ch) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+// Defined here rather than in metrics_registry.cc to keep every piece
+// of exposition-format knowledge in one translation unit.
+void
+MetricsRegistry::renderOpenMetrics(std::ostream &out) const
+{
+    std::lock_guard lock(mutex_);
+    for (const auto &[name, c] : counters_) {
+        const std::string n =
+            "gnnbench_" + sanitizeMetricName(name);
+        out << "# TYPE " << n << " counter\n";
+        out << n << "_total " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string n =
+            "gnnbench_" + sanitizeMetricName(name);
+        out << "# TYPE " << n << " gauge\n";
+        out << n << " " << fmtDouble(g->value()) << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const std::string n =
+            "gnnbench_" + sanitizeMetricName(name);
+        out << "# TYPE " << n << " histogram\n";
+        uint64_t cumulative = 0;
+        const auto &bounds = h->upperBounds();
+        for (size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += h->bucketCount(i);
+            out << n << "_bucket{le=\"" << fmtDouble(bounds[i])
+                << "\"} " << cumulative << "\n";
+        }
+        cumulative += h->bucketCount(bounds.size());
+        out << n << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << n << "_sum " << fmtDouble(h->sum()) << "\n";
+        out << n << "_count " << h->count() << "\n";
+    }
+    out << "# EOF\n";
+}
+
+std::string
+renderOpenMetrics(const MetricsRegistry &reg)
+{
+    std::ostringstream out;
+    reg.renderOpenMetrics(out);
+    return out.str();
+}
+
+void
+writeOpenMetricsFile(const std::string &path,
+                     const MetricsRegistry &reg)
+{
+    std::ofstream out(path);
+    GNNBENCH_CHECK(out.good(),
+                   "cannot open metrics dump file: " + path);
+    reg.renderOpenMetrics(out);
+    out.flush();
+    GNNBENCH_CHECK(out.good(),
+                   "failed writing metrics dump file: " + path);
+}
+
+SloWindow::SloWindow(double window_seconds, double budget_fraction)
+    : windowSeconds_(window_seconds), budgetFraction_(budget_fraction)
+{
+}
+
+void
+SloWindow::prune(double now)
+{
+    const double horizon = now - windowSeconds_;
+    while (!events_.empty() && events_.front().first < horizon) {
+        if (events_.front().second)
+            --missed_;
+        events_.pop_front();
+    }
+}
+
+void
+SloWindow::observe(double now, bool missed)
+{
+    prune(now);
+    events_.emplace_back(now, missed);
+    if (missed)
+        ++missed_;
+}
+
+size_t
+SloWindow::size(double now)
+{
+    prune(now);
+    return events_.size();
+}
+
+double
+SloWindow::missRate(double now)
+{
+    prune(now);
+    if (events_.empty())
+        return 0.0;
+    return static_cast<double>(missed_) /
+           static_cast<double>(events_.size());
+}
+
+double
+SloWindow::burnRate(double now)
+{
+    if (budgetFraction_ <= 0.0)
+        return 0.0;
+    return missRate(now) / budgetFraction_;
+}
+
+#if GNNBENCH_HAVE_SOCKETS
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry &reg,
+                                     int port,
+                                     std::function<void()> refresh)
+    : reg_(reg), refresh_(std::move(refresh))
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return;
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(fd, 16) != 0) {
+        close(fd);
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) ==
+        0)
+        port_ = ntohs(addr.sin_port);
+    listenFd_ = fd;
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd p{};
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        const int r = poll(&p, 1, 100 /* ms */);
+        if (r <= 0 || !(p.revents & POLLIN))
+            continue;
+        const int conn = accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        // Drain whatever request line arrived; the path is ignored —
+        // every request is a scrape.
+        char buf[1024];
+        (void)read(conn, buf, sizeof(buf));
+        if (refresh_)
+            refresh_();
+        const std::string body = renderOpenMetrics(reg_);
+        std::ostringstream resp;
+        resp << "HTTP/1.1 200 OK\r\n"
+             << "Content-Type: application/openmetrics-text; "
+                "version=1.0.0; charset=utf-8\r\n"
+             << "Content-Length: " << body.size() << "\r\n"
+             << "Connection: close\r\n\r\n"
+             << body;
+        const std::string s = resp.str();
+        size_t off = 0;
+        while (off < s.size()) {
+            const ssize_t n =
+                write(conn, s.data() + off, s.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<size_t>(n);
+        }
+        close(conn);
+    }
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    close(listenFd_);
+    listenFd_ = -1;
+}
+
+#else // !GNNBENCH_HAVE_SOCKETS
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry &reg,
+                                     int /*port*/,
+                                     std::function<void()> refresh)
+    : reg_(reg), refresh_(std::move(refresh))
+{
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+}
+
+void
+MetricsHttpServer::stop()
+{
+}
+
+#endif // GNNBENCH_HAVE_SOCKETS
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+} // namespace profiling
+} // namespace gnnbench

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * OpenMetrics/Prometheus text-format exporter for the metrics
+ * registry, plus the serve layer's SLO bookkeeping and a minimal
+ * background HTTP listener.
+ *
+ * The registry's JSON snapshot rides each bench's --json report, but
+ * that is an after-the-fact artifact; the serve layer (PR 7) runs as
+ * a long-lived process where operators expect to *scrape* p99, queue
+ * depth, and shed rate while traffic is flowing.  This file provides
+ * the three pieces:
+ *
+ *  - renderOpenMetrics(): a deterministic text rendering of every
+ *    registered counter/gauge/histogram.  Names are sanitized to
+ *    [a-zA-Z0-9_:] with a "gnnbench_" prefix, counters carry the
+ *    OpenMetrics "_total" suffix, histograms emit cumulative
+ *    `_bucket{le="..."}` series plus `_sum`/`_count`, and the
+ *    exposition ends with "# EOF" as the spec requires.
+ *  - SloWindow: a sliding-window deadline-miss tracker that turns the
+ *    serve layer's per-response hit/miss stream into the two gauges
+ *    alerting actually wants — the window miss rate and the *burn
+ *    rate* (miss rate over the error budget; a burn rate of 1 means
+ *    the budget is being consumed exactly as provisioned, >1 means an
+ *    alert).  Time is injected so the serve layer's virtual clock and
+ *    the tests drive it deterministically.
+ *  - MetricsHttpServer: a background listener (127.0.0.1 only) that
+ *    answers every HTTP request with the current rendering.  Off by
+ *    default; benches opt in with --metrics-port, and --metrics-dump
+ *    writes the same rendering to a file for CI artifact capture.
+ */
+
+#ifndef GNNBENCH_PROFILING_EXPORTER_H
+#define GNNBENCH_PROFILING_EXPORTER_H
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace gnnbench {
+namespace profiling {
+
+class MetricsRegistry;
+
+/**
+ * Map a registry metric name onto the OpenMetrics charset: every
+ * character outside [a-zA-Z0-9_:] (the registry uses '.') becomes
+ * '_', and a leading digit gets a '_' prefix.
+ */
+std::string sanitizeMetricName(const std::string &name);
+
+/** Escape a label value per the spec: backslash, double-quote, and
+ *  newline become \\, \", and \n. */
+std::string escapeLabelValue(const std::string &value);
+
+/** Render @p reg in OpenMetrics text format ("# EOF"-terminated). */
+std::string renderOpenMetrics(const MetricsRegistry &reg);
+
+/** Write renderOpenMetrics(reg) to @p path.  Fatal on I/O failure. */
+void writeOpenMetricsFile(const std::string &path,
+                          const MetricsRegistry &reg);
+
+/**
+ * Sliding-window SLO accounting.  observe() records one response
+ * (deadline made or missed) at an externally supplied timestamp;
+ * missRate()/burnRate() answer over the trailing window.  Not
+ * thread-safe — the serve layer's collector is the single writer,
+ * which is exactly the thread that publishes the gauges.
+ */
+class SloWindow
+{
+  public:
+    /** @param window_seconds trailing window width;
+     *  @param budget_fraction error budget (allowed miss rate). */
+    explicit SloWindow(double window_seconds = 60.0,
+                       double budget_fraction = 0.01);
+
+    void observe(double now, bool missed);
+
+    /** Responses currently inside the window (prunes first). */
+    size_t size(double now);
+    /** Missed fraction over the window; 0 when empty. */
+    double missRate(double now);
+    /** missRate / budget — the standard SLO burn rate.  A window
+     *  with no traffic burns nothing. */
+    double burnRate(double now);
+
+    double windowSeconds() const { return windowSeconds_; }
+    double budgetFraction() const { return budgetFraction_; }
+
+  private:
+    void prune(double now);
+
+    double windowSeconds_;
+    double budgetFraction_;
+    std::deque<std::pair<double, bool>> events_;
+    size_t missed_ = 0; ///< misses among events_ (kept incremental)
+};
+
+/**
+ * Minimal background HTTP/1.1 listener serving the OpenMetrics
+ * rendering of one registry on 127.0.0.1.  Construction binds and
+ * spawns the accept thread; @p port 0 picks an ephemeral port
+ * (port() reports the real one).  Every request gets a 200 with
+ * `application/openmetrics-text` regardless of path, rendered at
+ * request time, so scrapes always see live values.  An optional
+ * @p refresh callback runs before each render (the serve bench uses
+ * it to re-publish SLO gauges).  Failure to bind leaves ok() false
+ * rather than aborting — metrics export must never take down a run.
+ */
+class MetricsHttpServer
+{
+  public:
+    MetricsHttpServer(const MetricsRegistry &reg, int port,
+                      std::function<void()> refresh = {});
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    bool ok() const { return listenFd_ >= 0; }
+    int port() const { return port_; }
+
+    /** Stop accepting and join the thread (idempotent). */
+    void stop();
+
+  private:
+    void serveLoop();
+
+    const MetricsRegistry &reg_;
+    std::function<void()> refresh_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_EXPORTER_H

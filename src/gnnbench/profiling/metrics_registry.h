@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -207,6 +208,13 @@ class MetricsRegistry
     /** Emit {"counters": {...}, "gauges": {...}, "histograms": {...}}
      *  as the value of @p key. */
     void writeJson(JsonWriter &w, const std::string &key) const;
+
+    /**
+     * Render every registered metric (zero-valued ones included) in
+     * OpenMetrics text format, "# EOF"-terminated.  Implemented in
+     * exporter.cc; see exporter.h for the naming rules.
+     */
+    void renderOpenMetrics(std::ostream &out) const;
 
   private:
     mutable std::mutex mutex_;

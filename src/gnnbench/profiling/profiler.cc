@@ -89,6 +89,7 @@ PhaseTracker::Scope::Scope(PhaseTracker &tracker, Phase phase)
 
 PhaseTracker::Scope::~Scope()
 {
+    const PerfDelta perf = perfScope_.stop();
     power::ActivitySlice slice;
     if (onWorker_) {
         slice.cpuBusySeconds = cpuTimer_.elapsed();
@@ -97,10 +98,14 @@ PhaseTracker::Scope::~Scope()
         slice = sliceBetween(start_, tracker_.session_.snapshot());
         tracker_.add(phase_, slice);
     }
+    tracker_.addPerf(phase_, perf);
+    addPerfDelta(std::string("perf.phase.") + phaseName(phase_), perf);
     if (traced_) {
         TraceRecorder &trace = *tracker_.trace_;
+        std::vector<std::pair<std::string, double>> args;
+        appendPerfArgs(perf, &args);
         trace.record(phaseName(phase_), "phase", traceStart_,
-                     trace.now());
+                     trace.now(), std::move(args));
         if (!onWorker_)
             emitSyntheticDeviceEvents(trace, phaseName(phase_),
                                       traceStart_, slice);
@@ -133,6 +138,22 @@ PhaseTracker::workerPhase(Phase p) const
 {
     std::lock_guard lock(mutex_);
     return workerPhases_[static_cast<int>(p)];
+}
+
+PerfDelta
+PhaseTracker::phasePerf(Phase p) const
+{
+    std::lock_guard lock(mutex_);
+    return phasePerf_[static_cast<int>(p)];
+}
+
+void
+PhaseTracker::addPerf(Phase p, const PerfDelta &d)
+{
+    if (!d.valid)
+        return;
+    std::lock_guard lock(mutex_);
+    phasePerf_[static_cast<int>(p)] += d;
 }
 
 power::ActivitySlice
@@ -195,6 +216,7 @@ Profiler::Scope::Scope(Profiler &profiler, const std::string &name)
 
 Profiler::Scope::~Scope()
 {
+    const PerfDelta perf = perfScope_.stop();
     power::ActivitySlice slice;
     if (onWorker_)
         slice.cpuBusySeconds = cpuTimer_.elapsed();
@@ -210,7 +232,10 @@ Profiler::Scope::~Scope()
     }
     if (traced_) {
         TraceRecorder &trace = *profiler_.trace_;
-        trace.record(name_, "scope", traceStart_, trace.now());
+        std::vector<std::pair<std::string, double>> args;
+        appendPerfArgs(perf, &args);
+        trace.record(name_, "scope", traceStart_, trace.now(),
+                     std::move(args));
         if (!onWorker_)
             emitSyntheticDeviceEvents(trace, name_.c_str(),
                                       traceStart_, slice);

@@ -37,6 +37,7 @@
 #include "gnnbench/core/timer.h"
 #include "gnnbench/device/session.h"
 #include "gnnbench/power/power.h"
+#include "gnnbench/profiling/perf_counters.h"
 
 namespace gnnbench {
 namespace profiling {
@@ -92,6 +93,7 @@ class PhaseTracker
         bool onWorker_;
         device::Session::Snapshot start_;
         core::ThreadCpuTimer cpuTimer_;
+        PerfScope perfScope_;
         double traceStart_ = 0.0;
         bool traced_ = false;
     };
@@ -118,6 +120,13 @@ class PhaseTracker
     /** Accumulated detached worker-side activity of one phase. */
     power::ActivitySlice workerPhase(Phase p) const;
 
+    /** Accumulated PMU deltas of one phase (main and worker scopes
+     *  combined; invalid when the PMU is unavailable). */
+    PerfDelta phasePerf(Phase p) const;
+
+    /** Directly accumulate a PMU delta into a phase.  Thread-safe. */
+    void addPerf(Phase p, const PerfDelta &d);
+
     /** Sum over all (main-timeline) phases. */
     power::ActivitySlice total() const;
 
@@ -131,6 +140,7 @@ class PhaseTracker
     mutable std::mutex mutex_;
     std::array<power::ActivitySlice, kNumPhases> phases_;
     std::array<power::ActivitySlice, kNumPhases> workerPhases_;
+    std::array<PerfDelta, kNumPhases> phasePerf_;
 };
 
 /** One node of the hierarchical profile tree. */
@@ -176,6 +186,7 @@ class Profiler
         bool onWorker_;
         device::Session::Snapshot start_;
         core::ThreadCpuTimer cpuTimer_;
+        PerfScope perfScope_;
         std::string name_;
         double traceStart_ = 0.0;
         bool traced_ = false;

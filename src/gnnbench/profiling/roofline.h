@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Analytic roofline accounting for the kernel layer.
+ *
+ * Every kernel dispatch charges an OpCost — analytic FLOPs and bytes
+ * derived from the problem shape (rows, stored entries, feature
+ * width) — and the machine is characterized once by a measured
+ * calibration probe: a STREAM-triad pass for sustainable memory
+ * bandwidth and an unrolled FMA loop for single-core peak FLOP/s.
+ * Together they place each kernel on the classic roofline: its
+ * operational intensity (FLOPs/byte) selects the attainable ceiling
+ * min(peak, bandwidth x intensity), and the achieved fraction is the
+ * kernel's measured FLOP/s (or, for FLOP-free movement ops, byte/s)
+ * against that ceiling.  The fraction is the headline number the
+ * magnifying-glass ablation reports per kernel variant: a Simd SpMM
+ * at 0.8 of roof has little left to win; one at 0.2 names the next
+ * optimization.
+ *
+ * Accounting conventions (documented in docs/observability.md):
+ * multiply-add counts as 2 FLOPs, a comparison (max reduce) as 1,
+ * and bytes follow the kernel layer's modeled-traffic formulas — one
+ * feature-row read per stored entry plus the output write — matching
+ * the "kernels.*.bytes" counters exactly so the two accountings
+ * never disagree.
+ *
+ * The calibration is lazy (first use), takes a few tens of
+ * milliseconds, and is process-wide; tests can pin synthetic peaks
+ * with setCalibrationForTest().
+ */
+
+#ifndef GNNBENCH_PROFILING_ROOFLINE_H
+#define GNNBENCH_PROFILING_ROOFLINE_H
+
+#include <cstdint>
+#include <string>
+
+namespace gnnbench {
+namespace profiling {
+
+class JsonWriter;
+class MetricsRegistry;
+
+/** Analytic cost of one kernel dispatch. */
+struct OpCost
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    /** FLOPs per byte of memory traffic (0 for byte-free ops). */
+    double
+    intensity() const
+    {
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+
+    OpCost &
+    operator+=(const OpCost &o)
+    {
+        flops += o.flops;
+        bytes += o.bytes;
+        return *this;
+    }
+};
+
+/// @name Per-kernel analytic cost models
+/// Shapes use the kernel layer's conventions: @p rows output rows,
+/// @p nnz stored entries, @p f feature width.
+/// @{
+
+/** CSR SpMM sum/mean: nnz*f adds (+ nnz*f muls when weighted,
+ *  + rows*f muls for the mean divide). */
+OpCost spmmCost(uint64_t rows, uint64_t nnz, int64_t f, bool weighted,
+                bool mean);
+
+/** CSR SpMM max: one compare per stored entry element. */
+OpCost spmmMaxCost(uint64_t rows, uint64_t nnz, int64_t f);
+
+/** Scatter (transpose) SpMM: read-modify-write of the output row per
+ *  stored entry. */
+OpCost spmmScatterCost(uint64_t nnz, int64_t f, bool weighted);
+
+/** SDDMM add: one add per stored-entry element. */
+OpCost sddmmAddCost(uint64_t nnz, int64_t f);
+
+/** SDDMM dot: one FMA per stored-entry element, scalar output. */
+OpCost sddmmDotCost(uint64_t nnz, int64_t f);
+
+/** Row gather: pure movement, no FLOPs. */
+OpCost gatherCost(uint64_t n, int64_t f);
+
+/** Scatter sum/mean/max onto @p out_rows rows. */
+OpCost scatterCost(uint64_t n, uint64_t out_rows, int64_t f);
+
+/** Edge-major per-row segment sum. */
+OpCost segmentSumCost(uint64_t rows, uint64_t nnz, int64_t f);
+
+/// @}
+
+/** Measured machine ceilings (single core, the harness's unit). */
+struct RooflineCalibration
+{
+    bool measured = false;
+    /** Peak single-core FP32 FLOP/s from the FMA probe. */
+    double peakFlopsPerSec = 0.0;
+    /** Sustainable bytes/s from the STREAM-triad probe. */
+    double memBandwidthBytesPerSec = 0.0;
+    /** Wall seconds the probe itself took. */
+    double calibrationSeconds = 0.0;
+
+    /** Intensity where the memory roof meets the compute roof. */
+    double
+    ridgeIntensity() const
+    {
+        return memBandwidthBytesPerSec > 0.0
+                   ? peakFlopsPerSec / memBandwidthBytesPerSec
+                   : 0.0;
+    }
+};
+
+/**
+ * The process calibration, measured once on first call (STREAM triad
+ * + FMA peak, best-of-3, ~30-60 ms).  Thread-safe.
+ */
+const RooflineCalibration &rooflineCalibration();
+
+/** Test hook: install synthetic ceilings (measured=false restores
+ *  lazy measurement on the next rooflineCalibration() call). */
+void setCalibrationForTest(const RooflineCalibration &c);
+
+/** The roofline ceiling at @p intensity: min(peak, bw * intensity). */
+double attainableFlopsPerSec(const RooflineCalibration &c,
+                             double intensity);
+
+/**
+ * Achieved fraction of the roofline for an op that took @p seconds:
+ * achieved FLOP/s over the ceiling at the op's intensity; FLOP-free
+ * ops fall back to achieved bytes/s over the bandwidth roof.
+ * Returns 0 for non-positive seconds or an unmeasured calibration.
+ */
+double rooflineFraction(const OpCost &cost, double seconds,
+                        const RooflineCalibration &c);
+
+/**
+ * Emit the "roofline" report section as the value of @p key:
+ * calibration ceilings plus, when @p metrics is given, the per-family
+ * aggregate FLOPs/bytes/intensity reconstructed from the
+ * "kernels.*.flops"/".bytes" counters.  Every bench --json report
+ * carries this section (see writeRunReport).
+ */
+void writeRooflineJson(JsonWriter &w, const std::string &key,
+                       const MetricsRegistry *metrics);
+
+} // namespace profiling
+} // namespace gnnbench
+
+#endif // GNNBENCH_PROFILING_ROOFLINE_H

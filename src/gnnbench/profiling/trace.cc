@@ -6,6 +6,8 @@
 
 #include "gnnbench/core/common.h"
 #include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/perf_counters.h"
+#include "gnnbench/profiling/roofline.h"
 
 namespace gnnbench {
 namespace profiling {
@@ -113,13 +115,22 @@ void
 TraceRecorder::record(std::string name, const char *category,
                       double start_seconds, double end_seconds)
 {
+    record(std::move(name), category, start_seconds, end_seconds, {});
+}
+
+void
+TraceRecorder::record(std::string name, const char *category,
+                      double start_seconds, double end_seconds,
+                      std::vector<std::pair<std::string, double>> args)
+{
     if (!enabled())
         return;
     Lane &lane = threadLane();
     std::lock_guard lock(lane.mutex);
     lane.events.push_back(
         TraceEvent{std::move(name), category, start_seconds,
-                   std::max(0.0, end_seconds - start_seconds)});
+                   std::max(0.0, end_seconds - start_seconds),
+                   std::move(args)});
 }
 
 void
@@ -230,6 +241,12 @@ TraceRecorder::writeTraceEvents(JsonWriter &w,
             w.value("cat", e.category);
             w.value("ts", e.startSeconds * 1e6);
             w.value("dur", e.durationSeconds * 1e6);
+            if (!e.args.empty()) {
+                w.beginObject("args");
+                for (const auto &[k, v] : e.args)
+                    w.value(k, v);
+                w.endObject();
+            }
             w.endObject();
         }
     }
@@ -363,6 +380,10 @@ writeRunReport(const std::string &path, const RunReportContext &ctx)
     }
     if (ctx.metrics)
         ctx.metrics->writeJson(w, "metrics");
+    writeRooflineJson(w, "roofline", ctx.metrics);
+    // "available" or the explicit "unavailable (...)" fallback — the
+    // report always says which one the PMU numbers (don't) come from.
+    w.value("perf", perfStatusLabel());
     w.endObject();
     w.endObject();
     out << '\n';

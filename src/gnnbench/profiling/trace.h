@@ -56,6 +56,10 @@ struct TraceEvent
     const char *category = "";
     double startSeconds = 0.0;
     double durationSeconds = 0.0;
+    /** Optional numeric counter args rendered as the event's "args"
+     *  object (PMU deltas, roofline numbers); empty for plain
+     *  slices. */
+    std::vector<std::pair<std::string, double>> args;
 };
 
 /**
@@ -100,6 +104,11 @@ class TraceRecorder
      *  no-op while disabled. */
     void record(std::string name, const char *category,
                 double start_seconds, double end_seconds);
+
+    /** As above, with numeric counter args attached to the slice. */
+    void record(std::string name, const char *category,
+                double start_seconds, double end_seconds,
+                std::vector<std::pair<std::string, double>> args);
 
     /** Record onto a named synthetic lane (modeled GPU / PCIe). */
     void recordSynthetic(const std::string &lane, std::string name,

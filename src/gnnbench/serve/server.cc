@@ -239,6 +239,8 @@ Server::runCollector()
         latency.observe(r.latency());
         if (r.missedDeadline())
             misses.add(1);
+        sloWindow_.observe(r.finish, r.missedDeadline());
+        publishSloGauges(r.finish);
         // One batch-size observation per batch; workers interleave
         // pushes, so track seen ids instead of assuming contiguity.
         if (batches_seen.insert(r.batchId).second)
@@ -265,6 +267,28 @@ Server::runCollector()
 }
 
 void
+Server::publishSloGauges(double now)
+{
+    auto &reg = profiling::MetricsRegistry::global();
+    const profiling::Histogram &latency = reg.histogram(
+        "serve.latency_seconds",
+        {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0});
+    reg.gauge("serve.slo_p50_seconds").set(latency.percentile(0.50));
+    reg.gauge("serve.slo_p95_seconds").set(latency.percentile(0.95));
+    reg.gauge("serve.slo_p99_seconds").set(latency.percentile(0.99));
+    reg.gauge("serve.slo_miss_rate").set(sloWindow_.missRate(now));
+    reg.gauge("serve.slo_burn_rate").set(sloWindow_.burnRate(now));
+    reg.gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.depth()));
+    const double admitted = static_cast<double>(queue_.admitted());
+    const double rejected = static_cast<double>(queue_.rejected());
+    reg.gauge("serve.shed_rate")
+        .set(admitted + rejected > 0.0
+                 ? rejected / (admitted + rejected)
+                 : 0.0);
+}
+
+void
 Server::flushMetrics()
 {
     auto &reg = profiling::MetricsRegistry::global();
@@ -276,6 +300,9 @@ Server::flushMetrics()
         .updateMax(static_cast<double>(queue_.peakDepth()));
     reg.counter("serve.response_queue.dequeue_blocks")
         .add(responseStats_.dequeueBlocks.load());
+    // Final gauge publication — the collector has joined by now, so
+    // sloWindow_ is safe to read from this thread.
+    publishSloGauges(clock_.now());
 }
 
 } // namespace serve

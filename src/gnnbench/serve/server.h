@@ -27,7 +27,12 @@
  * Observability: everything lands in the process metrics registry
  * under "serve.*" (admitted/rejected/completed counters, batch-size
  * and latency histograms, queue-depth peak) and each worker names a
- * "serve/w<k>" trace lane.
+ * "serve/w<k>" trace lane.  The collector additionally maintains the
+ * scrape-facing SLO gauges — serve.slo_p50/p95/p99_seconds,
+ * serve.slo_miss_rate, serve.slo_burn_rate (sliding window; see
+ * profiling/exporter.h), serve.queue_depth, serve.shed_rate — so a
+ * live OpenMetrics scrape sees current tail latency and budget burn,
+ * not just end-of-run totals.
  */
 
 #ifndef GNNBENCH_SERVE_SERVER_H
@@ -45,6 +50,7 @@
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/core/tensor.h"
 #include "gnnbench/dglx/dataloader.h"
+#include "gnnbench/profiling/exporter.h"
 #include "gnnbench/serve/clock.h"
 #include "gnnbench/serve/inference.h"
 #include "gnnbench/serve/request_queue.h"
@@ -179,6 +185,9 @@ class Server
     void runWorker(int worker_index);
     void runCollector();
     void flushMetrics();
+    /** Re-publish the SLO gauges; called by the collector (which owns
+     *  sloWindow_) per response and once more at shutdown. */
+    void publishSloGauges(double now);
 
     const dglx::LoadedData &data_;
     ServeConfig config_;
@@ -196,6 +205,9 @@ class Server
     std::condition_variable drained_;
     std::vector<Response> results_;
     std::function<void(const Response &)> onResponse_;
+    /** Sliding deadline-miss window; collector-thread-only until the
+     *  collector joins. */
+    profiling::SloWindow sloWindow_;
     bool joined_ = false;
 };
 

@@ -1,0 +1,220 @@
+/** Tests for the OpenMetrics exporter, the SLO window, and the
+ *  metrics HTTP listener. */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gnnbench/profiling/exporter.h"
+#include "gnnbench/profiling/metrics_registry.h"
+
+namespace gnnbench {
+namespace profiling {
+namespace {
+
+// ------------------------------------------------------ text format
+
+TEST(Exporter, SanitizeMetricName)
+{
+    EXPECT_EQ(sanitizeMetricName("serve.latency_seconds"),
+              "serve_latency_seconds");
+    EXPECT_EQ(sanitizeMetricName("a-b c/d"), "a_b_c_d");
+    EXPECT_EQ(sanitizeMetricName("ns:kept"), "ns:kept");
+    EXPECT_EQ(sanitizeMetricName("9lives"), "_9lives");
+    EXPECT_EQ(sanitizeMetricName(""), "");
+}
+
+TEST(Exporter, EscapeLabelValue)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escapeLabelValue("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Exporter, RenderCoversEveryMetricType)
+{
+    MetricsRegistry reg;
+    reg.counter("test.requests").add(7);
+    reg.counter("test.zero"); // zero-valued metrics still render
+    reg.gauge("test.depth").set(2.5);
+    Histogram &h = reg.histogram("test.lat", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(100.0);
+
+    const std::string s = renderOpenMetrics(reg);
+    EXPECT_NE(s.find("# TYPE gnnbench_test_requests counter\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_requests_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_zero_total 0\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("# TYPE gnnbench_test_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_depth 2.5\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("# TYPE gnnbench_test_lat histogram\n"),
+              std::string::npos);
+    // Buckets are cumulative: 1 (<=1), 2 (<=10), 3 (+Inf).
+    EXPECT_NE(s.find("gnnbench_test_lat_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_lat_bucket{le=\"10\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_lat_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_lat_sum 105.5\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("gnnbench_test_lat_count 3\n"),
+              std::string::npos);
+    // The exposition must end with the EOF marker, nothing after.
+    const std::string eof = "# EOF\n";
+    ASSERT_GE(s.size(), eof.size());
+    EXPECT_EQ(s.substr(s.size() - eof.size()), eof);
+}
+
+TEST(Exporter, CounterMonotonicAcrossRenders)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("test.mono");
+    c.add(3);
+    const std::string first = renderOpenMetrics(reg);
+    c.add(2);
+    const std::string second = renderOpenMetrics(reg);
+    EXPECT_NE(first.find("gnnbench_test_mono_total 3\n"),
+              std::string::npos);
+    EXPECT_NE(second.find("gnnbench_test_mono_total 5\n"),
+              std::string::npos);
+}
+
+TEST(Exporter, WriteOpenMetricsFileRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("test.file").add(1);
+    const std::string path =
+        std::string(::testing::TempDir()) + "/metrics.om";
+    writeOpenMetricsFile(path, reg);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    const std::string s(buf, n);
+    EXPECT_EQ(s, renderOpenMetrics(reg));
+    EXPECT_NE(s.find("gnnbench_test_file_total 1\n"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------- SLO window
+
+TEST(SloWindow, MissRateAndBurnRateOverWindow)
+{
+    SloWindow w(/*window_seconds=*/10.0, /*budget_fraction=*/0.01);
+    EXPECT_DOUBLE_EQ(w.missRate(0.0), 0.0); // empty window
+    EXPECT_DOUBLE_EQ(w.burnRate(0.0), 0.0);
+    for (int i = 0; i < 99; ++i)
+        w.observe(1.0, false);
+    w.observe(1.0, true);
+    EXPECT_EQ(w.size(1.0), 100u);
+    EXPECT_DOUBLE_EQ(w.missRate(1.0), 0.01);
+    // Missing exactly the budget burns at rate 1.
+    EXPECT_DOUBLE_EQ(w.burnRate(1.0), 1.0);
+    w.observe(2.0, true);
+    EXPECT_GT(w.burnRate(2.0), 1.0);
+}
+
+TEST(SloWindow, OldEventsSlideOut)
+{
+    SloWindow w(10.0, 0.01);
+    w.observe(0.0, true);
+    w.observe(1.0, false);
+    EXPECT_DOUBLE_EQ(w.missRate(1.0), 0.5);
+    // At t=11 the miss at t=0 has left the window.
+    EXPECT_DOUBLE_EQ(w.missRate(11.0), 0.0);
+    EXPECT_EQ(w.size(11.0), 1u);
+    // At t=12 the window is empty again.
+    EXPECT_EQ(w.size(12.0), 0u);
+    EXPECT_DOUBLE_EQ(w.burnRate(12.0), 0.0);
+}
+
+// ----------------------------------------------------- HTTP listener
+
+/** One blocking HTTP GET against 127.0.0.1:port. */
+std::string
+scrape(int port)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)),
+              0);
+    const char req[] = "GET /metrics HTTP/1.1\r\n"
+                       "Host: localhost\r\n\r\n";
+    EXPECT_GT(write(fd, req, sizeof(req) - 1), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof(buf))) > 0)
+        resp.append(buf, static_cast<size_t>(n));
+    close(fd);
+    return resp;
+}
+
+TEST(MetricsHttpServer, ServesLiveScrapesOnEphemeralPort)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("test.scraped");
+    c.add(1);
+    int refreshes = 0;
+    MetricsHttpServer server(reg, /*port=*/0,
+                             [&refreshes] { ++refreshes; });
+    if (!server.ok())
+        GTEST_SKIP() << "cannot bind a loopback listener here";
+    ASSERT_GT(server.port(), 0);
+
+    const std::string r1 = scrape(server.port());
+    EXPECT_NE(r1.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(r1.find("application/openmetrics-text"),
+              std::string::npos);
+    EXPECT_NE(r1.find("gnnbench_test_scraped_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(r1.find("# EOF\n"), std::string::npos);
+
+    // Values are rendered at request time, so a second scrape sees
+    // the updated counter, and the refresh hook ran per request.
+    c.add(4);
+    const std::string r2 = scrape(server.port());
+    EXPECT_NE(r2.find("gnnbench_test_scraped_total 5\n"),
+              std::string::npos);
+    EXPECT_EQ(refreshes, 2);
+
+    server.stop();
+    EXPECT_FALSE(server.ok()); // stop() is a full teardown
+    server.stop();             // and idempotent
+}
+
+TEST(MetricsHttpServer, BindFailureIsNotFatal)
+{
+    MetricsRegistry reg;
+    MetricsHttpServer a(reg, 0);
+    if (!a.ok())
+        GTEST_SKIP() << "cannot bind a loopback listener here";
+    // A second listener on the same port must fail ok()-false, not
+    // abort the process.
+    MetricsHttpServer b(reg, a.port());
+    EXPECT_FALSE(b.ok());
+}
+
+} // namespace
+} // namespace profiling
+} // namespace gnnbench

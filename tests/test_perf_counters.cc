@@ -1,0 +1,151 @@
+/** Tests for the perf_event_open counter layer — above all, that the
+ *  graceful no-op fallback is airtight where the PMU is denied. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/rng.h"
+#include "gnnbench/core/tensor.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/kernels/kernels.h"
+#include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/perf_counters.h"
+
+namespace gnnbench {
+namespace profiling {
+namespace {
+
+/** Restore the probed availability decision on scope exit. */
+struct ForcedPerfState
+{
+    explicit ForcedPerfState(int forced)
+    {
+        setPerfForcedStateForTest(forced);
+    }
+    ~ForcedPerfState() { setPerfForcedStateForTest(-1); }
+};
+
+TEST(PerfCounters, StatusLabelIsAlwaysMeaningful)
+{
+    const std::string label = perfStatusLabel();
+    EXPECT_FALSE(label.empty());
+    // The label is one of the three documented shapes.
+    EXPECT_TRUE(label == "available" ||
+                label.rfind("disabled", 0) == 0 ||
+                label.rfind("unavailable", 0) == 0)
+        << label;
+}
+
+TEST(PerfCounters, ForcedOffScopeYieldsInvalidDelta)
+{
+    ForcedPerfState off(0);
+    EXPECT_FALSE(perfAvailable());
+    PerfScope scope;
+    // Burn a little work so a live PMU would definitely tick.
+    volatile double x = 1.0;
+    for (int i = 0; i < 10000; ++i)
+        x = x * 1.0000001 + 1e-9;
+    const PerfDelta d = scope.stop();
+    EXPECT_FALSE(d.valid);
+    EXPECT_EQ(d.present, 0u);
+    for (int e = 0; e < kNumPerfEvents; ++e)
+        EXPECT_EQ(d.v[static_cast<size_t>(e)], 0.0);
+}
+
+TEST(PerfCounters, InvalidDeltaSinksAreNoOps)
+{
+    PerfDelta d; // default: invalid
+    d.v[0] = 1e9; // even with junk values, invalid means ignored
+
+    auto &reg = MetricsRegistry::global();
+    const std::string name = "perf.test_noop.cycles";
+    const uint64_t before = reg.counter(name).value();
+    addPerfDelta("perf.test_noop", d);
+    EXPECT_EQ(reg.counter(name).value(), before);
+
+    std::vector<std::pair<std::string, double>> args;
+    appendPerfArgs(d, &args);
+    EXPECT_TRUE(args.empty());
+}
+
+TEST(PerfCounters, KernelDispatchFallsBackWhenDenied)
+{
+    // The tier-1 fallback contract: with perf_event_open denied, a
+    // kernel dispatch still fills timing/cost stats, and the perf
+    // field reports invalid instead of zeros posing as measurements.
+    ForcedPerfState off(0);
+    core::Rng rng(3);
+    graph::CooGraph coo =
+        graph::symmetrize(graph::rmat(500, 3000, rng), false);
+    graph::CsrGraph csc = graph::cooToCsc(coo);
+    core::Tensor x = core::Tensor::randn(csc.numCols, 16, rng);
+
+    kernels::KernelStats stats;
+    kernels::spmm(csc, x, kernels::ReduceOp::Sum, nullptr,
+                  kernels::KernelVariant::Reference, &stats);
+    EXPECT_GT(stats.seconds, 0.0);
+    EXPECT_GT(stats.cost.flops, 0.0);
+    EXPECT_GT(stats.cost.bytes, 0.0);
+    EXPECT_FALSE(stats.perf.valid);
+}
+
+TEST(PerfCounters, LiveScopeCountsRealWork)
+{
+    if (!perfAvailable())
+        GTEST_SKIP() << "PMU not available: " << perfStatusLabel();
+    PerfScope scope;
+    volatile double x = 1.0;
+    for (int i = 0; i < 2000000; ++i)
+        x = x * 1.0000001 + 1e-9;
+    const PerfDelta d = scope.stop();
+    ASSERT_TRUE(d.valid);
+    EXPECT_TRUE(d.has(PerfEvent::Cycles));
+    EXPECT_GT(d.cycles(), 0.0);
+    EXPECT_TRUE(d.has(PerfEvent::Instructions));
+    // 2M dependent FMAs retire well over a million instructions.
+    EXPECT_GT(d.instructions(), 1e6);
+    EXPECT_GT(d.ipc(), 0.0);
+
+    std::vector<std::pair<std::string, double>> args;
+    appendPerfArgs(d, &args);
+    EXPECT_FALSE(args.empty());
+}
+
+TEST(PerfCounters, DeltaDerivedRatesAndAccumulation)
+{
+    PerfDelta d;
+    d.valid = true;
+    d.present = (1u << static_cast<int>(PerfEvent::Cycles)) |
+                (1u << static_cast<int>(PerfEvent::Instructions)) |
+                (1u << static_cast<int>(PerfEvent::LlcLoads)) |
+                (1u << static_cast<int>(PerfEvent::LlcMisses)) |
+                (1u << static_cast<int>(PerfEvent::StalledCycles));
+    d.v[static_cast<int>(PerfEvent::Cycles)] = 1000.0;
+    d.v[static_cast<int>(PerfEvent::Instructions)] = 2500.0;
+    d.v[static_cast<int>(PerfEvent::LlcLoads)] = 200.0;
+    d.v[static_cast<int>(PerfEvent::LlcMisses)] = 50.0;
+    d.v[static_cast<int>(PerfEvent::StalledCycles)] = 100.0;
+    EXPECT_DOUBLE_EQ(d.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(d.llcMissRate(), 0.25);
+    EXPECT_DOUBLE_EQ(d.stalledFraction(), 0.1);
+
+    PerfDelta sum;
+    sum += d;
+    sum += d;
+    EXPECT_TRUE(sum.valid);
+    EXPECT_DOUBLE_EQ(sum.cycles(), 2000.0);
+    EXPECT_DOUBLE_EQ(sum.instructions(), 5000.0);
+    EXPECT_DOUBLE_EQ(sum.ipc(), 2.5);
+
+    PerfDelta zero;
+    EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.llcMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.stalledFraction(), 0.0);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace gnnbench

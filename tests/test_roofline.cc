@@ -1,0 +1,202 @@
+/** Tests for the analytic roofline accounting: per-kernel cost
+ *  models, ceiling/fraction math under synthetic calibrations, and
+ *  the "roofline" report section. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gnnbench/profiling/json_writer.h"
+#include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/roofline.h"
+
+namespace gnnbench {
+namespace profiling {
+namespace {
+
+/** Pin synthetic ceilings for the test, restore lazy measurement on
+ *  scope exit. */
+struct ScopedCalibration
+{
+    explicit ScopedCalibration(double peak, double bw)
+    {
+        RooflineCalibration c;
+        c.measured = true;
+        c.peakFlopsPerSec = peak;
+        c.memBandwidthBytesPerSec = bw;
+        setCalibrationForTest(c);
+        calib = c;
+    }
+    ~ScopedCalibration()
+    {
+        setCalibrationForTest(RooflineCalibration{});
+    }
+    RooflineCalibration calib;
+};
+
+// ------------------------------------------------- cost formulas
+
+TEST(RooflineCost, SpmmSumMeanWeighted)
+{
+    // rows=10, nnz=100, f=8: plain sum is one add per stored-entry
+    // element; traffic is one feature-row read per entry + the
+    // output write.
+    OpCost sum = spmmCost(10, 100, 8, false, false);
+    EXPECT_DOUBLE_EQ(sum.flops, 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(sum.bytes, 100.0 * 8 * 4.0 + 10.0 * 8 * 4.0);
+
+    // Weighted doubles the FLOPs (multiply-add), same traffic.
+    OpCost wsum = spmmCost(10, 100, 8, true, false);
+    EXPECT_DOUBLE_EQ(wsum.flops, 2.0 * 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(wsum.bytes, sum.bytes);
+
+    // Mean adds the per-output divide.
+    OpCost mean = spmmCost(10, 100, 8, false, true);
+    EXPECT_DOUBLE_EQ(mean.flops, 100.0 * 8.0 + 10.0 * 8.0);
+    EXPECT_DOUBLE_EQ(mean.bytes, sum.bytes);
+}
+
+TEST(RooflineCost, RemainingFamilies)
+{
+    OpCost mx = spmmMaxCost(10, 100, 8);
+    EXPECT_DOUBLE_EQ(mx.flops, 100.0 * 8.0); // one compare each
+    EXPECT_DOUBLE_EQ(mx.bytes, 100.0 * 8 * 4.0 + 10.0 * 8 * 4.0);
+
+    OpCost sc = spmmScatterCost(100, 8, true);
+    EXPECT_DOUBLE_EQ(sc.flops, 2.0 * 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(sc.bytes, 100.0 * 8 * 8.0); // RMW per entry
+
+    OpCost sa = sddmmAddCost(100, 8);
+    EXPECT_DOUBLE_EQ(sa.flops, 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(sa.bytes, 100.0 * 8 * 12.0);
+
+    OpCost sd = sddmmDotCost(100, 8);
+    EXPECT_DOUBLE_EQ(sd.flops, 2.0 * 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(sd.bytes, 100.0 * (8 * 8.0 + 4.0));
+
+    OpCost g = gatherCost(100, 8);
+    EXPECT_DOUBLE_EQ(g.flops, 0.0); // pure movement
+    EXPECT_DOUBLE_EQ(g.bytes, 100.0 * 8 * 8.0);
+
+    OpCost st = scatterCost(100, 10, 8);
+    EXPECT_DOUBLE_EQ(st.flops, 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(st.bytes, 100.0 * 8 * 8.0);
+
+    OpCost ss = segmentSumCost(10, 100, 8);
+    EXPECT_DOUBLE_EQ(ss.flops, 100.0 * 8.0);
+    EXPECT_DOUBLE_EQ(ss.bytes, 100.0 * 8 * 4.0 + 10.0 * 8 * 4.0);
+}
+
+TEST(RooflineCost, IntensityAndAccumulation)
+{
+    OpCost c;
+    EXPECT_DOUBLE_EQ(c.intensity(), 0.0); // byte-free: defined as 0
+    c.flops = 200.0;
+    c.bytes = 100.0;
+    EXPECT_DOUBLE_EQ(c.intensity(), 2.0);
+    OpCost d;
+    d.flops = 100.0;
+    d.bytes = 300.0;
+    c += d;
+    EXPECT_DOUBLE_EQ(c.flops, 300.0);
+    EXPECT_DOUBLE_EQ(c.bytes, 400.0);
+    EXPECT_DOUBLE_EQ(c.intensity(), 0.75);
+}
+
+// ---------------------------------------------- ceiling / fraction
+
+TEST(Roofline, AttainableCeilingUnderSyntheticCalibration)
+{
+    // peak 100 GFLOP/s, bw 10 GB/s => ridge at 10 FLOP/B.
+    ScopedCalibration cal(100e9, 10e9);
+    EXPECT_DOUBLE_EQ(cal.calib.ridgeIntensity(), 10.0);
+    // Below the ridge the memory roof binds...
+    EXPECT_DOUBLE_EQ(attainableFlopsPerSec(cal.calib, 1.0), 10e9);
+    EXPECT_DOUBLE_EQ(attainableFlopsPerSec(cal.calib, 5.0), 50e9);
+    // ...at and above it, the compute roof.
+    EXPECT_DOUBLE_EQ(attainableFlopsPerSec(cal.calib, 10.0), 100e9);
+    EXPECT_DOUBLE_EQ(attainableFlopsPerSec(cal.calib, 1000.0), 100e9);
+    // Zero intensity degenerates to the compute peak.
+    EXPECT_DOUBLE_EQ(attainableFlopsPerSec(cal.calib, 0.0), 100e9);
+}
+
+TEST(Roofline, FractionComputeAndBandwidthPaths)
+{
+    ScopedCalibration cal(100e9, 10e9);
+
+    // Intensity 1 => roof 10 GFLOP/s; achieving 5 GFLOP/s is half.
+    OpCost c;
+    c.flops = 5e9;
+    c.bytes = 5e9;
+    EXPECT_DOUBLE_EQ(rooflineFraction(c, 1.0, cal.calib), 0.5);
+
+    // FLOP-free movement op: fraction is achieved bytes/s over bw.
+    OpCost g;
+    g.bytes = 2e9;
+    EXPECT_DOUBLE_EQ(rooflineFraction(g, 1.0, cal.calib), 0.2);
+
+    // Cache-resident working sets can beat the DRAM-calibrated roof;
+    // the fraction is deliberately not clamped to 1.
+    OpCost hot;
+    hot.flops = 4e9;
+    hot.bytes = 4e9;
+    EXPECT_DOUBLE_EQ(rooflineFraction(hot, 0.1, cal.calib), 4.0);
+
+    // Degenerate inputs are all zero, never NaN.
+    EXPECT_DOUBLE_EQ(rooflineFraction(c, 0.0, cal.calib), 0.0);
+    EXPECT_DOUBLE_EQ(rooflineFraction(OpCost{}, 1.0, cal.calib), 0.0);
+    RooflineCalibration unmeasured;
+    EXPECT_DOUBLE_EQ(rooflineFraction(c, 1.0, unmeasured), 0.0);
+}
+
+TEST(Roofline, MeasuredCalibrationIsSane)
+{
+    // Force a real measurement pass (the ScopedCalibration dtor of
+    // earlier tests reset to lazy) and sanity-check the ceilings.
+    setCalibrationForTest(RooflineCalibration{});
+    const RooflineCalibration &c = rooflineCalibration();
+    EXPECT_TRUE(c.measured);
+    EXPECT_GT(c.peakFlopsPerSec, 0.0);
+    EXPECT_GT(c.memBandwidthBytesPerSec, 0.0);
+    EXPECT_GT(c.ridgeIntensity(), 0.0);
+    EXPECT_GT(c.calibrationSeconds, 0.0);
+    // A second call returns the cached measurement.
+    const RooflineCalibration &again = rooflineCalibration();
+    EXPECT_DOUBLE_EQ(again.peakFlopsPerSec, c.peakFlopsPerSec);
+}
+
+// ------------------------------------------------- report section
+
+TEST(Roofline, WriteJsonPairsFamilyCounters)
+{
+    ScopedCalibration cal(100e9, 10e9);
+    MetricsRegistry reg;
+    reg.counter("kernels.spmm.flops").add(1000);
+    reg.counter("kernels.spmm.bytes").add(4000);
+    reg.counter("kernels.gather.bytes").add(800); // FLOP-free family
+    reg.counter("unrelated.count").add(3);
+
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    writeRooflineJson(w, "roofline", &reg);
+    w.endObject();
+    const std::string text = out.str();
+    ASSERT_TRUE(json::valid(text)) << text;
+
+    EXPECT_NE(text.find("\"measured\":true"), std::string::npos);
+    EXPECT_NE(text.find("\"ridge_intensity\":10"), std::string::npos);
+    EXPECT_NE(text.find("\"kernels.spmm\""), std::string::npos);
+    EXPECT_NE(text.find("\"flops\":1000"), std::string::npos);
+    EXPECT_NE(text.find("\"bytes\":4000"), std::string::npos);
+    EXPECT_NE(text.find("\"intensity\":0.25"), std::string::npos);
+    // Families without a .flops counter don't get a (meaningless)
+    // flops/bytes pairing row.
+    EXPECT_EQ(text.find("\"kernels.gather\""), std::string::npos);
+    // Unrelated counters never leak into the kernels object.
+    EXPECT_EQ(text.find("unrelated"), std::string::npos);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace gnnbench

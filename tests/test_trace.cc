@@ -229,6 +229,23 @@ TEST(TraceRecorder, WriteChromeTraceEmitsMetadataPerLane)
     EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
 }
 
+TEST(TraceRecorder, CounterArgsRenderOnSlices)
+{
+    // PMU deltas ride on kernel/phase slices as numeric counter args;
+    // they must surface in the Chrome trace "args" object.
+    ManualClockRecorder m;
+    m.rec.enable();
+    m.rec.record("spmm", "kernel", 0.0, 1.0,
+                 {{"cycles", 1234.0}, {"ipc", 1.5}});
+    m.rec.record("bare", "kernel", 1.0, 2.0); // no args: still valid
+    std::ostringstream os;
+    m.rec.writeChromeTrace(os);
+    const std::string s = os.str();
+    ASSERT_TRUE(json::valid(s)) << s;
+    EXPECT_NE(s.find("\"cycles\":1234"), std::string::npos);
+    EXPECT_NE(s.find("\"ipc\":1.5"), std::string::npos);
+}
+
 // ------------------------------------------------------------- Metrics
 
 TEST(Metrics, CounterSumsAcrossThreads)
@@ -297,6 +314,51 @@ TEST(Metrics, HistogramPercentileEdgeCases)
     EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
     EXPECT_EXIT(empty.percentile(1.5), ::testing::ExitedWithCode(1),
                 "percentile rank");
+}
+
+TEST(Metrics, HistogramPercentileSingleSample)
+{
+    Histogram h({1.0, 10.0});
+    h.observe(2.5); // lone sample, second bucket (1..10]
+    // p=0 lands at the start of the sample's bucket, p=1 (the 100th
+    // percentile) at its bound, and interior ranks interpolate.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.5);
+}
+
+TEST(Metrics, HistogramPercentileDuplicateHeavy)
+{
+    // All mass on one value: every rank resolves inside that bucket.
+    Histogram h({1.0, 10.0});
+    for (int i = 0; i < 10; ++i)
+        h.observe(5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.1), 1.9);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+
+    // Mass entirely past the last finite bound: the histogram's
+    // strongest claim is that bound, at every rank.
+    Histogram over({1.0});
+    over.observe(50.0);
+    over.observe(60.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(over.percentile(1.0), 1.0);
+}
+
+TEST(Metrics, PercentileSortedEdgeCases)
+{
+    // Single sample: every rank is that sample.
+    EXPECT_DOUBLE_EQ(percentileSorted({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({7.0}, 1.0), 7.0);
+    // Duplicate-heavy: interpolation between equal neighbors is flat.
+    const std::vector<double> dup{1.0, 5.0, 5.0, 5.0, 5.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(dup, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(dup, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(dup, 0.6), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(dup, 1.0), 9.0);
 }
 
 TEST(Metrics, PercentileSortedLinearInterpolation)
