@@ -27,6 +27,16 @@ history files (``--bench-file``):
   latency is too machine-sensitive for the drift tripwire), so the
   absolute floor/ceiling gates are the whole contract.
 
+``dist`` (history ``BENCH_dist.json``)
+  Runs ``ablation_distributed_scaling --json`` (partition-parallel
+  training at 1/2/4/8 modeled ranks).  Row values come from the
+  deterministic interconnect model: the modeled speedup at 4 ranks
+  carries a 2.5x ``floor``, the cross-epoch data-store hit rate a
+  0.4 ``floor``, and every speedup row a ``bit_exact`` flag that
+  hard-fails the gate when a rank count diverges from the 1-rank
+  baseline.  Because the model is noise-free, the history tripwire
+  applies at full strength to rows not marked ``no_regress``.
+
 In both modes every run that passes is appended to the history file
 so drift stays observable.  Rows are keyed ``variant:op`` (reorder
 rows ``variant:op:method``); entries recorded before the per-variant
@@ -56,6 +66,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BENCH_FILES = {
     "kernels": "BENCH_kernels.json",
     "serve": "BENCH_serve.json",
+    "dist": "BENCH_dist.json",
 }
 
 
@@ -98,6 +109,10 @@ def bench_cmd(args, json_path):
                 "--threads", str(args.threads),
                 "--repeats", str(args.repeats),
                 "--reorder", args.reorder]
+    if args.mode == "dist":
+        # The ablation's baked-in defaults (dataset, scale, rank
+        # sweep) are the gated configuration.
+        return [args.binary, "--json", json_path]
     return [args.binary, "--json", json_path,
             "--requests", str(args.requests),
             "--target-qps", str(args.target_qps)]

@@ -16,14 +16,22 @@
 # and roofline_fraction, and either real PMU deltas ("perf": "ok")
 # or the explicit "perf": "unavailable" fallback.
 #
+# When a third binary (ablation_distributed_scaling) is given, its
+# report is validated for the modeled-interconnect schema: per-rank
+# "rank<r>/comm (modeled)" lanes, a "halo:*" trace-event count that
+# equals the comm.messages counter, non-negative comm.* byte
+# counters, and (via check_common) monotonic per-lane timestamps.
+#
 # Usage: check_trace.sh [path-to-fig06_09_graphsage]
 #                       [path-to-ablation_magnifying_glass]
+#                       [path-to-ablation_distributed_scaling]
 # Without arguments the binaries are taken from build/bench/.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 bench="${1:-$repo/build/bench/fig06_09_graphsage}"
 ablation="${2:-$repo/build/bench/ablation_magnifying_glass}"
+dist="${3:-$repo/build/bench/ablation_distributed_scaling}"
 
 if [ ! -x "$bench" ]; then
     echo "error: bench binary not found: $bench" >&2
@@ -33,7 +41,8 @@ fi
 
 out="$(mktemp -t gnnbench_trace.XXXXXX.json)"
 aout="$(mktemp -t gnnbench_ablation.XXXXXX.json)"
-trap 'rm -f "$out" "$aout"' EXIT
+dout="$(mktemp -t gnnbench_dist.XXXXXX.json)"
+trap 'rm -f "$out" "$aout" "$dout"' EXIT
 
 "$bench" --datasets flickr --scale 0.05 --epochs 1 --workers 2 \
     --json "$out" >/dev/null
@@ -47,8 +56,18 @@ else
          "checks" >&2
 fi
 
+have_dist=0
+if [ -x "$dist" ]; then
+    "$dist" --scale 0.02 --epochs 2 --json "$dout" >/dev/null
+    have_dist=1
+else
+    echo "note: dist ablation binary not found ($dist); skipping" \
+         "its checks" >&2
+fi
+
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$out" "$aout" "$have_ablation" <<'EOF'
+    python3 - "$out" "$aout" "$have_ablation" "$dout" "$have_dist" \
+        <<'EOF'
 import json
 import sys
 
@@ -141,6 +160,53 @@ if sys.argv[3] == "1":
                 f"bad perf marker {r['perf']!r}"
     print(f"ablation OK: {len(rows)} breakdown rows, "
           f"perf={areport['perf']}")
+
+if sys.argv[5] == "1":
+    ddoc, dreport, dcomplete = check_common(sys.argv[4])
+
+    # Per-rank modeled lanes: the rank sweep goes up to 8 ranks, so
+    # every rank must own a compute lane, and every rank of the
+    # multi-rank configs a comm lane.
+    dlanes = {e["args"]["name"] for e in ddoc["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    for r in range(8):
+        assert f"rank{r}/compute (modeled)" in dlanes, \
+            f"missing compute lane for rank {r} in {sorted(dlanes)}"
+    for r in range(4):
+        assert f"rank{r}/comm (modeled)" in dlanes, \
+            f"missing comm lane for rank {r} in {sorted(dlanes)}"
+
+    counters = dreport["metrics"]["counters"]
+    for key in ("comm.messages", "comm.bytes.halo",
+                "comm.bytes.allreduce", "comm.allreduces",
+                "datastore.hits", "datastore.misses",
+                "datastore.fetch.bytes"):
+        assert key in counters, f"missing counter {key}"
+        assert counters[key] >= 0, f"negative counter {key}"
+    assert counters["comm.bytes.halo"] > 0, "no modeled halo traffic"
+    assert counters["comm.bytes.allreduce"] > 0, \
+        "no modeled allreduce traffic"
+
+    # Every modeled halo exchange records exactly one trace event on
+    # the receiver's comm lane: the schema's cross-check.
+    halo_events = [e for e in dcomplete
+                   if e["name"].startswith("halo:")]
+    assert len(halo_events) == counters["comm.messages"], \
+        (f"{len(halo_events)} halo events != "
+         f"{counters['comm.messages']} comm.messages")
+    allreduce_events = [e for e in dcomplete
+                        if e["name"].startswith("allreduce:")]
+    assert allreduce_events, "no allreduce events on the comm lanes"
+
+    drows = ddoc["results"]
+    assert drows, "dist ablation emitted no results rows"
+    for r in drows:
+        assert r["variant"] == "dist", f"bad variant {r['variant']!r}"
+        if "bit_exact" in r:
+            assert r["bit_exact"] is True, \
+                f"{r['op']}: not bit-exact vs the 1-rank baseline"
+    print(f"dist OK: {len(dlanes)} lanes, {len(halo_events)} halo "
+          f"messages, {len(allreduce_events)} allreduce events")
 EOF
 else
     # Minimal fallback when python3 is unavailable.
@@ -155,6 +221,14 @@ else
     if [ "$have_ablation" = 1 ]; then
         grep -q '"roofline_fraction"' "$aout"
         grep -q '"results"' "$aout"
+    fi
+    if [ "$have_dist" = 1 ]; then
+        grep -q '"rank0/comm (modeled)"' "$dout"
+        grep -q '"rank0/compute (modeled)"' "$dout"
+        grep -q 'halo:' "$dout"
+        grep -q 'allreduce:' "$dout"
+        grep -q '"comm.messages"' "$dout"
+        grep -q '"results"' "$dout"
     fi
     echo "trace OK (grep fallback; python3 not found)"
 fi

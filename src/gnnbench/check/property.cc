@@ -43,6 +43,7 @@ shapeName(GraphShape s)
     case GraphShape::SelfLoops: return "self-loops";
     case GraphShape::DuplicateEdges: return "duplicate-edges";
     case GraphShape::IsolatedNodes: return "isolated-nodes";
+    case GraphShape::Clustered: return "clustered";
     }
     return "?";
 }
@@ -62,7 +63,7 @@ generateGraphCase(uint64_t seed)
     GraphCase c;
     c.seed = seed;
     core::Rng rng(seed);
-    c.shape = static_cast<GraphShape>(rng.uniformInt(10));
+    c.shape = static_cast<GraphShape>(rng.uniformInt(11));
     graph::CooGraph &g = c.coo;
     switch (c.shape) {
     case GraphShape::Sparse: {
@@ -168,6 +169,31 @@ generateGraphCase(uint64_t seed)
         for (uint64_t e = 0; e < m; ++e) {
             g.src.push_back(randomNode(rng, active));
             g.dst.push_back(randomNode(rng, active));
+        }
+        break;
+    }
+    case GraphShape::Clustered: {
+        // The shape a graph partitioner is built for: a few dense
+        // clusters joined by a sparse cut.  Exercises the sharding
+        // layer's halo machinery (every cut edge creates a halo
+        // node) without degenerating into a uniform random graph.
+        const auto k = 2 + rng.uniformInt(3); // clusters
+        const auto per = 2 + rng.uniformInt(12);
+        g.numNodes = static_cast<NodeId>(k * per);
+        for (uint64_t c_i = 0; c_i < k; ++c_i) {
+            const NodeId lo = static_cast<NodeId>(c_i * per);
+            const auto m_in = per + rng.uniformInt(2 * per);
+            for (uint64_t e = 0; e < m_in; ++e) {
+                g.src.push_back(
+                    lo + static_cast<NodeId>(rng.uniformInt(per)));
+                g.dst.push_back(
+                    lo + static_cast<NodeId>(rng.uniformInt(per)));
+            }
+        }
+        const auto m_cut = rng.uniformInt(k + 1);
+        for (uint64_t e = 0; e < m_cut; ++e) {
+            g.src.push_back(randomNode(rng, g.numNodes));
+            g.dst.push_back(randomNode(rng, g.numNodes));
         }
         break;
     }

@@ -5,7 +5,8 @@
  * QuickCheck-style flow: a single uint64 seed deterministically
  * generates one random graph case (size, density, and degenerate
  * shapes — empty graph, single node, star, path, self-loops,
- * duplicate edges, isolated nodes), a property is a function from a
+ * duplicate edges, isolated nodes, partition-shaped clusters), a
+ * property is a function from a
  * case to a check::Result, and checkProperty() runs N seeded cases.
  * On failure it greedily *shrinks* the counterexample (fewer edges,
  * fewer nodes) while the property keeps failing, then prints the
@@ -40,6 +41,7 @@ enum class GraphShape
     SelfLoops,       ///< random graph plus self-loops
     DuplicateEdges,  ///< random graph with repeated edges
     IsolatedNodes,   ///< edges confined to a node prefix
+    Clustered,       ///< dense clusters, sparse cut (partition-shaped)
 };
 
 const char *shapeName(GraphShape s);

@@ -1,0 +1,165 @@
+#include "gnnbench/dist/comm.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "gnnbench/profiling/metrics_registry.h"
+#include "gnnbench/profiling/trace.h"
+
+namespace gnnbench {
+namespace dist {
+
+namespace {
+
+/**
+ * Hands each ModeledComm instance a trace-time origin at or after
+ * the end of the previous instance's timeline, so several configs
+ * trained by one process (the scaling ablation) never interleave
+ * their synthetic events backwards on a shared rank lane.
+ */
+std::mutex g_origin_mutex;
+double g_next_origin = 0.0;
+
+double
+claimTraceOrigin()
+{
+    std::lock_guard lock(g_origin_mutex);
+    const auto &rec = profiling::TraceRecorder::global();
+    double origin = g_next_origin;
+    if (rec.enabled())
+        origin = std::max(origin, rec.now());
+    g_next_origin = origin;
+    return origin;
+}
+
+void
+publishTraceEnd(double end)
+{
+    std::lock_guard lock(g_origin_mutex);
+    g_next_origin = std::max(g_next_origin, end);
+}
+
+std::string
+laneName(int rank, bool comm_lane)
+{
+    return "rank" + std::to_string(rank) +
+           (comm_lane ? "/comm (modeled)" : "/compute (modeled)");
+}
+
+} // namespace
+
+ModeledComm::ModeledComm(int num_ranks, InterconnectSpec spec)
+    : numRanks_(num_ranks), spec_(spec),
+      clock_(static_cast<size_t>(num_ranks), 0.0)
+{
+    GNNBENCH_CHECK(num_ranks >= 1,
+                   "ModeledComm: need at least one rank");
+    GNNBENCH_CHECK(spec_.latencySeconds >= 0.0 &&
+                       spec_.bandwidthBytesPerSec > 0.0 &&
+                       spec_.computeFlopsPerSec > 0.0,
+                   "ModeledComm: invalid interconnect constants");
+    traceOrigin_ = claimTraceOrigin();
+}
+
+ModeledComm::~ModeledComm()
+{
+    publishTraceEnd(traceOrigin_ + makespan());
+}
+
+void
+ModeledComm::traceEvent(int rank, bool comm_lane,
+                        const std::string &name, double start,
+                        double duration)
+{
+    auto &rec = profiling::TraceRecorder::global();
+    if (!rec.enabled())
+        return;
+    rec.recordSynthetic(laneName(rank, comm_lane), name,
+                        comm_lane ? "comm" : "compute",
+                        traceOrigin_ + start, duration);
+}
+
+void
+ModeledComm::compute(int rank, double flops, const char *name)
+{
+    GNNBENCH_ASSERT(rank >= 0 && rank < numRanks_, "bad rank");
+    GNNBENCH_ASSERT(flops >= 0.0, "negative flops");
+    const double dt = flops / spec_.computeFlopsPerSec;
+    traceEvent(rank, false, name, clock_[static_cast<size_t>(rank)],
+               dt);
+    clock_[static_cast<size_t>(rank)] += dt;
+}
+
+void
+ModeledComm::message(int src, int dst, uint64_t bytes,
+                     const char *what)
+{
+    GNNBENCH_ASSERT(src >= 0 && src < numRanks_ && dst >= 0 &&
+                        dst < numRanks_ && src != dst,
+                    "bad message endpoints");
+    const double dt = spec_.latencySeconds +
+                      static_cast<double>(bytes) /
+                          spec_.bandwidthBytesPerSec;
+    traceEvent(dst, true, std::string("halo:") + what,
+               clock_[static_cast<size_t>(dst)], dt);
+    clock_[static_cast<size_t>(dst)] += dt;
+
+    ++haloMessages_;
+    haloBytes_ += bytes;
+    commSeconds_ += dt;
+    auto &reg = profiling::MetricsRegistry::global();
+    reg.counter("comm.messages").add(1);
+    reg.counter("comm.bytes.halo").add(bytes);
+    reg.gauge("comm.time.seconds").set(commSeconds_);
+}
+
+void
+ModeledComm::allReduce(uint64_t bytes, const char *what)
+{
+    if (numRanks_ == 1)
+        return;
+    const double seg = static_cast<double>(bytes) /
+                       static_cast<double>(numRanks_);
+    const double dt =
+        2.0 * static_cast<double>(numRanks_ - 1) *
+        (spec_.latencySeconds + seg / spec_.bandwidthBytesPerSec);
+    const std::string name = std::string("allreduce:") + what;
+    for (int r = 0; r < numRanks_; ++r) {
+        traceEvent(r, true, name, clock_[static_cast<size_t>(r)],
+                   dt);
+        clock_[static_cast<size_t>(r)] += dt;
+        commSeconds_ += dt;
+    }
+    // Wire volume of the ring: every rank sends 2 (N-1) segments.
+    const uint64_t wire =
+        2 * static_cast<uint64_t>(numRanks_ - 1) * bytes;
+    allreduceBytes_ += wire;
+    ++allreduces_;
+    auto &reg = profiling::MetricsRegistry::global();
+    reg.counter("comm.bytes.allreduce").add(wire);
+    reg.counter("comm.allreduces").add(1);
+    reg.gauge("comm.time.seconds").set(commSeconds_);
+}
+
+void
+ModeledComm::barrier()
+{
+    const double top = makespan();
+    std::fill(clock_.begin(), clock_.end(), top);
+}
+
+double
+ModeledComm::rankSeconds(int rank) const
+{
+    GNNBENCH_ASSERT(rank >= 0 && rank < numRanks_, "bad rank");
+    return clock_[static_cast<size_t>(rank)];
+}
+
+double
+ModeledComm::makespan() const
+{
+    return *std::max_element(clock_.begin(), clock_.end());
+}
+
+} // namespace dist
+} // namespace gnnbench

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Modeled interconnect for partition-parallel training.
+ *
+ * The distributed layer runs N ranks inside one process (like the
+ * device model in device/session.h runs a modeled GPU), so the
+ * network is a *cost model*, not a transport: every rank owns a
+ * virtual clock, and each operation advances it by a deterministic
+ * analytic time (LBANN's comm.hpp plays the same role for real MPI).
+ *
+ *   point-to-point message of b bytes:  alpha + b / beta
+ *   ring allreduce of b bytes, N ranks: 2 (N-1) (alpha + (b/N)/beta)
+ *   compute of f flops:                 f / computeFlopsPerSec
+ *
+ * Halo messages are charged to the *receiving* rank (receiver-side
+ * serialization; the per-superstep barrier covers the symmetric send
+ * side), and every message produces exactly ONE trace event on the
+ * receiver's "rank<r>/comm (modeled)" lane — so the comm.messages
+ * counter always equals the halo-event count, which
+ * scripts/check_trace.sh asserts.  Compute time lands on
+ * "rank<r>/compute (modeled)".  barrier() aligns all clocks to the
+ * superstep maximum (BSP), keeping per-lane timestamps monotonic.
+ *
+ * Because the constants and the charged byte counts are fixed, the
+ * modeled timeline — and therefore the scaling ablation's modeled
+ * speedup — is bit-reproducible on any machine at any thread count.
+ *
+ * Metrics (process registry): comm.messages, comm.bytes.halo,
+ * comm.bytes.allreduce (wire volume 2 b (N-1)), comm.allreduces, and
+ * the comm.time.seconds gauge.  The same tallies are kept per
+ * ModeledComm instance so one bench run's numbers are not polluted by
+ * earlier runs in the process.
+ */
+
+#ifndef GNNBENCH_DIST_COMM_H
+#define GNNBENCH_DIST_COMM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gnnbench/core/common.h"
+
+namespace gnnbench {
+namespace dist {
+
+/** Fixed constants of the modeled network and rank compute. */
+struct InterconnectSpec
+{
+    /** Per-message latency (alpha), seconds. */
+    double latencySeconds = 2e-6;
+    /** Link bandwidth (beta), bytes/second (100 Gb/s). */
+    double bandwidthBytesPerSec = 12.5e9;
+    /** Modeled per-rank compute throughput, FLOP/s. */
+    double computeFlopsPerSec = 2.0e10;
+};
+
+/**
+ * Per-rank virtual clocks plus the message cost model.  All methods
+ * must be called from the (single) simulating thread; the BSP trainer
+ * serializes supersteps anyway.
+ */
+class ModeledComm
+{
+  public:
+    /** @param num_ranks modeled world size (>= 1). */
+    ModeledComm(int num_ranks, InterconnectSpec spec = {});
+    ~ModeledComm();
+
+    ModeledComm(const ModeledComm &) = delete;
+    ModeledComm &operator=(const ModeledComm &) = delete;
+
+    int numRanks() const { return numRanks_; }
+    const InterconnectSpec &spec() const { return spec_; }
+
+    /** Advance @p rank's clock by a modeled compute slice. */
+    void compute(int rank, double flops, const char *name);
+
+    /**
+     * One halo message @p src -> @p dst of @p bytes payload bytes.
+     * Charged to the receiver's clock; one trace event named
+     * "halo:<what>" on the receiver's comm lane.
+     */
+    void message(int src, int dst, uint64_t bytes, const char *what);
+
+    /**
+     * Ring allreduce of @p bytes (the float payload size) across all
+     * ranks.  Advances every rank's clock by the per-rank ring time;
+     * one "allreduce:<what>" event per rank.  No-op at one rank
+     * (nothing crosses the wire).
+     */
+    void allReduce(uint64_t bytes, const char *what);
+
+    /** BSP superstep boundary: align all clocks to the maximum. */
+    void barrier();
+
+    /** Current virtual time of @p rank, seconds. */
+    double rankSeconds(int rank) const;
+
+    /** max over ranks — the modeled end-to-end time so far. */
+    double makespan() const;
+
+    /// @name Per-instance tallies (this run only)
+    /// @{
+    uint64_t haloMessages() const { return haloMessages_; }
+    uint64_t haloBytes() const { return haloBytes_; }
+    uint64_t allreduceBytes() const { return allreduceBytes_; }
+    uint64_t allreduces() const { return allreduces_; }
+    /** Total modeled comm time summed over ranks, seconds. */
+    double commSeconds() const { return commSeconds_; }
+    /// @}
+
+  private:
+    void traceEvent(int rank, bool comm_lane, const std::string &name,
+                    double start, double duration);
+
+    int numRanks_;
+    InterconnectSpec spec_;
+    std::vector<double> clock_;
+    /** Trace-time origin of this run's virtual clocks (monotonic
+     *  across ModeledComm instances so per-lane timestamps never run
+     *  backwards when one bench process trains several configs). */
+    double traceOrigin_ = 0.0;
+
+    uint64_t haloMessages_ = 0;
+    uint64_t haloBytes_ = 0;
+    uint64_t allreduceBytes_ = 0;
+    uint64_t allreduces_ = 0;
+    double commSeconds_ = 0.0;
+};
+
+} // namespace dist
+} // namespace gnnbench
+
+#endif // GNNBENCH_DIST_COMM_H

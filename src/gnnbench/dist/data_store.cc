@@ -1,0 +1,129 @@
+#include "gnnbench/dist/data_store.h"
+
+#include <cstring>
+
+#include "gnnbench/profiling/metrics_registry.h"
+
+namespace gnnbench {
+namespace dist {
+
+FeatureStore::FeatureStore(const core::Tensor &features,
+                           const ShardedGraph &sharded,
+                           uint64_t halo_capacity_bytes)
+    : features_(&features), sharded_(&sharded),
+      capacityBytes_(halo_capacity_bytes)
+{
+    GNNBENCH_CHECK(capacityBytes_ == 0 ||
+                       capacityBytes_ >= rowBytes(),
+                   "FeatureStore: capacity below one feature row");
+    caches_.resize(sharded.ranks.size());
+    for (size_t r = 0; r < caches_.size(); ++r) {
+        const RankShard &shard = sharded.ranks[r];
+        RankCache &cache = caches_[r];
+        const auto n_halo =
+            static_cast<int64_t>(shard.haloIn.size());
+        cache.buffer = core::Tensor(n_halo, features.cols());
+        cache.resident.assign(shard.haloIn.size(), 0);
+        cache.lastUse.assign(shard.haloIn.size(), 0);
+        // Owned rows are preloaded into the rank's partition of the
+        // (shared, immutable) feature matrix: charged once, never
+        // fetched.
+        preloadBytes_ +=
+            static_cast<uint64_t>(shard.localNodes.size()) *
+            rowBytes();
+    }
+    profiling::MetricsRegistry::global()
+        .counter("datastore.preload.bytes")
+        .add(preloadBytes_);
+}
+
+bool
+FeatureStore::evictOne(RankCache &cache)
+{
+    size_t victim = cache.resident.size();
+    uint64_t oldest = 0;
+    for (size_t h = 0; h < cache.resident.size(); ++h) {
+        if (!cache.resident[h])
+            continue;
+        if (victim == cache.resident.size() ||
+            cache.lastUse[h] < oldest) {
+            victim = h;
+            oldest = cache.lastUse[h];
+        }
+    }
+    if (victim == cache.resident.size())
+        return false;
+    cache.resident[victim] = 0;
+    cache.residentBytes -= rowBytes();
+    ++evictions_;
+    return true;
+}
+
+const core::Tensor &
+FeatureStore::fetchHalo(int rank, ModeledComm *comm)
+{
+    GNNBENCH_CHECK(rank >= 0 &&
+                       rank < static_cast<int>(caches_.size()),
+                   "FeatureStore: bad rank");
+    const RankShard &shard =
+        sharded_->ranks[static_cast<size_t>(rank)];
+    RankCache &cache = caches_[static_cast<size_t>(rank)];
+    const uint64_t row_bytes = rowBytes();
+
+    uint64_t hits = 0, misses = 0;
+    const uint64_t evictions_before = evictions_;
+    std::vector<uint64_t> bytes_from(
+        static_cast<size_t>(sharded_->numRanks), 0);
+
+    for (size_t h = 0; h < shard.haloIn.size(); ++h) {
+        cache.lastUse[h] = ++cache.useClock;
+        if (cache.resident[h]) {
+            ++hits;
+            continue;
+        }
+        ++misses;
+        const NodeId u = shard.haloIn[h];
+        std::memcpy(cache.buffer.row(static_cast<int64_t>(h)),
+                    features_->row(u), row_bytes);
+        bytes_from[static_cast<size_t>(sharded_->owner(u))] +=
+            row_bytes;
+        // Admit under the byte budget, evicting LRU residents; a
+        // budget too small for even this row just leaves it
+        // non-resident (it stays valid in the working buffer).
+        while (cache.residentBytes + row_bytes > capacityBytes_ &&
+               evictOne(cache)) {
+        }
+        if (cache.residentBytes + row_bytes <= capacityBytes_) {
+            cache.resident[h] = 1;
+            cache.residentBytes += row_bytes;
+        }
+    }
+
+    uint64_t fetch_bytes = 0;
+    if (comm != nullptr)
+        for (int src = 0; src < sharded_->numRanks; ++src)
+            if (bytes_from[static_cast<size_t>(src)] > 0) {
+                comm->message(src, rank,
+                              bytes_from[static_cast<size_t>(src)],
+                              "x");
+                fetch_bytes +=
+                    bytes_from[static_cast<size_t>(src)];
+            }
+    if (comm == nullptr)
+        for (uint64_t b : bytes_from)
+            fetch_bytes += b;
+
+    hits_ += hits;
+    misses_ += misses;
+    fetchBytes_ += fetch_bytes;
+    auto &reg = profiling::MetricsRegistry::global();
+    reg.counter("datastore.hits").add(hits);
+    reg.counter("datastore.misses").add(misses);
+    reg.counter("datastore.fetch.bytes").add(fetch_bytes);
+    reg.counter("datastore.evictions")
+        .add(evictions_ - evictions_before);
+    return cache.buffer;
+}
+
+} // namespace dist
+} // namespace gnnbench

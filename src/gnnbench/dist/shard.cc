@@ -1,0 +1,281 @@
+#include "gnnbench/dist/shard.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gnnbench {
+namespace dist {
+
+namespace {
+
+using graph::CsrGraph;
+
+/**
+ * Collect the sorted, unique, non-owned neighbors of @p locals in
+ * @p adj (rows = the nodes themselves, one global row per local).
+ */
+std::vector<NodeId>
+boundaryNeighbors(const CsrGraph &adj,
+                  const std::vector<NodeId> &locals,
+                  const std::vector<int32_t> &assignment, int32_t rank)
+{
+    std::vector<NodeId> halo;
+    for (NodeId v : locals)
+        for (EdgeId e = adj.indptr[v]; e < adj.indptr[v + 1]; ++e) {
+            const NodeId u = adj.indices[static_cast<size_t>(e)];
+            if (assignment[static_cast<size_t>(u)] != rank)
+                halo.push_back(u);
+        }
+    std::sort(halo.begin(), halo.end());
+    halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+    return halo;
+}
+
+/**
+ * Restrict @p adj to the rows in @p locals, renumbering columns into
+ * the combined [local | halo] space and preserving per-row order.
+ * @p to_local maps owned nodes to their local index; halo columns are
+ * looked up by binary search in the sorted @p halo.
+ */
+CsrGraph
+localizeRows(const CsrGraph &adj, const std::vector<NodeId> &locals,
+             const std::vector<NodeId> &halo,
+             const std::vector<NodeId> &to_local,
+             const std::vector<int32_t> &assignment, int32_t rank)
+{
+    CsrGraph out;
+    out.numRows = static_cast<NodeId>(locals.size());
+    out.numCols = static_cast<NodeId>(locals.size() + halo.size());
+    out.indptr.assign(locals.size() + 1, 0);
+    EdgeId nnz = 0;
+    for (size_t i = 0; i < locals.size(); ++i)
+        nnz += adj.degree(locals[i]);
+    out.indices.reserve(static_cast<size_t>(nnz));
+    const auto n_local = static_cast<NodeId>(locals.size());
+    for (size_t i = 0; i < locals.size(); ++i) {
+        const NodeId v = locals[i];
+        for (EdgeId e = adj.indptr[v]; e < adj.indptr[v + 1]; ++e) {
+            const NodeId u = adj.indices[static_cast<size_t>(e)];
+            NodeId col;
+            if (assignment[static_cast<size_t>(u)] == rank) {
+                col = to_local[static_cast<size_t>(u)];
+            } else {
+                const auto it = std::lower_bound(halo.begin(),
+                                                 halo.end(), u);
+                col = n_local +
+                      static_cast<NodeId>(it - halo.begin());
+            }
+            out.indices.push_back(col);
+        }
+        out.indptr[i + 1] = static_cast<EdgeId>(out.indices.size());
+    }
+    return out;
+}
+
+} // namespace
+
+ShardedGraph
+shardGraph(const CsrGraph &csr, const CsrGraph &csc, int num_ranks,
+           std::vector<int32_t> assignment)
+{
+    GNNBENCH_CHECK(csr.numRows == csr.numCols &&
+                       csc.numRows == csc.numCols &&
+                       csr.numRows == csc.numRows,
+                   "shardGraph expects both orientations of one "
+                   "square graph");
+    GNNBENCH_CHECK(num_ranks > 0, "shardGraph: num_ranks must be > 0");
+    GNNBENCH_CHECK(assignment.size() ==
+                       static_cast<size_t>(csr.numRows),
+                   "shardGraph: assignment does not cover the graph");
+
+    ShardedGraph sg;
+    sg.numRanks = num_ranks;
+    sg.assignment = std::move(assignment);
+    sg.ranks.resize(static_cast<size_t>(num_ranks));
+    sg.cutEdges = graph::countCutEdges(csr, sg.assignment);
+
+    // Local index of every owned node (ascending global order).
+    std::vector<NodeId> to_local(static_cast<size_t>(csr.numRows),
+                                 -1);
+    {
+        std::vector<NodeId> next(static_cast<size_t>(num_ranks), 0);
+        for (NodeId v = 0; v < csr.numRows; ++v) {
+            const int32_t r = sg.assignment[static_cast<size_t>(v)];
+            GNNBENCH_CHECK(r >= 0 && r < num_ranks,
+                           "shardGraph: node ", v,
+                           " assigned outside [0, ", num_ranks, ")");
+            to_local[static_cast<size_t>(v)] =
+                next[static_cast<size_t>(r)]++;
+            sg.ranks[static_cast<size_t>(r)].localNodes.push_back(v);
+        }
+    }
+
+    for (int32_t r = 0; r < num_ranks; ++r) {
+        RankShard &shard = sg.ranks[static_cast<size_t>(r)];
+        shard.haloIn = boundaryNeighbors(csc, shard.localNodes,
+                                         sg.assignment, r);
+        shard.haloOut = boundaryNeighbors(csr, shard.localNodes,
+                                          sg.assignment, r);
+        shard.csc = localizeRows(csc, shard.localNodes, shard.haloIn,
+                                 to_local, sg.assignment, r);
+        shard.csr = localizeRows(csr, shard.localNodes, shard.haloOut,
+                                 to_local, sg.assignment, r);
+    }
+
+    if (check::enabled())
+        check::require(checkShard(csr, csc, sg));
+    return sg;
+}
+
+ShardedGraph
+partitionAndShard(const CsrGraph &csr, const CsrGraph &csc,
+                  int num_ranks, core::Rng &rng,
+                  const graph::PartitionOptions &opts)
+{
+    std::vector<int32_t> assignment;
+    if (num_ranks == 1) {
+        // Identity shard: no partitioner RNG draws, so the 1-rank
+        // baseline never depends on partitioner internals.
+        assignment.assign(static_cast<size_t>(csr.numRows), 0);
+    } else {
+        assignment =
+            graph::partitionGraph(csr, num_ranks, rng, opts)
+                .assignment;
+    }
+    return shardGraph(csr, csc, num_ranks, std::move(assignment));
+}
+
+namespace {
+
+/** checkShard helper: one orientation's rows + halo of one rank. */
+check::Result
+checkRankOrientation(const CsrGraph &global, const RankShard &shard,
+                     const std::vector<NodeId> &halo,
+                     const CsrGraph &local,
+                     const std::vector<int32_t> &assignment,
+                     int32_t rank, const char *what)
+{
+    const auto n_local = static_cast<NodeId>(shard.localNodes.size());
+    const auto fail = [&](const std::string &msg) {
+        std::ostringstream oss;
+        oss << "shard rank " << rank << " " << what << ": " << msg;
+        return check::Result::fail(oss.str());
+    };
+
+    // Halo soundness: sorted, unique, in range, none owned.
+    for (size_t h = 0; h < halo.size(); ++h) {
+        const NodeId u = halo[h];
+        if (u < 0 || u >= global.numRows)
+            return fail("halo node out of range");
+        if (assignment[static_cast<size_t>(u)] == rank)
+            return fail("halo contains an owned node");
+        if (h > 0 && halo[h - 1] >= u)
+            return fail("halo not sorted/unique");
+    }
+
+    // Structure: one local row per owned node, every row mapping
+    // back to the global row with order preserved (this simultaneously
+    // proves edge ownership — each global edge appears in exactly the
+    // destination/source owner's rows — and induced-subgraph
+    // validity).
+    auto r = check::checkCsr(local);
+    if (!r.ok)
+        return fail(r.message);
+    if (local.numRows != n_local)
+        return fail("local row count != owned node count");
+    if (local.numCols !=
+        n_local + static_cast<NodeId>(halo.size()))
+        return fail("local column space != local + halo");
+    std::vector<bool> halo_touched(halo.size(), false);
+    for (NodeId i = 0; i < n_local; ++i) {
+        const NodeId v = shard.localNodes[i];
+        if (local.degree(i) != global.degree(v))
+            return fail("local row degree mismatch");
+        for (EdgeId e = local.indptr[i], ge = global.indptr[v];
+             e < local.indptr[i + 1]; ++e, ++ge) {
+            const NodeId col = local.indices[static_cast<size_t>(e)];
+            const NodeId gu =
+                global.indices[static_cast<size_t>(ge)];
+            NodeId mapped;
+            if (col < n_local) {
+                mapped = shard.localNodes[static_cast<size_t>(col)];
+                if (assignment[static_cast<size_t>(mapped)] != rank)
+                    return fail("local column maps to foreign node");
+            } else {
+                mapped = halo[static_cast<size_t>(col - n_local)];
+                halo_touched[static_cast<size_t>(col - n_local)] =
+                    true;
+            }
+            if (mapped != gu)
+                return fail("row order not preserved vs global row");
+        }
+    }
+    // Halo completeness: every halo entry is actually referenced
+    // (halo == boundary neighborhood, not a superset).
+    for (size_t h = 0; h < halo.size(); ++h)
+        if (!halo_touched[h])
+            return fail("halo contains a non-boundary node");
+    return check::Result::pass();
+}
+
+} // namespace
+
+check::Result
+checkShard(const CsrGraph &csr, const CsrGraph &csc,
+           const ShardedGraph &sharded)
+{
+    if (sharded.numRanks <= 0)
+        return check::Result::fail("shard: numRanks <= 0");
+    if (sharded.assignment.size() !=
+        static_cast<size_t>(csr.numRows))
+        return check::Result::fail(
+            "shard: assignment does not cover every node");
+
+    NodeId covered = 0;
+    EdgeId csc_edges = 0, csr_edges = 0;
+    for (const RankShard &shard : sharded.ranks) {
+        covered += shard.numLocal();
+        csc_edges += shard.csc.numEdges();
+        csr_edges += shard.csr.numEdges();
+    }
+    if (covered != csr.numRows)
+        return check::Result::fail(
+            "shard: ranks do not partition the node set");
+    // Every edge owned exactly once: per-orientation totals match the
+    // global edge count (per-row identity below pins *which* edges).
+    if (csc_edges != csc.numEdges() || csr_edges != csr.numEdges())
+        return check::Result::fail(
+            "shard: edge ownership is not a partition of the edges");
+
+    for (int32_t r = 0; r < sharded.numRanks; ++r) {
+        const RankShard &shard =
+            sharded.ranks[static_cast<size_t>(r)];
+        for (NodeId i = 0; i < shard.numLocal(); ++i) {
+            const NodeId v = shard.localNodes[i];
+            if (v < 0 || v >= csr.numRows)
+                return check::Result::fail(
+                    "shard: local node out of range");
+            if (sharded.assignment[static_cast<size_t>(v)] != r)
+                return check::Result::fail(
+                    "shard: rank holds a node it does not own");
+            if (i > 0 && shard.localNodes[i - 1] >= v)
+                return check::Result::fail(
+                    "shard: localNodes not ascending");
+        }
+        auto res = checkRankOrientation(csc, shard, shard.haloIn,
+                                        shard.csc,
+                                        sharded.assignment, r,
+                                        "csc/haloIn");
+        if (!res.ok)
+            return res;
+        res = checkRankOrientation(csr, shard, shard.haloOut,
+                                   shard.csr, sharded.assignment, r,
+                                   "csr/haloOut");
+        if (!res.ok)
+            return res;
+    }
+    return check::Result::pass();
+}
+
+} // namespace dist
+} // namespace gnnbench

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Graph sharding for partition-parallel training over modeled ranks.
+ *
+ * A dataset is split across N ranks by destination-node ownership:
+ * the multilevel partitioner (graph/partition.h) assigns every node
+ * to one rank, and each directed edge u -> v belongs to the rank that
+ * owns v (the rank that computes v's aggregation).  Each rank holds:
+ *
+ *   - localNodes: its owned nodes, ascending in global id, defining
+ *     the rank-local row order (a subsequence of the global order, so
+ *     per-row kernels reproduce the single-rank bits exactly),
+ *   - haloIn:  non-owned in-neighbors of local nodes — the rows whose
+ *     features/activations must be fetched before a forward layer,
+ *   - haloOut: non-owned out-neighbors of local nodes — the rows
+ *     whose upstream gradients must be fetched in the backward pass
+ *     (equal to haloIn on symmetrized graphs, distinct in general),
+ *   - csc/csr restricted to the local rows, with columns renumbered
+ *     into the combined [local | halo] index space and the *global
+ *     neighbor order preserved* within every row.
+ *
+ * Preserving global row order is the keystone of the determinism
+ * contract: a node's aggregation is a serial reduction over its CSC
+ * row, so computing it on the owner rank over the combined index
+ * space produces exactly the bits the 1-rank run produces.
+ *
+ * checkShard() validates the invariants (edge ownership is a
+ * partition, halo sets equal the boundary neighborhoods, the local
+ * structures are well-formed induced subgraphs) and runs inside
+ * shardGraph() when GNNBENCH_VALIDATE is on; the property suite
+ * drives it over generated graphs with shrinking repro seeds.
+ */
+
+#ifndef GNNBENCH_DIST_SHARD_H
+#define GNNBENCH_DIST_SHARD_H
+
+#include <vector>
+
+#include "gnnbench/check/validate.h"
+#include "gnnbench/graph/csr.h"
+#include "gnnbench/graph/partition.h"
+
+namespace gnnbench {
+namespace dist {
+
+/** One rank's slice of the graph. */
+struct RankShard
+{
+    /** Owned nodes, ascending global ids (local row i is
+     *  localNodes[i]). */
+    std::vector<NodeId> localNodes;
+    /** Non-owned in-neighbors of local nodes, ascending global ids;
+     *  combined-in column nLocal + h is haloIn[h]. */
+    std::vector<NodeId> haloIn;
+    /** Non-owned out-neighbors of local nodes, ascending global ids;
+     *  combined-out column nLocal + h is haloOut[h]. */
+    std::vector<NodeId> haloOut;
+    /** In-adjacency of the local rows over [local | haloIn] columns,
+     *  global neighbor order preserved per row. */
+    graph::CsrGraph csc;
+    /** Out-adjacency of the local rows over [local | haloOut]
+     *  columns, global neighbor order preserved per row. */
+    graph::CsrGraph csr;
+
+    NodeId numLocal() const
+    {
+        return static_cast<NodeId>(localNodes.size());
+    }
+};
+
+/** The full sharded view of one graph. */
+struct ShardedGraph
+{
+    int numRanks = 0;
+    /** Global node -> owning rank. */
+    std::vector<int32_t> assignment;
+    std::vector<RankShard> ranks;
+    /** Directed inter-rank edges (self-loops excluded). */
+    EdgeId cutEdges = 0;
+
+    /** Owner rank of a global node. */
+    int32_t
+    owner(NodeId v) const
+    {
+        return assignment[static_cast<size_t>(v)];
+    }
+};
+
+/**
+ * Shard @p csr / @p csc (the same square graph in both orientations)
+ * across @p num_ranks ranks according to @p assignment.  Validates
+ * shard invariants via checkShard() when gnncheck is enabled.
+ */
+ShardedGraph shardGraph(const graph::CsrGraph &csr,
+                        const graph::CsrGraph &csc, int num_ranks,
+                        std::vector<int32_t> assignment);
+
+/**
+ * Convenience: partition with the multilevel partitioner, then
+ * shard.  num_ranks == 1 short-circuits to the identity assignment
+ * (no partitioner RNG draws), so the 1-rank baseline is exactly the
+ * unsharded graph.
+ */
+ShardedGraph partitionAndShard(const graph::CsrGraph &csr,
+                               const graph::CsrGraph &csc,
+                               int num_ranks, core::Rng &rng,
+                               const graph::PartitionOptions &opts = {});
+
+/**
+ * gnncheck validator for the shard invariants:
+ *   - every directed edge is owned by exactly one rank (the owner of
+ *     its destination), with none dropped or duplicated,
+ *   - every rank's haloIn/haloOut equals its boundary in/out
+ *     neighborhood (sorted, unique, disjoint from localNodes),
+ *   - every rank's local csc/csr is a well-formed induced subgraph
+ *     whose rows map back to the global rows, order preserved.
+ */
+check::Result checkShard(const graph::CsrGraph &csr,
+                         const graph::CsrGraph &csc,
+                         const ShardedGraph &sharded);
+
+} // namespace dist
+} // namespace gnnbench
+
+#endif // GNNBENCH_DIST_SHARD_H

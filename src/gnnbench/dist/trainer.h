@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Partition-parallel full-batch GraphSAGE training over modeled ranks.
+ *
+ * The graph is sharded by destination ownership (dist/shard.h), every
+ * rank holds a replica of the model, and each epoch runs as a fixed
+ * BSP superstep schedule, every phase barriered on the modeled
+ * interconnect (dist/comm.h):
+ *
+ *   1. fetch halo features x            (data store, comm)
+ *   2. layer-1 forward on local rows    (compute)
+ *   3. exchange halo h1 activations     (comm)
+ *   4. layer-2 forward, loss, dz2       (compute)
+ *   5. exchange halo upstream grads     (comm)
+ *   6. backward on local rows           (compute)
+ *   7. ring-allreduce the gradients     (comm)
+ *   8. identical Adam step per rank     (compute)
+ *
+ * Determinism contract (asserted by tests/test_dist.cc):
+ *   - For a fixed rank count, results are bit-identical across
+ *     GNNBENCH_NUM_THREADS: every per-node quantity is computed by a
+ *     per-row-pure kernel over the canonical global row order, and
+ *     every cross-row reduction goes through the exact fixed-point
+ *     accumulator (dist/exact.h), whose grouping does not matter.
+ *   - N-rank training produces bit-identical final weights to the
+ *     1-rank run: local rows are a subsequence of the global order,
+ *     rows keep their global neighbor order, per-node math sees
+ *     exactly the same operands, and the allreduced gradients are
+ *     exact sums — so all ranks apply the same optimizer step to the
+ *     same replica, for any N.
+ *
+ * The model matches dglx::SageConv semantics (mean aggregation over
+ * in-neighbors, self + neighbor weights, bias) with the same Glorot
+ * init order, but the 1-rank baseline of the bit-identity contract is
+ * this trainer itself at numRanks == 1 — the modeled comm layer, not
+ * the framework reimplementations, is what is under test here.
+ */
+
+#ifndef GNNBENCH_DIST_TRAINER_H
+#define GNNBENCH_DIST_TRAINER_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gnnbench/core/tensor.h"
+#include "gnnbench/dist/comm.h"
+#include "gnnbench/graph/datasets.h"
+#include "gnnbench/graph/partition.h"
+
+namespace gnnbench {
+namespace dist {
+
+struct DistConfig
+{
+    int numRanks = 4;
+    int epochs = 3;
+    int64_t hiddenDim = 64;
+    float lr = 1e-3f;
+    uint64_t seed = 42;
+    /** Per-rank halo feature cache budget (data store). */
+    uint64_t haloCacheBytes = std::numeric_limits<uint64_t>::max();
+    InterconnectSpec interconnect;
+    graph::PartitionOptions partition;
+};
+
+struct DistEpochStats
+{
+    double loss = 0.0;
+    double accuracy = 0.0;
+};
+
+/** Names/order of the weight tensors in DistResult::weights. */
+constexpr const char *kDistWeightNames[] = {"W1self", "W1neigh",
+                                            "b1",     "W2self",
+                                            "W2neigh", "b2"};
+constexpr int kNumDistWeights = 6;
+
+struct DistResult
+{
+    /** Final replicated weights (identical on every rank). */
+    std::vector<core::Tensor> weights;
+    std::vector<DistEpochStats> epochs;
+
+    /** Partition quality. */
+    EdgeId cutEdges = 0;
+    NodeId maxPartSize = 0;
+
+    /** Modeled communication (this run). */
+    uint64_t haloMessages = 0;
+    uint64_t haloBytes = 0;
+    uint64_t allreduceBytes = 0;
+    double commSeconds = 0.0;
+
+    /** Modeled end-to-end time (max rank clock). */
+    double modeledSeconds = 0.0;
+
+    /** Data-store accounting (this run). */
+    uint64_t datastoreHits = 0;
+    uint64_t datastoreMisses = 0;
+    uint64_t datastoreEvictions = 0;
+    uint64_t datastoreFetchBytes = 0;
+    double datastoreHitRate = 0.0;
+};
+
+/**
+ * Train 2-layer full-batch GraphSAGE on @p dataset across
+ * cfg.numRanks modeled ranks.  Deterministic in (cfg, dataset) alone.
+ */
+DistResult trainDistributedSage(const graph::Dataset &dataset,
+                                const DistConfig &cfg);
+
+} // namespace dist
+} // namespace gnnbench
+
+#endif // GNNBENCH_DIST_TRAINER_H

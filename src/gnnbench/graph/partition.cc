@@ -191,6 +191,11 @@ refine(const WGraph &g, std::vector<int32_t> &part, int32_t k,
             const int32_t cur = part[u];
             touched.clear();
             for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+                // A self-loop stays intact under any assignment, so it
+                // must not inflate conn[cur] (that biases the gain
+                // conn[best] - conn[cur] against every boundary move).
+                if (g.adj[e] == u)
+                    continue;
                 const int32_t pv = part[g.adj[e]];
                 if (conn[pv] == 0)
                     touched.push_back(pv);
@@ -229,9 +234,15 @@ countCutEdges(const CsrGraph &g, const std::vector<int32_t> &assignment)
 {
     EdgeId cut = 0;
     for (NodeId u = 0; u < g.numRows; ++u)
-        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e)
-            if (assignment[u] != assignment[g.indices[e]])
+        for (EdgeId e = g.indptr[u]; e < g.indptr[u + 1]; ++e) {
+            const NodeId v = g.indices[e];
+            // Self-loops are never cut: both endpoints are the same
+            // node, so they stay rank-local under any assignment.
+            if (v == u)
+                continue;
+            if (assignment[u] != assignment[v])
                 ++cut;
+        }
     return cut;
 }
 

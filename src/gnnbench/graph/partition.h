@@ -51,7 +51,8 @@ PartitionResult partitionGraph(const CsrGraph &g, int32_t k,
                                core::Rng &rng,
                                const PartitionOptions &opts = {});
 
-/** Count directed edges whose endpoints live in different parts. */
+/** Count directed edges whose endpoints live in different parts.
+ *  Self-loops never cross a part boundary and are excluded. */
 EdgeId countCutEdges(const CsrGraph &g,
                      const std::vector<int32_t> &assignment);
 

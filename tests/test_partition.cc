@@ -148,6 +148,87 @@ TEST(Partition, DisconnectedComponentsHandled)
     EXPECT_EQ(res.cutEdges, 0);
 }
 
+TEST(Partition, SelfLoopsNeverCut)
+{
+    // Regression for the self-loop accounting bug: a self-loop
+    // stays intact under any assignment, so it must neither count
+    // toward the cut nor bias refinement's connectivity gains.
+    CooGraph coo;
+    coo.numNodes = 4;
+    for (NodeId v = 0; v < 4; ++v)
+        coo.addEdge(v, v);
+    coo.addEdge(0, 1);
+    coo.addEdge(1, 0);
+    coo.addEdge(2, 3);
+    coo.addEdge(3, 2);
+    CsrGraph g = cooToCsr(coo);
+    // Any assignment: the four self-loops are invisible to the cut.
+    EXPECT_EQ(countCutEdges(g, {0, 1, 0, 1}), 4u);
+    EXPECT_EQ(countCutEdges(g, {0, 0, 1, 1}), 0u);
+    EXPECT_EQ(countCutEdges(g, {0, 0, 0, 0}), 0u);
+}
+
+TEST(Partition, PinnedCutOnPlantedGraph)
+{
+    // Two cliques of 4 joined by one (bidirected) bridge, every node
+    // carrying self-loops: the optimal 2-way cut is exactly the
+    // bridge.  Before the refine() fix, the self-loop weight
+    // inflated conn[cur] and could strand boundary nodes, so this
+    // pins the exact cut count.
+    CooGraph coo;
+    coo.numNodes = 8;
+    for (NodeId a = 0; a < 4; ++a)
+        for (NodeId b = 0; b < 4; ++b)
+            if (a != b) {
+                coo.addEdge(a, b);
+                coo.addEdge(a + 4, b + 4);
+            }
+    for (NodeId v = 0; v < 8; ++v) {
+        coo.addEdge(v, v);
+        coo.addEdge(v, v); // double self-loops raise the stakes
+    }
+    coo.addEdge(3, 4);
+    coo.addEdge(4, 3);
+    CsrGraph g = cooToCsr(coo);
+    for (uint64_t seed = 30; seed < 35; ++seed) {
+        core::Rng rng(seed);
+        auto res = partitionGraph(g, 2, rng);
+        EXPECT_EQ(res.cutEdges, 2u) << "seed " << seed;
+        EXPECT_EQ(res.cutEdges, countCutEdges(g, res.assignment));
+    }
+}
+
+TEST(Partition, HeavySelfLoopsDoNotBlockRefinement)
+{
+    // A pendant node with many self-loops attached to the "wrong"
+    // side: with self-loop weight feeding conn[cur], refinement sees
+    // a large fake internal connectivity and never moves it.
+    CooGraph coo;
+    coo.numNodes = 9;
+    // Clique A = {0..3}, clique B = {4..7}; node 8 pendant on B.
+    for (NodeId a = 0; a < 4; ++a)
+        for (NodeId b = 0; b < 4; ++b)
+            if (a != b) {
+                coo.addEdge(a, b);
+                coo.addEdge(a + 4, b + 4);
+            }
+    coo.addEdge(8, 4);
+    coo.addEdge(4, 8);
+    for (int i = 0; i < 6; ++i)
+        coo.addEdge(8, 8);
+    coo.addEdge(3, 4);
+    coo.addEdge(4, 3);
+    CsrGraph g = cooToCsr(coo);
+    for (uint64_t seed = 40; seed < 45; ++seed) {
+        core::Rng rng(seed);
+        auto res = partitionGraph(g, 2, rng);
+        // 8 must sit with clique B: only the bridge 3<->4 is cut.
+        EXPECT_EQ(res.assignment[8], res.assignment[4])
+            << "seed " << seed;
+        EXPECT_EQ(res.cutEdges, 2u) << "seed " << seed;
+    }
+}
+
 TEST(Partition, DeterministicInRngState)
 {
     CsrGraph g = randomSymmetric(800, 4000, 16);
