@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "gnnbench/device/hierarchy.h"
 #include "gnnbench/graph/datasets.h"
 #include "gnnbench/graph/reorder.h"
 #include "gnnbench/kernels/kernels.h"
@@ -95,6 +96,8 @@ parseOptions(int argc, char **argv, Options opts = Options{})
     // value dies at startup with the clear message instead of being
     // silently ignored by benches that never dispatch a kernel.
     kernels::defaultVariant();
+    // Same contract for the GNNBENCH_DEVICE_* hierarchy knobs.
+    device::deviceConfig();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {

@@ -29,6 +29,15 @@ main(int argc, char **argv)
     profiling::Table speedups({"Dataset", "Framework", "Baseline",
                                "Preload", "Speedup",
                                "Movement reduction"});
+    // Gate rows for scripts/check_bench_regression.py --mode device.
+    struct GateRow
+    {
+        std::string dataset;
+        std::string fw;
+        double speedup;
+        double moveReduction;
+    };
+    std::vector<GateRow> gate_rows;
     profiling::Table breakdown({"Dataset", "Config", "Loading",
                                 "Sampling", "Movement", "Training"});
     profiling::Table prefetch({"Dataset", "Preload", "Prefetch",
@@ -65,6 +74,10 @@ main(int argc, char **argv)
                                          std::max(move_pre, 1e-9),
                                      1) +
                      "x"});
+            gate_rows.push_back(
+                {name, models::frameworkName(fw),
+                 base.totalSeconds() / pre.totalSeconds(),
+                 move_base / std::max(move_pre, 1e-9)});
             for (const auto *r : {&base, &pre}) {
                 breakdown.addRow(
                     {name,
@@ -106,10 +119,54 @@ main(int argc, char **argv)
     std::printf("\n--- Pre-fetch ablation (DGL, paper Sec. 4.3; "
                 "\"improved, albeit a little bit\") ---\n");
     prefetch.print();
-    bench::writeJsonReport(opts, "fig18_19_preload",
-                           {{"speedups", &speedups},
-                            {"breakdown", &breakdown},
-                            {"prefetch", &prefetch}});
+    bench::writeJsonReport(
+        opts, "fig18_19_preload",
+        {{"speedups", &speedups},
+         {"breakdown", &breakdown},
+         {"prefetch", &prefetch}},
+        {}, nullptr, [&](profiling::JsonWriter &w) {
+            w.beginArray("results");
+            for (const auto &gr : gate_rows) {
+                // Pre-loading must help end-to-end: with features in
+                // VRAM the per-batch movement collapses to structure
+                // bytes, so the tiered model has to reproduce the
+                // paper's Figure 18 direction on every dataset.
+                w.beginObject();
+                w.value("variant", "device");
+                w.value("op", "preload_speedup");
+                w.value("method", gr.dataset + ":" + gr.fw);
+                w.value("value", gr.speedup);
+                w.value("floor", 1.01);
+                w.value("no_regress", true);
+                w.endObject();
+                w.beginObject();
+                w.value("variant", "device");
+                w.value("op", "movement_reduction");
+                w.value("method", gr.dataset + ":" + gr.fw);
+                w.value("value", gr.moveReduction);
+                w.value("floor", 2.0);
+                w.value("no_regress", true);
+                w.endObject();
+            }
+            // Fraction of modeled kernel traffic the fusion layer
+            // eliminated across the whole run (dglx fuses its
+            // SpMM+mean chain; pygx rejects, per Observation 3).
+            auto &reg = profiling::MetricsRegistry::global();
+            const double saved = static_cast<double>(
+                reg.counter("device.fusion.fused_bytes_saved")
+                    .value());
+            const double kernel_bytes = static_cast<double>(
+                reg.counter("device.kernel.bytes").value());
+            w.beginObject();
+            w.value("variant", "device");
+            w.value("op", "fused_traffic_reduction");
+            w.value("value",
+                    saved / std::max(saved + kernel_bytes, 1.0));
+            w.value("floor", 0.005);
+            w.value("no_regress", true);
+            w.endObject();
+            w.endArray();
+        });
     std::printf(
         "\nExpected shape: movement reduced up to ~20x, total up to "
         "~2x (Observation 6); prefetch adds a small extra gain.\n");

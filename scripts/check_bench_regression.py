@@ -37,6 +37,18 @@ history files (``--bench-file``):
   baseline.  Because the model is noise-free, the history tripwire
   applies at full strength to rows not marked ``no_regress``.
 
+``device`` (history ``BENCH_device.json``)
+  Runs ``fig18_19_preload --json`` on a small flickr slice (the
+  GraphSAGE preload-vs-baseline comparison through the tiered
+  memory-hierarchy model).  Gated rows: the end-to-end preload
+  speedup per framework (``floor`` 1.01x — preload must help, per
+  the paper's Observation 6), the data-movement reduction
+  (``floor`` 2.0x), and the fused fraction of modeled kernel
+  traffic (``floor`` 0.005 — the dglx fusion path must keep
+  eliminating intermediate traffic).  The rows mix wall-clock and
+  modeled time, so they are ``no_regress``; the floors are the
+  contract.
+
 In both modes every run that passes is appended to the history file
 so drift stays observable.  Rows are keyed ``variant:op`` (reorder
 rows ``variant:op:method``); entries recorded before the per-variant
@@ -67,6 +79,7 @@ DEFAULT_BENCH_FILES = {
     "kernels": "BENCH_kernels.json",
     "serve": "BENCH_serve.json",
     "dist": "BENCH_dist.json",
+    "device": "BENCH_device.json",
 }
 
 
@@ -113,6 +126,12 @@ def bench_cmd(args, json_path):
         # The ablation's baked-in defaults (dataset, scale, rank
         # sweep) are the gated configuration.
         return [args.binary, "--json", json_path]
+    if args.mode == "device":
+        # Small fixed slice: big enough that preload/fusion effects
+        # dominate, small enough for a CI gate.
+        return [args.binary, "--json", json_path,
+                "--datasets", "flickr", "--scale", "0.05",
+                "--epochs", "2"]
     return [args.binary, "--json", json_path,
             "--requests", str(args.requests),
             "--target-qps", str(args.target_qps)]

@@ -22,9 +22,19 @@
 # equals the comm.messages counter, non-negative comm.* byte
 # counters, and (via check_common) monotonic per-lane timestamps.
 #
+# When a fourth binary (fig18_19_preload) and/or a fifth
+# (fig20_21_gpu_sampler) is given, their reports are validated for the
+# memory-hierarchy schema: the "gnnbench.device" section (per-tier
+# hit/miss/evict counters obeying the conservation identities, fusion
+# tallies, DMA/UVA byte streams), the per-stage "device/* (modeled)"
+# trace lanes with monotonic timestamps, bulk DMA traffic on the
+# preload bench, and zero-copy UVA traffic on the UVA-sampler bench.
+#
 # Usage: check_trace.sh [path-to-fig06_09_graphsage]
 #                       [path-to-ablation_magnifying_glass]
 #                       [path-to-ablation_distributed_scaling]
+#                       [path-to-fig18_19_preload]
+#                       [path-to-fig20_21_gpu_sampler]
 # Without arguments the binaries are taken from build/bench/.
 set -euo pipefail
 
@@ -32,6 +42,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 bench="${1:-$repo/build/bench/fig06_09_graphsage}"
 ablation="${2:-$repo/build/bench/ablation_magnifying_glass}"
 dist="${3:-$repo/build/bench/ablation_distributed_scaling}"
+preload="${4:-$repo/build/bench/fig18_19_preload}"
+uva="${5:-$repo/build/bench/fig20_21_gpu_sampler}"
 
 if [ ! -x "$bench" ]; then
     echo "error: bench binary not found: $bench" >&2
@@ -42,7 +54,9 @@ fi
 out="$(mktemp -t gnnbench_trace.XXXXXX.json)"
 aout="$(mktemp -t gnnbench_ablation.XXXXXX.json)"
 dout="$(mktemp -t gnnbench_dist.XXXXXX.json)"
-trap 'rm -f "$out" "$aout" "$dout"' EXIT
+pout="$(mktemp -t gnnbench_preload.XXXXXX.json)"
+uout="$(mktemp -t gnnbench_uva.XXXXXX.json)"
+trap 'rm -f "$out" "$aout" "$dout" "$pout" "$uout"' EXIT
 
 "$bench" --datasets flickr --scale 0.05 --epochs 1 --workers 2 \
     --json "$out" >/dev/null
@@ -65,8 +79,29 @@ else
          "its checks" >&2
 fi
 
+have_preload=0
+if [ -x "$preload" ]; then
+    "$preload" --datasets flickr --scale 0.05 --epochs 1 \
+        --json "$pout" >/dev/null
+    have_preload=1
+else
+    echo "note: preload bench not found ($preload); skipping its" \
+         "checks" >&2
+fi
+
+have_uva=0
+if [ -x "$uva" ]; then
+    "$uva" --datasets flickr --scale 0.05 --epochs 1 \
+        --json "$uout" >/dev/null
+    have_uva=1
+else
+    echo "note: gpu-sampler bench not found ($uva); skipping its" \
+         "checks" >&2
+fi
+
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$out" "$aout" "$have_ablation" "$dout" "$have_dist" \
+        "$pout" "$have_preload" "$uout" "$have_uva" \
         <<'EOF'
 import json
 import sys
@@ -207,6 +242,93 @@ if sys.argv[5] == "1":
                 f"{r['op']}: not bit-exact vs the 1-rank baseline"
     print(f"dist OK: {len(dlanes)} lanes, {len(halo_events)} halo "
           f"messages, {len(allreduce_events)} allreduce events")
+
+
+def check_device_section(report):
+    """Validate the gnnbench.device memory-hierarchy schema."""
+    dev = report["device"]
+    assert dev["tile_bytes"] > 0, "non-positive tile_bytes"
+
+    fusion = dev["fusion"]
+    for key in ("enabled", "fused_pairs", "fused_bytes_saved",
+                "rejected_pairs"):
+        assert key in fusion, f"device.fusion missing {key}"
+
+    for tier in ("l2", "vram"):
+        t = dev["tiers"][tier]
+        for key in ("capacity_bytes", "hits", "misses", "evictions"):
+            assert key in t, f"device.tiers.{tier} missing {key}"
+            assert t[key] >= 0, f"negative {tier}.{key}"
+        assert t["capacity_bytes"] > 0, f"zero {tier} capacity"
+
+    # Conservation identities, cross-checked against the raw
+    # counters: hits + misses == accesses for every tier.
+    counters = report["metrics"]["counters"]
+    for tier in ("l2", "vram"):
+        for key in ("hits", "misses", "evictions"):
+            assert dev["tiers"][tier][key] == \
+                counters[f"device.{tier}.{key}"], \
+                f"device.{tier}.{key} disagrees with the counter"
+
+    for key in ("dma", "uva"):
+        for field in dev[key].values():
+            assert field >= 0, f"negative device.{key} field"
+    return dev
+
+
+def check_device_lanes(doc, expect):
+    lanes = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    for lane in expect:
+        assert lane in lanes, f"missing lane {lane} in {sorted(lanes)}"
+    return lanes
+
+
+if sys.argv[7] == "1":
+    pdoc, preport, _ = check_common(sys.argv[6])
+    pdev = check_device_section(preport)
+    # Pre-loading streams the feature matrix over the DMA engine and
+    # gathers must find it on-device: bulk DMA traffic, VRAM hits,
+    # no stray zero-copy traffic from this CPUGPU bench.
+    assert pdev["dma"]["bytes"] > 0, "preload bench moved no DMA bytes"
+    assert pdev["preload_bytes"] > 0, "no preloaded bytes recorded"
+    assert pdev["tiers"]["vram"]["hits"] > 0, \
+        "preloaded gathers never hit the VRAM tier"
+    assert pdev["gather_rows"] > 0, "no tiered gathers recorded"
+    l2 = pdev["tiers"]["l2"]
+    assert l2["hits"] + l2["misses"] > 0, "L2 tier never probed"
+    check_device_lanes(pdoc, ["device/dma (modeled)",
+                              "device/vram (modeled)",
+                              "device/l2 (modeled)"])
+    prows = pdoc["results"]
+    assert prows, "preload bench emitted no gate rows"
+    ops = {r["op"] for r in prows}
+    for op in ("preload_speedup", "movement_reduction",
+               "fused_traffic_reduction"):
+        assert op in ops, f"missing gate row {op}"
+    assert pdev["fusion"]["fused_pairs"] > 0, \
+        "dglx runs recorded no fused pairs"
+    assert pdev["fusion"]["rejected_pairs"] > 0, \
+        "pygx runs recorded no rejected pairs (Observation 3)"
+    print(f"preload OK: {pdev['dma']['bytes']} DMA bytes, "
+          f"{pdev['tiers']['vram']['hits']} VRAM hits, "
+          f"{pdev['fusion']['fused_pairs']} fused pairs")
+
+if sys.argv[9] == "1":
+    udoc, ureport, _ = check_common(sys.argv[8])
+    udev = check_device_section(ureport)
+    # The UVA sampler reads neighbor lists zero-copy: the link
+    # transactions and bytes must come from the hierarchy, and the
+    # GPU-resident config must have pre-loaded over DMA.
+    assert udev["uva"]["transactions"] > 0, \
+        "UVA sampler crossed the link zero times"
+    assert udev["uva"]["bytes"] > 0, "no zero-copy bytes recorded"
+    assert udev["dma"]["bytes"] > 0, "GPU-resident config never DMAed"
+    check_device_lanes(udoc, ["device/dma (modeled)",
+                              "device/ctrl (modeled)",
+                              "device/vram (modeled)"])
+    print(f"uva OK: {udev['uva']['transactions']} zero-copy "
+          f"transactions, {udev['uva']['bytes']} bytes")
 EOF
 else
     # Minimal fallback when python3 is unavailable.
@@ -229,6 +351,18 @@ else
         grep -q 'allreduce:' "$dout"
         grep -q '"comm.messages"' "$dout"
         grep -q '"results"' "$dout"
+    fi
+    if [ "$have_preload" = 1 ]; then
+        grep -q '"device"' "$pout"
+        grep -q '"device/dma (modeled)"' "$pout"
+        grep -q '"device/vram (modeled)"' "$pout"
+        grep -q '"fused_bytes_saved"' "$pout"
+        grep -q '"preload_speedup"' "$pout"
+    fi
+    if [ "$have_uva" = 1 ]; then
+        grep -q '"device"' "$uout"
+        grep -q '"device/ctrl (modeled)"' "$uout"
+        grep -q '"device.uva.transactions"' "$uout"
     fi
     echo "trace OK (grep fallback; python3 not found)"
 fi

@@ -59,12 +59,16 @@ Session::chargeGpuKernel(const KernelDesc &desc)
     const double t = gpuModel_.kernelTime(desc);
     modeled_.gpuSeconds += t;
     modeled_.gpuUtilSeconds += t * gpuModel_.kernelUtilization(desc);
+    static profiling::Counter &kernel_bytes =
+        profiling::MetricsRegistry::global().counter(
+            "device.kernel.bytes");
+    kernel_bytes.add(desc.bytes);
 }
 
 void
 Session::transfer(uint64_t bytes)
 {
-    modeled_.xferSeconds += gpuModel_.transferTime(bytes);
+    modeled_.xferSeconds += hier_.dmaTransfer(bytes);
     h2dBytesCounter().add(bytes);
 }
 
@@ -72,7 +76,7 @@ void
 Session::transferOverlapped(uint64_t bytes, double overlap_seconds)
 {
     GNNBENCH_ASSERT(overlap_seconds >= 0.0, "negative overlap");
-    const double t = gpuModel_.transferTime(bytes);
+    const double t = hier_.dmaTransfer(bytes, "h2d:overlapped");
     modeled_.xferSeconds += std::max(0.0, t - overlap_seconds);
     h2dBytesCounter().add(bytes);
 }
@@ -80,12 +84,50 @@ Session::transferOverlapped(uint64_t bytes, double overlap_seconds)
 void
 Session::uvaAccess(uint64_t bytes)
 {
+    uvaAccess(bytes, hier_.defaultTxns(bytes));
+}
+
+void
+Session::uvaAccess(uint64_t bytes, uint64_t txns)
+{
     // UVA reads stall the GPU-side consumer, so they are accounted as
     // GPU time at low utilization (the SMs mostly wait on PCIe).
-    const double t = gpuModel_.uvaAccessTime(bytes);
+    const double t = hier_.uvaRead(bytes, txns);
     modeled_.gpuSeconds += t;
     modeled_.gpuUtilSeconds += t * 0.15;
     uvaBytesCounter().add(bytes);
+}
+
+FeatureRegion
+Session::registerRegion(int64_t rows, int64_t row_bytes)
+{
+    return hier_.registerRegion(rows, row_bytes);
+}
+
+void
+Session::preloadRegion(const FeatureRegion &region)
+{
+    modeled_.xferSeconds += hier_.preloadRegion(region);
+    h2dBytesCounter().add(region.bytes());
+}
+
+void
+Session::gatherFromRegion(const FeatureRegion &region,
+                          const std::vector<NodeId> &rows,
+                          Placement placement)
+{
+    const MemoryHierarchy::GatherCost c =
+        hier_.gatherRead(region, rows, placement);
+    const double t =
+        gpuModel_.spec().kernelLaunchLatency + c.gpuSeconds;
+    modeled_.gpuSeconds += t;
+    // A gather out of VRAM keeps the SMs moderately busy; a zero-copy
+    // gather leaves them mostly waiting on the link.
+    modeled_.gpuUtilSeconds +=
+        t * (placement == Placement::Device ? 0.40 : 0.15);
+    modeled_.xferSeconds += c.xferSeconds;
+    if (c.uvaBytes > 0)
+        uvaBytesCounter().add(c.uvaBytes);
 }
 
 void

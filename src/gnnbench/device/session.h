@@ -23,9 +23,11 @@
 #define GNNBENCH_DEVICE_SESSION_H
 
 #include <utility>
+#include <vector>
 
 #include "gnnbench/core/timer.h"
 #include "gnnbench/device/device.h"
+#include "gnnbench/device/hierarchy.h"
 
 namespace gnnbench {
 namespace device {
@@ -88,8 +90,31 @@ class Session
      */
     void transferOverlapped(uint64_t bytes, double overlap_seconds);
 
-    /** Charge a modeled zero-copy (UVA) access from the GPU. */
+    /** Charge a modeled zero-copy (UVA) access from the GPU, split
+     *  into tile-granular transactions. */
     void uvaAccess(uint64_t bytes);
+
+    /** Charge a modeled zero-copy (UVA) access of @p txns discrete
+     *  transactions (e.g. one per gathered row). */
+    void uvaAccess(uint64_t bytes, uint64_t txns);
+
+    /// @name Memory-hierarchy feature placement
+    /// @{
+    /** Register a row-addressable feature array with the hierarchy. */
+    FeatureRegion registerRegion(int64_t rows, int64_t row_bytes);
+
+    /** Stream a region into the VRAM tier (charged as transfer). */
+    void preloadRegion(const FeatureRegion &region);
+
+    /**
+     * Charge a modeled row gather from @p region through the cache
+     * tiers.  Placement::Device reads VRAM (demand-paging misses over
+     * the DMA engine); Placement::Host reads zero-copy.
+     */
+    void gatherFromRegion(const FeatureRegion &region,
+                          const std::vector<NodeId> &rows,
+                          Placement placement);
+    /// @}
 
     /** Charge modeled CPU-side overhead (e.g. interpreter cost). */
     void chargeCpuOverhead(double seconds);
@@ -117,6 +142,7 @@ class Session
 
     const GpuModel &gpu() const { return gpuModel_; }
     const CpuSpec &cpuSpec() const { return cpuSpec_; }
+    const MemoryHierarchy &hierarchy() const { return hier_; }
 
     /**
      * Virtual seconds between two snapshots:
@@ -127,6 +153,7 @@ class Session
   private:
     GpuModel gpuModel_;
     CpuSpec cpuSpec_;
+    MemoryHierarchy hier_;
     core::Timer clock_;
     double excludedWall_ = 0.0;
     ModeledTotals modeled_;

@@ -63,12 +63,18 @@ GpuNeighborSampler::sample(const std::vector<NodeId> &seeds)
             session_.chargeGpuKernel(desc);
         } else {
             // UVA: neighbor-list reads cross PCIe zero-copy; block
-            // assembly writes stay in device memory.
+            // assembly writes stay in device memory.  Each
+            // destination's neighbor list is one coalesced link
+            // transaction, so the per-transaction controller overhead
+            // of the tiered link model — not a hand-tuned efficiency
+            // constant — makes zero-copy slightly slower than
+            // device-resident reads (Figure 20).
             desc.bytes = bytes_written;
             desc.efficiency = costs_.randomAccessEff;
             session_.chargeGpuKernel(desc);
-            session_.uvaAccess(static_cast<uint64_t>(
-                bytes_read / costs_.uvaEff));
+            session_.uvaAccess(
+                static_cast<uint64_t>(bytes_read),
+                static_cast<uint64_t>(blk.dstNodes.size()));
         }
     }
     return out;

@@ -34,9 +34,6 @@ struct GpuSamplerCosts
     /** Kernel launches per sampled layer (frontier build, pick,
      *  unique, block assembly). */
     int kernelsPerLayer = 4;
-    /** Achieved fraction of UVA bandwidth for zero-copy sampling
-     *  reads (neighbor lists are contiguous, so coalescing is good). */
-    double uvaEff = 0.75;
 };
 
 /** Neighbor sampler executing (in model time) on the GPU. */

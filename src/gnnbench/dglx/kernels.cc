@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "gnnbench/core/timer.h"
+#include "gnnbench/kernels/fusion.h"
 #include "gnnbench/kernels/kernels.h"
 
 namespace gnnbench {
@@ -297,6 +298,137 @@ spmmScatterBwdVar(std::shared_ptr<const graph::CsrGraph> csc,
                 x->accumulateGrad(
                     gspmmScatter(*csc, n.grad, wb, ctx));
             }
+        });
+}
+
+namespace {
+
+/** Inverse in-degree per csc row — the SAGE mean normalization,
+ *  computed with the exact expression the materialized row-scale
+ *  path uses so fused and fallback normalize bit-identically. */
+std::vector<float>
+invDegree(const graph::CsrGraph &csc)
+{
+    std::vector<float> s(static_cast<size_t>(csc.numRows));
+    for (NodeId v = 0; v < csc.numRows; ++v) {
+        const EdgeId d = csc.indptr[v + 1] - csc.indptr[v];
+        s[static_cast<size_t>(v)] =
+            d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    }
+    return s;
+}
+
+/**
+ * Record the spmm→row-scale chain in a kernel graph and ask it
+ * whether the normalization may fold into the aggregation kernel.
+ * The eliminated traffic is the two materialized elementwise passes
+ * over the out_rows x f sum tensor (8 bytes/element each, forward
+ * and backward).
+ */
+bool
+fuseMeanChain(const graph::CsrGraph &csc, int64_t f)
+{
+    kernels::KernelGraph g(/*framework_supports_fusion=*/true);
+    const uint64_t numel = static_cast<uint64_t>(csc.numRows) *
+                           static_cast<uint64_t>(f);
+    const int agg =
+        g.addNode(kernels::FusedOp::Spmm, "gspmm", 4 * numel);
+    const int scale =
+        g.addNode(kernels::FusedOp::RowScale, "row_scale", 4 * numel);
+    g.addEdge(agg, scale);
+    return g.fuse(agg, scale, 16 * numel);
+}
+
+} // namespace
+
+core::ag::Var
+spmmMeanVar(const graph::CsrGraph &csc,
+            std::shared_ptr<const graph::CsrGraph> bwd,
+            const core::ag::Var &x, const KernelCtx &ctx)
+{
+    const int64_t f = x->value.cols();
+    if (!fuseMeanChain(csc, f)) {
+        core::ag::Var agg =
+            spmmVar(csc, nullptr, std::move(bwd), nullptr, x, ctx);
+        std::vector<float> inv;
+        runPrep(ctx, static_cast<double>(csc.numRows),
+                [&] { inv = invDegree(csc); });
+        return rowScaleVar(agg, std::move(inv), ctx);
+    }
+    KernelDesc desc = spmmDesc(csc, f, false, ctx.costs);
+    desc.name = "gspmm_mean";
+    Tensor y;
+    runKernel(ctx, desc, [&] {
+        y = kernels::spmm(csc, x->value, kernels::ReduceOp::Mean);
+    });
+    // Backward folds the inverse destination degree into the
+    // transposed aggregation's edge weights: bwd's indices are
+    // destinations, so w[e] = inv[bwd.indices[e]].
+    auto w_bwd = std::make_shared<std::vector<float>>();
+    {
+        const graph::CsrGraph &b = *bwd;
+        runPrep(ctx,
+                static_cast<double>(csc.numRows) +
+                    static_cast<double>(b.numEdges()),
+                [&] {
+                    const std::vector<float> inv = invDegree(csc);
+                    w_bwd->resize(static_cast<size_t>(b.numEdges()));
+                    for (EdgeId e = 0; e < b.numEdges(); ++e)
+                        (*w_bwd)[static_cast<size_t>(e)] = inv[
+                            static_cast<size_t>(b.indices[e])];
+                });
+    }
+    return core::ag::makeOp(
+        "dglx.spmm_mean", std::move(y), {x},
+        [bwd = std::move(bwd), w_bwd = std::move(w_bwd), x,
+         ctx](core::ag::Node &n) {
+            if (x->requiresGrad)
+                x->accumulateGrad(gspmm(*bwd, n.grad, Reducer::Sum,
+                                        w_bwd->data(), ctx));
+        });
+}
+
+core::ag::Var
+spmmMeanScatterBwdVar(std::shared_ptr<const graph::CsrGraph> csc,
+                      const core::ag::Var &x, const KernelCtx &ctx)
+{
+    const graph::CsrGraph &g = *csc;
+    const int64_t f = x->value.cols();
+    if (!fuseMeanChain(g, f)) {
+        core::ag::Var agg = spmmScatterBwdVar(csc, nullptr, x, ctx);
+        std::vector<float> inv;
+        runPrep(ctx, static_cast<double>(g.numRows),
+                [&] { inv = invDegree(g); });
+        return rowScaleVar(agg, std::move(inv), ctx);
+    }
+    KernelDesc desc = spmmDesc(g, f, false, ctx.costs);
+    desc.name = "gspmm_mean";
+    Tensor y;
+    runKernel(ctx, desc, [&] {
+        y = kernels::spmm(g, x->value, kernels::ReduceOp::Mean);
+    });
+    // Scatter-form backward over the same adjacency: each edge's
+    // weight is the inverse degree of its destination row.
+    auto w_bwd = std::make_shared<std::vector<float>>();
+    runPrep(ctx,
+            static_cast<double>(g.numRows) +
+                static_cast<double>(g.numEdges()),
+            [&] {
+                const std::vector<float> inv = invDegree(g);
+                w_bwd->resize(static_cast<size_t>(g.numEdges()));
+                for (NodeId r = 0; r < g.numRows; ++r)
+                    for (EdgeId e = g.indptr[r]; e < g.indptr[r + 1];
+                         ++e)
+                        (*w_bwd)[static_cast<size_t>(e)] =
+                            inv[static_cast<size_t>(r)];
+            });
+    return core::ag::makeOp(
+        "dglx.spmm_mean", std::move(y), {x},
+        [csc = std::move(csc), w_bwd = std::move(w_bwd), x,
+         ctx](core::ag::Node &n) {
+            if (x->requiresGrad)
+                x->accumulateGrad(gspmmScatter(*csc, n.grad,
+                                               w_bwd->data(), ctx));
         });
 }
 

@@ -161,6 +161,32 @@ core::ag::Var spmmScatterBwdVar(
     std::shared_ptr<const std::vector<float>> w, const core::ag::Var &x,
     const KernelCtx &ctx);
 
+/**
+ * Differentiable *mean* aggregation, recorded as an spmm→row-scale
+ * chain in the kernel graph.  When the chain fuses
+ * (GNNBENCH_DEVICE_FUSION on), the degree normalization folds into a
+ * single "gspmm_mean" kernel — forward skips the materialized sum
+ * tensor, backward folds the inverse destination degrees into the
+ * transposed aggregation's edge weights — and the eliminated
+ * elementwise passes are booked as fused_bytes_saved.  When the fuse
+ * is declined it falls back to Sum + rowScaleVar.  Both executions
+ * are bit-identical for any variant and thread count.  @p bwd is the
+ * transposed adjacency the backward aggregates through (as spmmVar).
+ */
+core::ag::Var spmmMeanVar(const graph::CsrGraph &csc,
+                          std::shared_ptr<const graph::CsrGraph> bwd,
+                          const core::ag::Var &x, const KernelCtx &ctx);
+
+/**
+ * Mean-aggregation counterpart of spmmScatterBwdVar for bipartite
+ * blocks: same fusion/fallback behavior as spmmMeanVar, backward runs
+ * the scatter-form kernel over the same adjacency with inverse-degree
+ * edge weights.
+ */
+core::ag::Var spmmMeanScatterBwdVar(
+    std::shared_ptr<const graph::CsrGraph> csc, const core::ag::Var &x,
+    const KernelCtx &ctx);
+
 /** Differentiable GEMM through the device model. */
 core::ag::Var gemmVar(const core::ag::Var &a, const core::ag::Var &b,
                       const KernelCtx &ctx);

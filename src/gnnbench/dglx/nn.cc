@@ -61,23 +61,23 @@ computeGcnNorm(const graph::CsrGraph &sym_adj)
 }
 
 std::vector<float>
+computeInvDegree(const graph::CsrGraph &csc)
+{
+    std::vector<float> s(csc.numRows);
+    for (NodeId v = 0; v < csc.numRows; ++v) {
+        const auto d = csc.degree(v);
+        s[v] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    }
+    return s;
+}
+
+std::vector<float>
 computeSelfScale(const graph::CsrGraph &sym_adj)
 {
     std::vector<float> s(sym_adj.numRows);
     for (NodeId v = 0; v < sym_adj.numRows; ++v)
         s[v] =
             1.0f / (static_cast<float>(sym_adj.degree(v)) + 1.0f);
-    return s;
-}
-
-std::vector<float>
-computeInvDegree(const graph::CsrGraph &csc)
-{
-    std::vector<float> s(csc.numRows);
-    for (NodeId v = 0; v < csc.numRows; ++v) {
-        const EdgeId d = csc.degree(v);
-        s[v] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
-    }
     return s;
 }
 
@@ -224,12 +224,9 @@ SageConv::SageConv(int64_t in_dim, int64_t out_dim, core::Rng &rng,
 Var
 SageConv::forward(const Graph &g, const Var &x, const KernelCtx &ctx)
 {
-    Var agg = spmmVar(g.csc(), nullptr, borrow(g.csr()), nullptr, x,
-                      ctx);
-    std::vector<float> inv_deg;
-    runPrep(ctx, static_cast<double>(g.numNodes()),
-            [&] { inv_deg = computeInvDegree(g.csc()); });
-    agg = rowScaleVar(agg, std::move(inv_deg), ctx);
+    // Mean aggregation through the kernel graph: the spmm→row-scale
+    // chain fuses into one gspmm_mean kernel when fusion is on.
+    Var agg = spmmMeanVar(g.csc(), borrow(g.csr()), x, ctx);
     Var h = addVar(gemmVar(x, selfWeight_, ctx),
                     gemmVar(agg, neighWeight_, ctx), ctx);
     return addBiasVar(h, bias_, ctx);
@@ -241,12 +238,9 @@ SageConv::forwardBlock(const sampling::Block &block, const Var &x_src,
 {
     // Backward runs the scatter-form kernel over the same block
     // structure — no transpose is ever materialized (DGL's approach).
-    Var agg = spmmScatterBwdVar(borrow(block.csc), nullptr, x_src,
-                                ctx);
-    std::vector<float> inv_deg;
-    runPrep(ctx, static_cast<double>(block.csc.numRows),
-            [&] { inv_deg = computeInvDegree(block.csc); });
-    agg = rowScaleVar(agg, std::move(inv_deg), ctx);
+    // The mean normalization fuses into the aggregation kernel when
+    // the kernel graph allows it.
+    Var agg = spmmMeanScatterBwdVar(borrow(block.csc), x_src, ctx);
     // Destination features are the first |dst| rows of x_src.
     std::vector<NodeId> dst_rows(block.dstNodes.size());
     for (size_t i = 0; i < dst_rows.size(); ++i)
@@ -261,11 +255,7 @@ Var
 SageConv::forwardInduced(const graph::CsrGraph &adj, const Var &x,
                          const KernelCtx &ctx)
 {
-    Var agg = spmmVar(adj, nullptr, borrow(adj), nullptr, x, ctx);
-    std::vector<float> inv_deg;
-    runPrep(ctx, static_cast<double>(adj.numRows),
-            [&] { inv_deg = computeInvDegree(adj); });
-    agg = rowScaleVar(agg, std::move(inv_deg), ctx);
+    Var agg = spmmMeanVar(adj, borrow(adj), x, ctx);
     Var h = addVar(gemmVar(x, selfWeight_, ctx),
                     gemmVar(agg, neighWeight_, ctx), ctx);
     return addBiasVar(h, bias_, ctx);

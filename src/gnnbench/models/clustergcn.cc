@@ -39,14 +39,20 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
                   layer2.params().end());
     core::Adam opt(params, cfg.lr);
 
+    device::FeatureRegion feat_region;
     if (usesGpu(cfg.mode)) {
         auto s = tracker.track(Phase::DataMovement);
+        feat_region = session.registerRegion(ld.features.rows(),
+                                             ld.features.cols() * 4);
         uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
-        if (cfg.preloadFeatures)
-            bytes += ld.features.bytes() +
-                     ld.graph->structureBytes();
+        if (cfg.preloadFeatures) {
+            bytes += ld.graph->structureBytes();
+            session.preloadRegion(feat_region);
+        }
         session.transfer(bytes);
-        GNNBENCH_CHECK(session.reserveGpu(bytes), "GPU memory");
+        const uint64_t resident =
+            bytes + (cfg.preloadFeatures ? ld.features.bytes() : 0);
+        GNNBENCH_CHECK(session.reserveGpu(resident), "GPU memory");
     }
 
     const int32_t num_parts =
@@ -94,7 +100,7 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
                 ld.features, smp.nodes, cfg.mode,
                 cfg.preloadFeatures, cfg.prefetch,
                 prev_train_seconds, session, tracker,
-                smp.structureBytes());
+                smp.structureBytes(), &feat_region);
             const auto sup =
                 localSupervision(smp.nodes, ld.labels, mask);
             const auto t0 = session.snapshot();
@@ -143,14 +149,20 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
                   layer2.params().end());
     core::Adam opt(params, cfg.lr);
 
+    device::FeatureRegion feat_region;
     if (usesGpu(cfg.mode)) {
         auto s = tracker.track(Phase::DataMovement);
+        feat_region = session.registerRegion(ld.features.rows(),
+                                             ld.features.cols() * 4);
         uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
-        if (cfg.preloadFeatures)
-            bytes +=
-                ld.features.bytes() + ld.data->structureBytes();
+        if (cfg.preloadFeatures) {
+            bytes += ld.data->structureBytes();
+            session.preloadRegion(feat_region);
+        }
         session.transfer(bytes);
-        GNNBENCH_CHECK(session.reserveGpu(bytes), "GPU memory");
+        const uint64_t resident =
+            bytes + (cfg.preloadFeatures ? ld.features.bytes() : 0);
+        GNNBENCH_CHECK(session.reserveGpu(resident), "GPU memory");
     }
 
     const int32_t num_parts =
@@ -194,7 +206,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
                 ld.features, batch.nodes, cfg.mode,
                 cfg.preloadFeatures, cfg.prefetch,
                 prev_train_seconds, session, tracker,
-                batch.structureBytes());
+                batch.structureBytes(), &feat_region);
             const auto sup =
                 localSupervision(batch.nodes, ld.labels, mask);
             const auto t0 = session.snapshot();

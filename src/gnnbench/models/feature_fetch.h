@@ -8,6 +8,13 @@
  * sampling phase), PCIe copies count as data movement, pre-loaded /
  * GPU-resident gathers run as modeled GPU kernels, and UVA reads
  * cross PCIe zero-copy.
+ *
+ * When the caller registered the feature matrix with the session's
+ * memory hierarchy (a valid FeatureRegion), device-side gathers walk
+ * the cache tiers — pre-loaded rows hit VRAM/L2, zero-copy rows pay a
+ * per-tile link transaction — so preload and UVA behavior is emergent
+ * from tile placement rather than hand-charged.  Without a region the
+ * legacy flat-cost gather is used.
  */
 
 #ifndef GNNBENCH_MODELS_FEATURE_FETCH_H
@@ -26,6 +33,8 @@ namespace models {
  *
  * @param prev_train_seconds duration of the previous batch's training
  * step, used to hide transfers when @p prefetch is set.
+ * @param region hierarchy registration of @p features (nullptr or
+ * invalid to fall back to flat gather costs).
  */
 inline core::Tensor
 fetchFeatures(const core::Tensor &features,
@@ -33,18 +42,30 @@ fetchFeatures(const core::Tensor &features,
               bool preloaded, bool prefetch, double prev_train_seconds,
               device::Session &session,
               profiling::PhaseTracker &tracker,
-              uint64_t structure_bytes)
+              uint64_t structure_bytes,
+              const device::FeatureRegion *region = nullptr)
 {
     core::Tensor x;
     const uint64_t feat_bytes =
         static_cast<uint64_t>(nodes.size()) * features.cols() * 4;
+    const bool tiered = region != nullptr && region->valid();
 
     auto gather_cpu = [&] {
         auto s = tracker.track(profiling::Phase::Sampling);
         x = core::ops::gatherRows(features, nodes);
     };
+    // Device-side gather: through the cache tiers when the matrix is
+    // registered, through the legacy flat kernel model otherwise.
     auto gather_gpu = [&] {
         auto s = tracker.track(profiling::Phase::Sampling);
+        if (tiered) {
+            core::Timer t;
+            x = core::ops::gatherRows(features, nodes);
+            session.excludeWall(t.elapsed());
+            session.gatherFromRegion(*region, nodes,
+                                     device::Placement::Device);
+            return;
+        }
         device::KernelDesc desc;
         desc.name = "feature_gather";
         desc.bytes = 2.0 * static_cast<double>(feat_bytes);
@@ -86,7 +107,11 @@ fetchFeatures(const core::Tensor &features,
         core::Timer t;
         x = core::ops::gatherRows(features, nodes);
         session.excludeWall(t.elapsed());
-        session.uvaAccess(feat_bytes);
+        if (tiered)
+            session.gatherFromRegion(*region, nodes,
+                                     device::Placement::Host);
+        else
+            session.uvaAccess(feat_bytes);
         break;
       }
     }

@@ -60,15 +60,25 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
 
     // One-time data movement: initial model, plus graph + features
     // when pre-loading (mandatory for the GPU-resident sampler).
+    // The feature matrix is registered with the memory hierarchy so
+    // per-batch gathers walk the cache tiers; pre-loading streams its
+    // tiles into the VRAM tier up front.
     const bool preloaded =
         cfg.preloadFeatures || cfg.mode == RunMode::GPU;
+    device::FeatureRegion feat_region;
     if (usesGpu(cfg.mode)) {
         auto s = tracker.track(Phase::DataMovement);
+        feat_region = session.registerRegion(ld.features.rows(),
+                                             ld.features.cols() * 4);
         uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
-        if (preloaded)
-            bytes += ld.features.bytes() + g.structureBytes();
+        if (preloaded) {
+            bytes += g.structureBytes();
+            session.preloadRegion(feat_region);
+        }
         session.transfer(bytes);
-        GNNBENCH_CHECK(session.reserveGpu(bytes),
+        const uint64_t resident =
+            bytes + (preloaded ? ld.features.bytes() : 0);
+        GNNBENCH_CHECK(session.reserveGpu(resident),
                        "graph + features exceed GPU memory; "
                        "pre-loading infeasible");
     }
@@ -133,7 +143,7 @@ runDglx(const graph::Dataset &dataset, const TrainConfig &cfg,
             core::Tensor x = fetchFeatures(
                 ld.features, smp.inputNodes(), cfg.mode, preloaded,
                 cfg.prefetch, prev_train_seconds, session, tracker,
-                structure_bytes);
+                structure_bytes, &feat_region);
 
             const auto t0 = session.snapshot();
             {
@@ -205,13 +215,20 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
     core::Adam opt(params, cfg.lr);
 
     const bool preloaded = cfg.preloadFeatures;
+    device::FeatureRegion feat_region;
     if (usesGpu(cfg.mode)) {
         auto s = tracker.track(Phase::DataMovement);
+        feat_region = session.registerRegion(ld.features.rows(),
+                                             ld.features.cols() * 4);
         uint64_t bytes = layer1.paramBytes() + layer2.paramBytes();
-        if (preloaded)
-            bytes += ld.features.bytes() + ld.data->structureBytes();
+        if (preloaded) {
+            bytes += ld.data->structureBytes();
+            session.preloadRegion(feat_region);
+        }
         session.transfer(bytes);
-        GNNBENCH_CHECK(session.reserveGpu(bytes),
+        const uint64_t resident =
+            bytes + (preloaded ? ld.features.bytes() : 0);
+        GNNBENCH_CHECK(session.reserveGpu(resident),
                        "graph + features exceed GPU memory; "
                        "pre-loading infeasible");
     }
@@ -253,7 +270,7 @@ runPygx(const graph::Dataset &dataset, const TrainConfig &cfg,
             core::Tensor x = fetchFeatures(
                 ld.features, batch.inputNodes(), cfg.mode, preloaded,
                 cfg.prefetch, prev_train_seconds, session, tracker,
-                batch.structureBytes());
+                batch.structureBytes(), &feat_region);
 
             const auto t0 = session.snapshot();
             {

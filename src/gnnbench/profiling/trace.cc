@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "gnnbench/core/common.h"
+#include "gnnbench/device/hierarchy.h"
 #include "gnnbench/profiling/metrics_registry.h"
 #include "gnnbench/profiling/perf_counters.h"
 #include "gnnbench/profiling/roofline.h"
@@ -381,6 +382,7 @@ writeRunReport(const std::string &path, const RunReportContext &ctx)
     if (ctx.metrics)
         ctx.metrics->writeJson(w, "metrics");
     writeRooflineJson(w, "roofline", ctx.metrics);
+    device::writeDeviceJson(w, "device");
     // "available" or the explicit "unavailable (...)" fallback — the
     // report always says which one the PMU numbers (don't) come from.
     w.value("perf", perfStatusLabel());

@@ -7,6 +7,7 @@
 
 #include "gnnbench/core/parallel.h"
 #include "gnnbench/core/timer.h"
+#include "gnnbench/kernels/fusion.h"
 #include "gnnbench/kernels/kernels.h"
 
 namespace gnnbench {
@@ -302,6 +303,30 @@ propagateVar(std::shared_ptr<const std::vector<NodeId>> src,
              NodeId out_rows, NodeId src_rows, const core::ag::Var &x,
              const KernelCtx &ctx)
 {
+    // Record the per-op chain in a kernel graph.  PyG's eager
+    // paradigm cannot execute fused kernels, so the eligible
+    // gather→scatter (or mul-edge→scatter) pair is *rejected* — the
+    // materialized per-edge message tensor below is exactly the
+    // paper's Observation 3 — and the decline is counted under
+    // device.fusion.rejected_pairs.
+    {
+        kernels::KernelGraph kg(/*framework_supports_fusion=*/false);
+        const uint64_t msg_bytes = static_cast<uint64_t>(src->size()) *
+                                   static_cast<uint64_t>(x->value.cols()) *
+                                   sizeof(float);
+        int producer = kg.addNode(kernels::FusedOp::Gather, "gather",
+                                  msg_bytes);
+        if (w) {
+            const int mul = kg.addNode(kernels::FusedOp::MulEdge,
+                                       "mul_edge_scalar", msg_bytes);
+            kg.addEdge(producer, mul);
+            producer = mul;
+        }
+        const int scat =
+            kg.addNode(kernels::FusedOp::Scatter, "scatter_sum", 0);
+        kg.addEdge(producer, scat);
+        kg.fuse(producer, scat, 2 * msg_bytes);
+    }
     // Forward: gather by src, optionally weight, scatter-add by dst.
     Tensor msgs = gather(x->value, *src, ctx);
     if (w) {

@@ -1,0 +1,399 @@
+/**
+ * Differential battery for the multi-kernel fusion layer
+ * (src/gnnbench/kernels/fusion.*).
+ *
+ * The contract under test is the repo-wide determinism guarantee
+ * extended to fusion: a fused executor must be *bit-identical* to the
+ * materialized multi-kernel execution it replaces — for every kernel
+ * variant (Reference/Tiled/Simd), every thread count, weighted and
+ * unweighted — while eliminating the intermediate tensor's modeled
+ * traffic (fused_bytes_saved > 0).  The materialized golden model is
+ * hand-rolled here in separate passes (gather, then scale, then
+ * ascending-edge scatter), so no compiler contraction can leak into
+ * the reference.  KernelGraph's gating rules (eligibility table,
+ * framework support, the GNNBENCH_DEVICE_FUSION knob, single-consumer
+ * requirement) are pinned as unit tests, including the counter
+ * side-effects under device.fusion.*.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gnnbench/check/property.h"
+#include "gnnbench/core/optim.h"
+#include "gnnbench/core/parallel.h"
+#include "gnnbench/core/rng.h"
+#include "gnnbench/device/hierarchy.h"
+#include "gnnbench/dglx/nn.h"
+#include "gnnbench/graph/convert.h"
+#include "gnnbench/graph/generate.h"
+#include "gnnbench/kernels/fusion.h"
+#include "gnnbench/profiling/metrics_registry.h"
+
+#include "test_support.h"
+
+namespace gnnbench {
+namespace kernels {
+namespace {
+
+using check::GraphCase;
+using check::PropertyOptions;
+using check::Result;
+using core::Tensor;
+
+constexpr KernelVariant kVariants[] = {KernelVariant::Reference,
+                                       KernelVariant::Tiled,
+                                       KernelVariant::Simd};
+constexpr int kThreadCounts[] = {1, 4};
+
+/** RAII: run a scope at a thread count, then restore. */
+struct ThreadScope
+{
+    explicit ThreadScope(int n) : saved_(core::parallel::numThreads())
+    {
+        core::parallel::setNumThreads(n);
+    }
+    ~ThreadScope() { core::parallel::setNumThreads(saved_); }
+    int saved_;
+};
+
+/** RAII: override the latched DeviceConfig, then restore defaults. */
+struct ConfigScope
+{
+    explicit ConfigScope(const device::DeviceConfig &cfg)
+    {
+        device::setDeviceConfig(cfg);
+    }
+    ~ConfigScope() { device::setDeviceConfig(device::DeviceConfig{}); }
+};
+
+PropertyOptions
+propOpts(int cases)
+{
+    PropertyOptions o;
+    o.numCases = cases;
+    o.baseSeed = testenv::seed();
+    return o;
+}
+
+Result
+bitEqual(const Tensor &got, const Tensor &want, const std::string &what)
+{
+    if (got.rows() != want.rows() || got.cols() != want.cols())
+        return Result::fail(what + ": shape mismatch");
+    if (std::memcmp(got.data(), want.data(),
+                    static_cast<size_t>(want.numel()) *
+                        sizeof(float)) != 0)
+        return Result::fail(what + ": not bit-identical");
+    return Result::pass();
+}
+
+/**
+ * Materialized gather→[mul-edge]→scatter golden model, in three
+ * separate serial passes exactly like the pygx kernels execute them:
+ * the per-edge product is rounded once in its own pass, then
+ * accumulated in ascending edge order.
+ */
+Tensor
+materializedGatherScatter(const Tensor &x,
+                          const std::vector<NodeId> &src,
+                          const std::vector<NodeId> &dst,
+                          const float *w, NodeId out_rows)
+{
+    const int64_t f = x.cols();
+    const size_t m = src.size();
+    Tensor msg = Tensor::empty(static_cast<int64_t>(m), f);
+    for (size_t e = 0; e < m; ++e) {
+        const float *xr = x.data() + src[e] * f;
+        float *mr = msg.data() + static_cast<int64_t>(e) * f;
+        for (int64_t j = 0; j < f; ++j)
+            mr[j] = xr[j];
+    }
+    if (w) {
+        for (size_t e = 0; e < m; ++e) {
+            float *mr = msg.data() + static_cast<int64_t>(e) * f;
+            for (int64_t j = 0; j < f; ++j)
+                mr[j] *= w[e];
+        }
+    }
+    Tensor out = Tensor::zeros(out_rows, f);
+    for (size_t e = 0; e < m; ++e) {
+        const float *mr = msg.data() + static_cast<int64_t>(e) * f;
+        float *orow = out.data() + dst[e] * f;
+        for (int64_t j = 0; j < f; ++j)
+            orow[j] += mr[j];
+    }
+    return out;
+}
+
+Result
+gatherScatterConformance(const GraphCase &c, int64_t f, bool weighted)
+{
+    const NodeId n = std::max<NodeId>(c.coo.numNodes, 1);
+    core::Rng rng(c.seed ^ 0x9e3779b97f4a7c15ull);
+    const Tensor x = Tensor::uniform(n, f, rng, -1.0f, 1.0f);
+    std::vector<float> w(c.coo.src.size());
+    for (auto &v : w)
+        v = rng.uniformFloat() - 0.5f;
+    const float *wp = weighted ? w.data() : nullptr;
+
+    const Tensor want = materializedGatherScatter(
+        x, c.coo.src, c.coo.dst, wp, n);
+    for (KernelVariant v : kVariants) {
+        for (int threads : kThreadCounts) {
+            ThreadScope scope(threads);
+            const Tensor got = gatherScatterSum(x, c.coo.src,
+                                                c.coo.dst, wp, n, v);
+            Result r = bitEqual(
+                got, want,
+                std::string("gatherScatterSum/") + variantName(v) +
+                    "/t=" + std::to_string(threads));
+            if (!r)
+                return r;
+        }
+    }
+    return Result::pass();
+}
+
+TEST(FusedGatherScatter, BitIdenticalToMaterialized)
+{
+    for (int64_t f : {1, 7, 64})
+        EXPECT_TRUE(checkProperty(
+            "fused-gather-scatter-f" + std::to_string(f),
+            [f](const GraphCase &c) {
+                return gatherScatterConformance(c, f, false);
+            },
+            propOpts(20)));
+}
+
+TEST(FusedGatherScatter, WeightedBitIdenticalToMaterialized)
+{
+    for (int64_t f : {1, 7, 64})
+        EXPECT_TRUE(checkProperty(
+            "fused-gather-scatter-weighted-f" + std::to_string(f),
+            [f](const GraphCase &c) {
+                return gatherScatterConformance(c, f, true);
+            },
+            propOpts(20)));
+}
+
+Result
+spmmReluConformance(const GraphCase &c, ReduceOp op, int64_t f,
+                    bool weighted)
+{
+    const graph::CsrGraph csc = graph::cooToCsc(c.coo);
+    const NodeId n = std::max<NodeId>(c.coo.numNodes, 1);
+    core::Rng rng(c.seed ^ 0xda3e39cb94b95bdbull);
+    const Tensor x = Tensor::uniform(n, f, rng, -1.0f, 1.0f);
+    std::vector<float> w(csc.numEdges());
+    for (auto &v : w)
+        v = rng.uniformFloat() - 0.5f;
+    const float *wp = weighted ? w.data() : nullptr;
+
+    for (KernelVariant v : kVariants) {
+        // Materialized execution of the same variant: aggregate,
+        // then a separate ReLU pass (exact, so order-free).
+        Tensor want = spmm(csc, x, op, wp, v);
+        float *p = want.data();
+        for (int64_t i = 0; i < want.numel(); ++i)
+            p[i] = std::max(p[i], 0.0f);
+        for (int threads : kThreadCounts) {
+            ThreadScope scope(threads);
+            const Tensor got = spmmRelu(csc, x, op, wp, v);
+            Result r = bitEqual(
+                got, want,
+                std::string("spmmRelu/") + variantName(v) + "/" +
+                    reduceOpName(op) +
+                    "/t=" + std::to_string(threads));
+            if (!r)
+                return r;
+        }
+    }
+    return Result::pass();
+}
+
+TEST(FusedSpmmRelu, BitIdenticalToMaterialized)
+{
+    for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Mean})
+        for (int64_t f : {1, 16})
+            EXPECT_TRUE(checkProperty(
+                "fused-spmm-relu-" +
+                    std::string(reduceOpName(op)) + "-f" +
+                    std::to_string(f),
+                [op, f](const GraphCase &c) {
+                    return spmmReluConformance(c, op, f, false);
+                },
+                propOpts(15)));
+}
+
+TEST(FusedSpmmRelu, WeightedBitIdenticalToMaterialized)
+{
+    for (int64_t f : {1, 16})
+        EXPECT_TRUE(checkProperty(
+            "fused-spmm-relu-weighted-f" + std::to_string(f),
+            [f](const GraphCase &c) {
+                return spmmReluConformance(c, ReduceOp::Sum, f,
+                                           true);
+            },
+            propOpts(15)));
+}
+
+/**
+ * End-to-end: the dglx SageConv mean aggregation goes through the
+ * fused gspmm_mean path when fusion is on and through the
+ * materialized SpMM-sum + row-scale pair when it is off.  Forward
+ * values AND parameter gradients must be bit-identical either way,
+ * at every thread count.
+ */
+TEST(FusedSageConv, FusionOnOffBitIdenticalIncludingGrads)
+{
+    namespace ag = core::ag;
+    core::Rng grng(testenv::seed());
+    dglx::Graph g(graph::symmetrize(
+        graph::rmat(48, 240, grng), false));
+    core::Rng xrng(testenv::seed() ^ 1);
+    const Tensor x = Tensor::randn(48, 8, xrng);
+
+    auto run = [&](bool fusion_on, int threads, Tensor *out,
+                   std::vector<Tensor> *grads) {
+        device::DeviceConfig cfg;
+        cfg.fusionEnabled = fusion_on;
+        ConfigScope config(cfg);
+        ThreadScope scope(threads);
+        core::Rng wrng(testenv::seed() ^ 2);
+        dglx::SageConv conv(8, 4, wrng);
+        dglx::KernelCtx ctx;
+        ag::Var out_v =
+            conv.forward(g, ag::constant(x.clone()), ctx);
+        const Tensor seed_grad = Tensor::full(
+            out_v->value.rows(), out_v->value.cols(), 1.0f);
+        ag::backward(out_v, &seed_grad);
+        *out = out_v->value.clone();
+        for (const auto &p : conv.params())
+            grads->push_back(p->grad.clone());
+    };
+
+    Tensor ref_out;
+    std::vector<Tensor> ref_grads;
+    run(true, 1, &ref_out, &ref_grads);
+    ASSERT_FALSE(ref_grads.empty());
+
+    for (bool fusion_on : {true, false}) {
+        for (int threads : kThreadCounts) {
+            Tensor out;
+            std::vector<Tensor> grads;
+            run(fusion_on, threads, &out, &grads);
+            const std::string what =
+                std::string("SageConv fusion=") +
+                (fusion_on ? "on" : "off") +
+                " t=" + std::to_string(threads);
+            EXPECT_TRUE(bitEqual(out, ref_out, what).ok) << what;
+            ASSERT_EQ(grads.size(), ref_grads.size());
+            for (size_t i = 0; i < grads.size(); ++i)
+                EXPECT_TRUE(
+                    bitEqual(grads[i], ref_grads[i], what).ok)
+                    << what << " grad " << i;
+        }
+    }
+}
+
+uint64_t
+fusionCounter(const char *name)
+{
+    return profiling::MetricsRegistry::global().counter(name).value();
+}
+
+TEST(KernelGraph, EligiblePairFusesAndBooksSavings)
+{
+    const uint64_t fused0 =
+        fusionCounter("device.fusion.fused_pairs");
+    const uint64_t saved0 =
+        fusionCounter("device.fusion.fused_bytes_saved");
+
+    KernelGraph g(true);
+    const int agg = g.addNode(FusedOp::Spmm, "gspmm", 4096);
+    const int scale = g.addNode(FusedOp::RowScale, "row_scale", 4096);
+    g.addEdge(agg, scale);
+    EXPECT_TRUE(g.fuse(agg, scale, 8192));
+    EXPECT_EQ(g.fusedPairs(), 1u);
+    EXPECT_EQ(g.bytesSaved(), 8192u);
+    EXPECT_EQ(g.rejectedPairs(), 0u);
+    EXPECT_GT(g.bytesSaved(), 0u); // fused_bytes_saved > 0
+
+    EXPECT_EQ(fusionCounter("device.fusion.fused_pairs"),
+              fused0 + 1);
+    EXPECT_EQ(fusionCounter("device.fusion.fused_bytes_saved"),
+              saved0 + 8192);
+}
+
+TEST(KernelGraph, MultiConsumerProducerIsRejected)
+{
+    const uint64_t rejected0 =
+        fusionCounter("device.fusion.rejected_pairs");
+    KernelGraph g(true);
+    const int gather = g.addNode(FusedOp::Gather, "gather", 4096);
+    const int s1 = g.addNode(FusedOp::Scatter, "scatter_a", 0);
+    const int s2 = g.addNode(FusedOp::Scatter, "scatter_b", 0);
+    g.addEdge(gather, s1);
+    g.addEdge(gather, s2);
+    // The producer's output is needed elsewhere: eligible, but
+    // declined — and the decline is counted.
+    EXPECT_FALSE(g.fuse(gather, s1, 4096));
+    EXPECT_EQ(g.fusedPairs(), 0u);
+    EXPECT_EQ(g.rejectedPairs(), 1u);
+    EXPECT_EQ(fusionCounter("device.fusion.rejected_pairs"),
+              rejected0 + 1);
+}
+
+TEST(KernelGraph, UnsupportedFrameworkIsRejected)
+{
+    // pygx-style recording: eligible chain, framework can't fuse
+    // (paper Observation 3).
+    KernelGraph g(false);
+    const int gather = g.addNode(FusedOp::Gather, "gather", 4096);
+    const int scat = g.addNode(FusedOp::Scatter, "scatter_sum", 0);
+    g.addEdge(gather, scat);
+    EXPECT_FALSE(g.fuse(gather, scat, 4096));
+    EXPECT_EQ(g.fusedPairs(), 0u);
+    EXPECT_EQ(g.rejectedPairs(), 1u);
+    EXPECT_FALSE(g.supportsFusion());
+}
+
+TEST(KernelGraph, FusionKnobOffRejects)
+{
+    device::DeviceConfig cfg;
+    cfg.fusionEnabled = false;
+    ConfigScope config(cfg);
+    EXPECT_FALSE(fusionEnabled());
+    KernelGraph g(true);
+    const int agg = g.addNode(FusedOp::Spmm, "gspmm", 4096);
+    const int act = g.addNode(FusedOp::Activation, "relu", 4096);
+    g.addEdge(agg, act);
+    EXPECT_FALSE(g.fuse(agg, act, 4096));
+    EXPECT_EQ(g.rejectedPairs(), 1u);
+}
+
+TEST(KernelGraph, IneligiblePairFailsSilently)
+{
+    const uint64_t rejected0 =
+        fusionCounter("device.fusion.rejected_pairs");
+    KernelGraph g(true);
+    const int sample = g.addNode(FusedOp::Sample, "sample", 4096);
+    const int gather = g.addNode(FusedOp::Gather, "gather", 4096);
+    g.addEdge(sample, gather);
+    // Not in the eligibility table: no fuse, and no rejected count
+    // either (the pair was never a fusion candidate).
+    EXPECT_FALSE(g.fuse(sample, gather, 4096));
+    EXPECT_EQ(g.fusedPairs(), 0u);
+    EXPECT_EQ(g.rejectedPairs(), 0u);
+    EXPECT_EQ(fusionCounter("device.fusion.rejected_pairs"),
+              rejected0);
+}
+
+} // namespace
+} // namespace kernels
+} // namespace gnnbench
